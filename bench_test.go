@@ -1,0 +1,252 @@
+package netwide_test
+
+// The benchmark harness regenerates every evaluation artifact of the paper
+// (DESIGN.md experiment index E1..E9). Each benchmark covers the
+// computation behind one table or figure; BenchmarkSimulateWeek and
+// BenchmarkDetect cover the two pipeline stages everything else shares.
+//
+// Run with: go test -bench=. -benchmem .
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"netwide"
+	"netwide/internal/core"
+	"netwide/internal/dataset"
+)
+
+var (
+	benchOnce sync.Once
+	benchRun  *netwide.Run
+)
+
+// benchSetup builds one detected 1-week run shared by all artifact
+// benchmarks (simulation and detection have their own benchmarks below).
+func benchSetup(b *testing.B) *netwide.Run {
+	b.Helper()
+	benchOnce.Do(func() {
+		run, err := netwide.Simulate(netwide.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := run.Detect(netwide.DefaultDetectOptions()); err != nil {
+			b.Fatal(err)
+		}
+		run.Characterize()
+		benchRun = run
+	})
+	if benchRun == nil {
+		b.Skip("shared setup failed earlier")
+	}
+	return benchRun
+}
+
+// BenchmarkSimulateWeek measures the full measurement pipeline: traffic
+// synthesis, anomaly injection, 1% sampling, NetFlow export/collect and OD
+// resolution for one week (2016 bins x 121 OD pairs x 3 measures).
+func BenchmarkSimulateWeek(b *testing.B) {
+	cfg := netwide.QuickConfig()
+	cfg.MeanRateBps = 4e5 // half volume keeps the per-iteration cost sane
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := netwide.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetect measures the subspace method (PCA, thresholds, alarms,
+// identification, aggregation) over the three one-week matrices.
+func BenchmarkDetect(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run.Detect(netwide.DefaultDetectOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubspaceAnalyze isolates the core numeric kernel on the byte
+// matrix (experiment E1's inner loop).
+func BenchmarkSubspaceAnalyze(b *testing.B) {
+	run := benchSetup(b)
+	x := run.Dataset().Matrix(dataset.Bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(x, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 panels (E1).
+func BenchmarkFigure1(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run.Figure1(0, 1008); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1CSV includes the serialization cost of the series.
+func BenchmarkFigure1CSV(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run.WriteFigure1CSV(io.Discard, 0, 1008); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the traffic-type combination counts (E2).
+func BenchmarkTable1(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 := run.Table1()
+		if len(t1) == 0 {
+			b.Fatal("empty table 1")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the duration and OD-count histograms
+// (E3, E4).
+func BenchmarkFigure2(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dur, ods := run.Figure2()
+		if dur.Total() == 0 || ods.Total() == 0 {
+			b.Fatal("empty figure 2")
+		}
+	}
+}
+
+// BenchmarkTable2Evidence regenerates the per-type feature signatures (E5).
+// The first iteration pays for classification; later ones reuse it, so the
+// steady-state cost reported here is the evidence extraction itself.
+func BenchmarkTable2Evidence(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(run.Table2Evidence()) == 0 {
+			b.Fatal("no table 2 evidence")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the class-by-traffic-type table (E6).
+func BenchmarkTable3(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t3 := run.Table3()
+		if len(t3) == 0 {
+			b.Fatal("empty table 3")
+		}
+	}
+}
+
+// BenchmarkClassifyEvents measures fresh classification of every detected
+// event, including attribute regeneration for the anomalous cells — the
+// dominant cost of characterization.
+func BenchmarkClassifyEvents(b *testing.B) {
+	run := benchSetup(b)
+	var buf writerCounter
+	if err := run.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fresh, err := netwide.LoadRun(buf.reader())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fresh.Detect(netwide.DefaultDetectOptions()); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if len(fresh.Characterize()) == 0 {
+			b.Fatal("no anomalies")
+		}
+	}
+}
+
+// BenchmarkAblationT2 runs the k/T² ablation at a single k (E7).
+func BenchmarkAblationT2(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run.Ablation([]int{4}, []float64{0.001}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataReduction reports the E8 statistic.
+func BenchmarkDataReduction(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if red := run.Reduction(); red.RawRecords == 0 {
+			b.Fatal("no reduction data")
+		}
+	}
+}
+
+// BenchmarkBaselines runs the EWMA and wavelet single-link detectors over
+// the routed link loads (E9).
+func BenchmarkBaselines(b *testing.B) {
+	run := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run.Baselines(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// writerCounter buffers the serialized dataset for repeated reloads.
+type writerCounter struct{ data []byte }
+
+func (w *writerCounter) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+func (w *writerCounter) reader() io.Reader { return &sliceReader{data: w.data} }
+
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,55 @@
+// Command abilenegen generates a synthetic Abilene-like OD-flow dataset —
+// the three sampled traffic matrices plus an injected ground-truth anomaly
+// population — and writes it to a file for the other tools.
+//
+// Usage:
+//
+//	abilenegen -weeks 4 -seed 2004 -rate 2e6 -out abilene.nwds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"netwide"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("abilenegen: ")
+	var (
+		weeks = flag.Int("weeks", 4, "weeks of 5-minute bins to simulate")
+		seed  = flag.Uint64("seed", 2004, "random seed (same seed, same dataset)")
+		rate  = flag.Float64("rate", 2e6, "network-wide mean offered load in bytes/second")
+		smpl  = flag.Float64("sampling", 0.01, "packet sampling probability")
+		unres = flag.Float64("unresolved", 0.07, "fraction of flow records failing OD resolution")
+		out   = flag.String("out", "abilene.nwds", "output dataset file")
+	)
+	flag.Parse()
+
+	cfg := netwide.Config{
+		Weeks:              *weeks,
+		Seed:               *seed,
+		MeanRateBps:        *rate,
+		SamplingRate:       *smpl,
+		UnresolvedFraction: *unres,
+	}
+	run, err := netwide.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := run.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	red := run.Reduction()
+	fmt.Printf("wrote %s: %d bins x 121 OD pairs x 3 measures\n", *out, run.Bins())
+	fmt.Printf("collected %d flow records (%d unresolved), injected %d ground-truth anomalies\n",
+		red.RawRecords, red.Unresolved, len(run.GroundTruth()))
+}

@@ -1,0 +1,72 @@
+// Example dosattack walks through the DOS detection story of the paper's
+// Figure 1: inject denial-of-service attacks against single victims (the
+// port 110 and port 113 attacks of Section 3), detect them with the
+// subspace method, and show the dominance evidence a network operator would
+// inspect — packet/flow spike toward a single destination address and port,
+// with spoofed (non-dominant) sources.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"netwide"
+	"netwide/internal/anomaly"
+	"netwide/internal/dataset"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+func main() {
+	// Build a 1-week dataset whose only anomalies are DOS and DDOS
+	// attacks, so every detection below is attack-related.
+	cfg := dataset.Config{
+		Weeks:              1,
+		Seed:               42,
+		MeanRateBps:        8e5,
+		SamplingRate:       0.01,
+		UnresolvedFraction: 0.07,
+		Schedule: anomaly.ScheduleConfig{
+			Weeks:    1,
+			DOSes:    6,
+			DDOSes:   2,
+			RefBytes: 8e5 * traffic.BinSeconds / topology.NumODPairs,
+			Seed:     42,
+		},
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	run, err := netwide.LoadRun(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("injected attacks (ground truth):")
+	for _, g := range run.GroundTruth() {
+		fmt.Printf("  #%d %-5s %s for %d min on %v\n", g.ID, g.Type,
+			netwide.FormatBin(g.StartBin), (g.EndBin-g.StartBin+1)*5, g.ODs)
+	}
+
+	if err := run.Detect(netwide.DefaultDetectOptions()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsubspace method raised %d events; attack-matched ones:\n\n", len(run.Events()))
+	for _, a := range run.Characterize() {
+		if a.TruthType == "" {
+			continue
+		}
+		fmt.Printf("%-5s detected in [%s] at %s, lasting %v\n", a.Class, a.Measures,
+			netwide.FormatBin(a.StartBin), a.Duration)
+		fmt.Printf("      OD flows: %v\n", a.ODs)
+		fmt.Printf("      evidence: %s\n\n", a.Why)
+	}
+	fmt.Println("note: DOS anomalies appear in packet and flow counts, not bytes —")
+	fmt.Println("the attack generates per-packet effects, not payload volume (Section 4).")
+}

@@ -1,0 +1,75 @@
+// Example opsmonitor reproduces the paper's operational-events story: a
+// LOSA PoP outage (the scheduled maintenance of 4/17 in the paper) and the
+// multihomed CALREN customer shifting its ingress from LOSA to SNVA around
+// it. Both are detected as coordinated multi-OD-flow volume shifts with no
+// dominant address or port — the signature separating operational events
+// from attacks and end-user behavior.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"netwide"
+	"netwide/internal/anomaly"
+	"netwide/internal/dataset"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+func main() {
+	refBytes := 8e5 * traffic.BinSeconds / topology.NumODPairs
+	cfg := dataset.Config{
+		Weeks:              1,
+		Seed:               17,
+		MeanRateBps:        8e5,
+		SamplingRate:       0.01,
+		UnresolvedFraction: 0.07,
+		Schedule: anomaly.ScheduleConfig{
+			Weeks:         1,
+			Outages:       1,
+			IngressShifts: 2,
+			RefBytes:      refBytes,
+			Seed:          17,
+		},
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	run, err := netwide.LoadRun(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("operations ground truth:")
+	for _, g := range run.GroundTruth() {
+		fmt.Printf("  %-10s %-12s %3d min  %s\n", g.Type,
+			netwide.FormatBin(g.StartBin), (g.EndBin-g.StartBin+1)*5, g.Note)
+	}
+
+	if err := run.Detect(netwide.DefaultDetectOptions()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndetected operational events:")
+	for _, a := range run.Characterize() {
+		if a.Class != "OUTAGE" && a.Class != "INGR-SHIFT" {
+			continue
+		}
+		match := "unmatched"
+		if a.TruthType != "" {
+			match = "matches injected " + a.TruthType
+		}
+		fmt.Printf("  %-10s [%s] at %-12s %-6v (%s)\n", a.Class, a.Measures,
+			netwide.FormatBin(a.StartBin), a.Duration, match)
+		fmt.Printf("             %s\n", a.Why)
+	}
+	fmt.Println("\nthe outage dips all three traffic types at once (BFP) across many OD")
+	fmt.Println("flows; the ingress shift moves flow counts between OD pairs with no")
+	fmt.Println("dominant attribute — exactly the Table 2 signatures.")
+}

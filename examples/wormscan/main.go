@@ -1,0 +1,67 @@
+// Example wormscan demonstrates the flow-count view of the subspace
+// method: worm propagation (SQL-Snake on port 1433, Deloder on port 445)
+// and network scanning (NetBIOS port 139), the anomaly types the paper
+// finds almost exclusively in the IP-flow timeseries — each probe opens a
+// new flow while moving almost no packets or bytes.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"netwide"
+	"netwide/internal/anomaly"
+	"netwide/internal/dataset"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+func main() {
+	cfg := dataset.Config{
+		Weeks:              1,
+		Seed:               1433,
+		MeanRateBps:        8e5,
+		SamplingRate:       0.01,
+		UnresolvedFraction: 0.07,
+		Schedule: anomaly.ScheduleConfig{
+			Weeks:    1,
+			Scans:    6,
+			Worms:    2,
+			RefBytes: 8e5 * traffic.BinSeconds / topology.NumODPairs,
+			Seed:     1433,
+		},
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	run, err := netwide.LoadRun(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run.Detect(netwide.DefaultDetectOptions()); err != nil {
+		log.Fatal(err)
+	}
+
+	byMeasure := map[string]int{}
+	fmt.Println("detected scan/worm activity:")
+	for _, a := range run.Characterize() {
+		if a.TruthType == "" {
+			continue
+		}
+		byMeasure[a.Measures]++
+		fmt.Printf("  %-6s in [%-3s] at %-12s %v\n", a.Class, a.Measures,
+			netwide.FormatBin(a.StartBin), a.Why)
+	}
+	fmt.Println("\ndetections per traffic-type combination:")
+	for set, n := range byMeasure {
+		fmt.Printf("  %-4s %d\n", set, n)
+	}
+	fmt.Println("\nscans and worms live in the F (IP-flow count) timeseries: without the")
+	fmt.Println("flow view, these anomalies are invisible (Table 3 of the paper).")
+}

@@ -1,0 +1,267 @@
+package anomaly
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"netwide/internal/flow"
+	"netwide/internal/ipaddr"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+func testOD() topology.ODPair {
+	return topology.ODPair{Origin: topology.ATLA, Dest: topology.NYCM}
+}
+
+func TestTypeString(t *testing.T) {
+	if Alpha.String() != "ALPHA" || IngressShift.String() != "INGR-SHIFT" {
+		t.Fatal("type names wrong")
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Fatal("out-of-range name wrong")
+	}
+	if len(Types()) != int(numTypes) {
+		t.Fatal("Types() incomplete")
+	}
+}
+
+func TestSpecWindowAndMembership(t *testing.T) {
+	a := NewAlpha(1, testOD(), 100, 2, ipaddr.FromOctets(10, 0, 0, 1), ipaddr.FromOctets(10, 112, 0, 1), 5001, 1e8)
+	s := a.Spec()
+	if s.DurationBins() != 2 {
+		t.Fatalf("duration %d", s.DurationBins())
+	}
+	if !s.ActiveAt(testOD(), 100) || !s.ActiveAt(testOD(), 101) {
+		t.Fatal("not active inside window")
+	}
+	if s.ActiveAt(testOD(), 99) || s.ActiveAt(testOD(), 102) {
+		t.Fatal("active outside window")
+	}
+	other := topology.ODPair{Origin: topology.CHIN, Dest: topology.NYCM}
+	if s.ActiveAt(other, 100) {
+		t.Fatal("active on wrong OD")
+	}
+}
+
+func TestAlphaClasses(t *testing.T) {
+	src := ipaddr.FromOctets(10, 0, 0, 1)
+	dst := ipaddr.FromOctets(10, 112, 0, 1)
+	a := NewAlpha(1, testOD(), 10, 1, src, dst, 5001, 1.4e7)
+	rng := rand.New(rand.NewPCG(1, 1))
+	cls := a.Classes(testOD(), 10, rng)
+	if len(cls) != 1 {
+		t.Fatalf("classes=%d", len(cls))
+	}
+	c := cls[0]
+	if c.Count != 1 {
+		t.Fatalf("alpha is a single flow, got %d", c.Count)
+	}
+	if c.PktsPerFlow != 10000 {
+		t.Fatalf("pkts=%d, want 1.4e7/1400", c.PktsPerFlow)
+	}
+	if c.Src.Mode != traffic.AddrFixed || c.Src.Fixed != src {
+		t.Fatal("alpha src not fixed")
+	}
+	if a.Classes(testOD(), 11, rng) != nil {
+		t.Fatal("classes outside window")
+	}
+	if a.VolumeScale(testOD(), 10, nil) != 1 {
+		t.Fatal("alpha must not scale volume")
+	}
+}
+
+func TestDOSvsDDOSType(t *testing.T) {
+	v := ipaddr.FromOctets(10, 112, 0, 9)
+	single := NewDOS(1, []topology.ODPair{testOD()}, 0, 1, v, 0, 1000, 3)
+	if single.Spec().Type != DOS {
+		t.Fatalf("single-origin type %v", single.Spec().Type)
+	}
+	multi := NewDOS(2, []topology.ODPair{testOD(), {Origin: topology.CHIN, Dest: topology.NYCM}}, 0, 1, v, 0, 1000, 3)
+	if multi.Spec().Type != DDOS {
+		t.Fatalf("multi-origin type %v", multi.Spec().Type)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	cls := multi.Classes(testOD(), 0, rng)
+	if len(cls) != 1 || cls[0].Src.Mode != traffic.AddrSpoofed {
+		t.Fatal("DOS sources must be spoofed")
+	}
+	if cls[0].Dst.Mode != traffic.AddrFixed || cls[0].Dst.Fixed != v {
+		t.Fatal("DOS destination must be the victim")
+	}
+	if cls[0].BytesPerPkt > 60 {
+		t.Fatal("DOS packets should be tiny (no payload)")
+	}
+}
+
+func TestScanShapes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	scanner := ipaddr.FromOctets(10, 0, 0, 7)
+	ns := NewNetworkScan(1, testOD(), 5, 1, scanner, flow.PortNetBIOS, 5000)
+	c := ns.Classes(testOD(), 5, rng)[0]
+	if c.PktsPerFlow != 1 {
+		t.Fatal("scan probes are single packets (pkts ~ flows)")
+	}
+	if c.DstPort.Mode != traffic.PortFixed || c.DstPort.Port != flow.PortNetBIOS {
+		t.Fatal("network scan must fix the target port")
+	}
+	if c.Dst.Mode != traffic.AddrRandomAtPoP {
+		t.Fatal("network scan must sweep hosts")
+	}
+	ps := NewPortScan(2, testOD(), 5, 1, scanner, ipaddr.FromOctets(10, 112, 0, 3), 5000)
+	c = ps.Classes(testOD(), 5, rng)[0]
+	if c.Dst.Mode != traffic.AddrFixed {
+		t.Fatal("port scan must fix the host")
+	}
+	if c.DstPort.Mode != traffic.PortRandom {
+		t.Fatal("port scan must sweep ports")
+	}
+}
+
+func TestOutageCoversPoP(t *testing.T) {
+	o := NewOutage(1, topology.LOSA, 100, 12, 0.02)
+	s := o.Spec()
+	if len(s.ODs) != 2*(topology.NumPoPs-1)+1 {
+		t.Fatalf("outage covers %d ODs", len(s.ODs))
+	}
+	od := topology.ODPair{Origin: topology.LOSA, Dest: topology.NYCM}
+	if v := o.VolumeScale(od, 105, nil); v != 0.02 {
+		t.Fatalf("outage scale %v", v)
+	}
+	if v := o.VolumeScale(od, 200, nil); v != 1 {
+		t.Fatalf("outage scale outside window %v", v)
+	}
+	unrelated := topology.ODPair{Origin: topology.ATLA, Dest: topology.NYCM}
+	if v := o.VolumeScale(unrelated, 105, nil); v != 1 {
+		t.Fatalf("outage leaked to unrelated OD: %v", v)
+	}
+	if o.Classes(od, 105, nil) != nil {
+		t.Fatal("outage must not add traffic")
+	}
+}
+
+func TestIngressShiftConservesVolume(t *testing.T) {
+	top := topology.Abilene()
+	bg, err := traffic.NewBackground(top, 2e6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewIngressShift(1, topology.LOSA, topology.SNVA, 50, 10, 0.7)
+	var before, after float64
+	for d := topology.PoP(0); d < topology.NumPoPs; d++ {
+		from := topology.ODPair{Origin: topology.LOSA, Dest: d}
+		to := topology.ODPair{Origin: topology.SNVA, Dest: d}
+		before += bg.TrueVolume(from, 55) + bg.TrueVolume(to, 55)
+		after += bg.TrueVolume(from, 55)*sh.VolumeScale(from, 55, bg) +
+			bg.TrueVolume(to, 55)*sh.VolumeScale(to, 55, bg)
+	}
+	if d := (after - before) / before; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("ingress shift changed total volume by %v", d)
+	}
+	// From-origin flows lose, To-origin flows gain.
+	from := topology.ODPair{Origin: topology.LOSA, Dest: topology.NYCM}
+	to := topology.ODPair{Origin: topology.SNVA, Dest: topology.NYCM}
+	if sh.VolumeScale(from, 55, bg) >= 1 {
+		t.Fatal("From OD did not lose volume")
+	}
+	if sh.VolumeScale(to, 55, bg) <= 1 {
+		t.Fatal("To OD did not gain volume")
+	}
+}
+
+func TestLedgerQueries(t *testing.T) {
+	led := &Ledger{}
+	led.Injectors = append(led.Injectors,
+		NewAlpha(1, testOD(), 10, 1, ipaddr.FromOctets(10, 0, 0, 1), ipaddr.FromOctets(10, 112, 0, 1), 5001, 1e7),
+		NewOutage(2, topology.LOSA, 5, 20, 0.02),
+	)
+	if n := len(led.ActiveAt(testOD(), 10)); n != 1 {
+		t.Fatalf("ActiveAt found %d", n)
+	}
+	losa := topology.ODPair{Origin: topology.LOSA, Dest: topology.ATLA}
+	if n := len(led.ActiveAt(losa, 10)); n != 1 {
+		t.Fatalf("ActiveAt(losa) found %d", n)
+	}
+	counts := led.CountByType()
+	if counts[Alpha] != 1 || counts[Outage] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	if len(led.Specs()) != 2 {
+		t.Fatal("specs incomplete")
+	}
+}
+
+func TestBuildScheduleDeterministicAndComplete(t *testing.T) {
+	top := topology.Abilene()
+	bg, err := traffic.NewBackground(top, 2e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSchedule(bg, 4, 99)
+	l1, err := Build(cfg, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Build(cfg, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1.Injectors) != len(l2.Injectors) {
+		t.Fatal("schedule not deterministic")
+	}
+	for i := range l1.Injectors {
+		s1, s2 := l1.Injectors[i].Spec(), l2.Injectors[i].Spec()
+		if s1.ID != s2.ID || s1.Type != s2.Type || s1.StartBin != s2.StartBin ||
+			s1.EndBin != s2.EndBin || len(s1.ODs) != len(s2.ODs) || s1.Note != s2.Note {
+			t.Fatalf("schedule differs at %d: %+v vs %+v", i, s1, s2)
+		}
+	}
+	counts := l1.CountByType()
+	for _, typ := range Types() {
+		if counts[typ] == 0 {
+			t.Fatalf("schedule missing type %v", typ)
+		}
+	}
+	// Prevalence structure of Table 3: ALPHA most frequent; flash and scan
+	// next; operational events rare.
+	if !(counts[Alpha] > counts[FlashCrowd] && counts[FlashCrowd] >= counts[Scan] &&
+		counts[Scan] > counts[DOS] && counts[DOS] > counts[Outage]) {
+		t.Fatalf("prevalence structure wrong: %v", counts)
+	}
+	// All windows inside the run.
+	total := cfg.Weeks * traffic.BinsPerWeek
+	for _, s := range l1.Specs() {
+		if s.StartBin < 0 || s.EndBin >= total || s.StartBin > s.EndBin {
+			t.Fatalf("bad window %+v", s)
+		}
+		if len(s.ODs) == 0 {
+			t.Fatalf("no ODs for %+v", s)
+		}
+	}
+}
+
+func TestBuildScheduleShortRun(t *testing.T) {
+	top := topology.Abilene()
+	bg, _ := traffic.NewBackground(top, 2e6, 1)
+	cfg := DefaultSchedule(bg, 1, 5)
+	led, err := Build(cfg, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-week run scales down but keeps at least one of each type.
+	counts := led.CountByType()
+	for _, typ := range Types() {
+		if counts[typ] == 0 {
+			t.Fatalf("short schedule missing %v", typ)
+		}
+	}
+	if counts[Alpha] > 60 {
+		t.Fatalf("1-week alphas %d did not scale down", counts[Alpha])
+	}
+	if _, err := Build(ScheduleConfig{Weeks: 0, RefBytes: 1}, top); err == nil {
+		t.Fatal("weeks=0 accepted")
+	}
+	if _, err := Build(ScheduleConfig{Weeks: 1, RefBytes: 0}, top); err == nil {
+		t.Fatal("refbytes=0 accepted")
+	}
+}

@@ -1,0 +1,367 @@
+package anomaly
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"netwide/internal/flow"
+	"netwide/internal/ipaddr"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+// AlphaInjector is an unusually high-rate point-to-point byte transfer
+// (Table 2 row 1): a single enormous flow between one source host and one
+// destination host, short-lived, on a bandwidth-measurement or file-sharing
+// port. Spikes B and P; attributable to a dominant src/dst pair.
+type AlphaInjector struct {
+	baseSpec
+	noScale
+	Src, Dst    ipaddr.Addr
+	Port        uint16
+	TrueBytes   float64
+	BytesPerPkt float64
+}
+
+// NewAlpha builds an ALPHA injector on one OD pair.
+func NewAlpha(id int, od topology.ODPair, startBin, durBins int, src, dst ipaddr.Addr, port uint16, trueBytes float64) *AlphaInjector {
+	return &AlphaInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: Alpha, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  []topology.ODPair{od},
+			Note: fmt.Sprintf("alpha transfer %s:%d -> %s:%d", src, port, dst, port),
+		}},
+		Src: src, Dst: dst, Port: port, TrueBytes: trueBytes, BytesPerPkt: 1400,
+	}
+}
+
+// Classes implements Injector.
+func (a *AlphaInjector) Classes(od topology.ODPair, bin int, _ *rand.Rand) []traffic.FlowClass {
+	if !a.spec.ActiveAt(od, bin) {
+		return nil
+	}
+	pkts := uint64(a.TrueBytes / a.BytesPerPkt)
+	if pkts == 0 {
+		pkts = 1
+	}
+	return []traffic.FlowClass{{
+		Count: 1, PktsPerFlow: pkts, BytesPerPkt: a.BytesPerPkt, Proto: flow.ProtoTCP,
+		Src:     traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: a.Src},
+		Dst:     traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: a.Dst},
+		SrcPort: traffic.PortTemplate{Mode: traffic.PortFixed, Port: a.Port},
+		DstPort: traffic.PortTemplate{Mode: traffic.PortFixed, Port: a.Port},
+	}}
+}
+
+// DOSInjector is a (distributed) denial of service attack against a single
+// victim (Table 2 row 2): many small packets from spoofed sources to one
+// destination IP and port. Spikes P and/or F but not B; dominant
+// destination, no dominant source. Sources at multiple origin PoPs make it
+// a DDOS spanning multiple OD flows.
+type DOSInjector struct {
+	baseSpec
+	noScale
+	Victim      ipaddr.Addr
+	Port        uint16
+	TrueFlows   uint64 // per OD pair per bin
+	PktsPerFlow uint64
+}
+
+// NewDOS builds a DOS (one origin) or DDOS (several origins) injector. All
+// origin PoPs direct traffic at the same victim, whose address is drawn
+// from the destination PoP of ods[0].
+func NewDOS(id int, ods []topology.ODPair, startBin, durBins int, victim ipaddr.Addr, port uint16, trueFlows uint64, pktsPerFlow uint64) *DOSInjector {
+	typ := DOS
+	if len(ods) > 1 {
+		typ = DDOS
+	}
+	return &DOSInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: typ, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  ods,
+			Note: fmt.Sprintf("dos against %s:%d from %d OD flows", victim, port, len(ods)),
+		}},
+		Victim: victim, Port: port, TrueFlows: trueFlows, PktsPerFlow: pktsPerFlow,
+	}
+}
+
+// Classes implements Injector.
+func (d *DOSInjector) Classes(od topology.ODPair, bin int, _ *rand.Rand) []traffic.FlowClass {
+	if !d.spec.ActiveAt(od, bin) {
+		return nil
+	}
+	return []traffic.FlowClass{{
+		Count: d.TrueFlows, PktsPerFlow: d.PktsPerFlow, BytesPerPkt: 40, Proto: flow.ProtoTCP,
+		Src:     traffic.AddrTemplate{Mode: traffic.AddrSpoofed},
+		Dst:     traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: d.Victim},
+		SrcPort: traffic.PortTemplate{Mode: traffic.PortEphemeral},
+		DstPort: traffic.PortTemplate{Mode: traffic.PortFixed, Port: d.Port},
+	}}
+}
+
+// FlashInjector is a flash crowd (Table 2 row 3): a surge of legitimate
+// requests from topologically clustered hosts toward one server and
+// well-known port. Spikes F (and FP); dominant destination IP and port.
+type FlashInjector struct {
+	baseSpec
+	noScale
+	Server      ipaddr.Addr
+	Port        uint16
+	TrueFlows   uint64
+	PktsPerFlow uint64
+	ClientPfx   ipaddr.Prefix
+}
+
+// NewFlash builds a flash-crowd injector on one OD pair whose clients are
+// clustered in clientPfx (one customer's address space).
+func NewFlash(id int, od topology.ODPair, startBin, durBins int, server ipaddr.Addr, port uint16, clientPfx ipaddr.Prefix, trueFlows uint64) *FlashInjector {
+	return &FlashInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: FlashCrowd, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  []topology.ODPair{od},
+			Note: fmt.Sprintf("flash crowd on %s:%d", server, port),
+		}},
+		Server: server, Port: port, TrueFlows: trueFlows, PktsPerFlow: 5, ClientPfx: clientPfx,
+	}
+}
+
+// Classes implements Injector.
+func (f *FlashInjector) Classes(od topology.ODPair, bin int, _ *rand.Rand) []traffic.FlowClass {
+	if !f.spec.ActiveAt(od, bin) {
+		return nil
+	}
+	return []traffic.FlowClass{{
+		Count: f.TrueFlows, PktsPerFlow: f.PktsPerFlow, BytesPerPkt: 300, Proto: flow.ProtoTCP,
+		Src:     traffic.AddrTemplate{Mode: traffic.AddrRandomInPrefix, Prefix: f.ClientPfx},
+		Dst:     traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: f.Server},
+		SrcPort: traffic.PortTemplate{Mode: traffic.PortEphemeral},
+		DstPort: traffic.PortTemplate{Mode: traffic.PortFixed, Port: f.Port},
+	}}
+}
+
+// ScanInjector is a port or network scan (Table 2 row 4): probes from one
+// dominant source, one packet per flow, so packet and flow counts move
+// together. A network scan sweeps hosts on a target port; a port scan
+// sweeps ports on one host.
+type ScanInjector struct {
+	baseSpec
+	noScale
+	Scanner   ipaddr.Addr
+	TrueFlows uint64
+	// NetworkScan true: random hosts at the destination PoP, fixed
+	// TargetPort. False (port scan): fixed TargetHost, random ports.
+	NetworkScan bool
+	TargetPort  uint16
+	TargetHost  ipaddr.Addr
+}
+
+// NewNetworkScan builds a network scan for a vulnerable port.
+func NewNetworkScan(id int, od topology.ODPair, startBin, durBins int, scanner ipaddr.Addr, port uint16, trueFlows uint64) *ScanInjector {
+	return &ScanInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: Scan, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  []topology.ODPair{od},
+			Note: fmt.Sprintf("network scan from %s for port %d", scanner, port),
+		}},
+		Scanner: scanner, TrueFlows: trueFlows, NetworkScan: true, TargetPort: port,
+	}
+}
+
+// NewPortScan builds a port scan of a single host.
+func NewPortScan(id int, od topology.ODPair, startBin, durBins int, scanner, target ipaddr.Addr, trueFlows uint64) *ScanInjector {
+	return &ScanInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: Scan, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  []topology.ODPair{od},
+			Note: fmt.Sprintf("port scan of %s from %s", target, scanner),
+		}},
+		Scanner: scanner, TrueFlows: trueFlows, NetworkScan: false, TargetHost: target,
+	}
+}
+
+// Classes implements Injector.
+func (s *ScanInjector) Classes(od topology.ODPair, bin int, _ *rand.Rand) []traffic.FlowClass {
+	if !s.spec.ActiveAt(od, bin) {
+		return nil
+	}
+	c := traffic.FlowClass{
+		Count: s.TrueFlows, PktsPerFlow: 1, BytesPerPkt: 40, Proto: flow.ProtoTCP,
+		Src:     traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: s.Scanner},
+		SrcPort: traffic.PortTemplate{Mode: traffic.PortEphemeral},
+	}
+	if s.NetworkScan {
+		c.Dst = traffic.AddrTemplate{Mode: traffic.AddrRandomAtPoP, PoP: od.Dest}
+		c.DstPort = traffic.PortTemplate{Mode: traffic.PortFixed, Port: s.TargetPort}
+	} else {
+		c.Dst = traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: s.TargetHost}
+		c.DstPort = traffic.PortTemplate{Mode: traffic.PortRandom}
+	}
+	return []traffic.FlowClass{c}
+}
+
+// WormInjector is self-propagating scan traffic (Table 2 row 5): many
+// infected sources probing random destinations on one exploit port. Spikes
+// F; only the destination port is dominant.
+type WormInjector struct {
+	baseSpec
+	noScale
+	Port      uint16
+	TrueFlows uint64 // per OD pair per bin
+}
+
+// NewWorm builds a worm propagation event across several OD pairs.
+func NewWorm(id int, ods []topology.ODPair, startBin, durBins int, port uint16, trueFlows uint64) *WormInjector {
+	return &WormInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: Worm, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  ods,
+			Note: fmt.Sprintf("worm propagation on port %d across %d OD flows", port, len(ods)),
+		}},
+		Port: port, TrueFlows: trueFlows,
+	}
+}
+
+// Classes implements Injector.
+func (w *WormInjector) Classes(od topology.ODPair, bin int, _ *rand.Rand) []traffic.FlowClass {
+	if !w.spec.ActiveAt(od, bin) {
+		return nil
+	}
+	return []traffic.FlowClass{{
+		Count: w.TrueFlows, PktsPerFlow: 2, BytesPerPkt: 60, Proto: flow.ProtoTCP,
+		Src:     traffic.AddrTemplate{Mode: traffic.AddrRandomAtPoP, PoP: od.Origin},
+		Dst:     traffic.AddrTemplate{Mode: traffic.AddrRandomAtPoP, PoP: od.Dest},
+		SrcPort: traffic.PortTemplate{Mode: traffic.PortEphemeral},
+		DstPort: traffic.PortTemplate{Mode: traffic.PortFixed, Port: w.Port},
+	}}
+}
+
+// PointMultipointInjector is content distribution from one server to many
+// receivers (Table 2 row 6): large flows from a dominant source at one
+// well-known port to numerous destinations. Spikes B, P, BP.
+type PointMultipointInjector struct {
+	baseSpec
+	noScale
+	Server    ipaddr.Addr
+	Port      uint16
+	Receivers uint64
+	PktsEach  uint64
+}
+
+// NewPointMultipoint builds a one-to-many distribution event.
+func NewPointMultipoint(id int, od topology.ODPair, startBin, durBins int, server ipaddr.Addr, port uint16, receivers, pktsEach uint64) *PointMultipointInjector {
+	return &PointMultipointInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: PointMultipoint, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  []topology.ODPair{od},
+			Note: fmt.Sprintf("broadcast from %s:%d to %d receivers", server, port, receivers),
+		}},
+		Server: server, Port: port, Receivers: receivers, PktsEach: pktsEach,
+	}
+}
+
+// Classes implements Injector.
+func (p *PointMultipointInjector) Classes(od topology.ODPair, bin int, _ *rand.Rand) []traffic.FlowClass {
+	if !p.spec.ActiveAt(od, bin) {
+		return nil
+	}
+	return []traffic.FlowClass{{
+		Count: p.Receivers, PktsPerFlow: p.PktsEach, BytesPerPkt: 1100, Proto: flow.ProtoTCP,
+		Src:     traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: p.Server},
+		Dst:     traffic.AddrTemplate{Mode: traffic.AddrRandomAtPoP, PoP: od.Dest},
+		SrcPort: traffic.PortTemplate{Mode: traffic.PortFixed, Port: p.Port},
+		DstPort: traffic.PortTemplate{Mode: traffic.PortEphemeral},
+	}}
+}
+
+// OutageInjector models equipment failure or maintenance at a PoP (Table 2
+// row 7): traffic on every OD flow touching the PoP collapses for the
+// duration. Decreases B, F and P together, lasts hours, affects multiple OD
+// flows.
+type OutageInjector struct {
+	baseSpec
+	noClasses
+	// Residual is the fraction of traffic that survives (0 for a hard
+	// outage, small for partial).
+	Residual float64
+}
+
+// NewOutage builds an outage of the given PoP.
+func NewOutage(id int, pop topology.PoP, startBin, durBins int, residual float64) *OutageInjector {
+	var ods []topology.ODPair
+	for p := topology.PoP(0); p < topology.NumPoPs; p++ {
+		if p != pop {
+			ods = append(ods, topology.ODPair{Origin: pop, Dest: p})
+			ods = append(ods, topology.ODPair{Origin: p, Dest: pop})
+		}
+	}
+	ods = append(ods, topology.ODPair{Origin: pop, Dest: pop})
+	return &OutageInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: Outage, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  ods,
+			Note: fmt.Sprintf("outage at %s", pop),
+		}},
+		Residual: residual,
+	}
+}
+
+// VolumeScale implements Injector.
+func (o *OutageInjector) VolumeScale(od topology.ODPair, bin int, _ *traffic.Background) float64 {
+	if !o.spec.ActiveAt(od, bin) {
+		return 1
+	}
+	return o.Residual
+}
+
+// IngressShiftInjector models downstream traffic engineering (Table 2 row
+// 8): a multihomed customer moves its traffic from one ingress PoP to
+// another, so one set of OD flows loses volume while the corresponding set
+// at the new ingress gains it. No dominant attribute; F (and B, P) move in
+// opposite directions on the two OD sets.
+type IngressShiftInjector struct {
+	baseSpec
+	noClasses
+	From, To topology.PoP
+	// Share is the fraction of the From-origin traffic belonging to the
+	// shifting customer.
+	Share float64
+}
+
+// NewIngressShift builds a shift of Share of From-origin traffic to To.
+func NewIngressShift(id int, from, to topology.PoP, startBin, durBins int, share float64) *IngressShiftInjector {
+	var ods []topology.ODPair
+	for d := topology.PoP(0); d < topology.NumPoPs; d++ {
+		ods = append(ods, topology.ODPair{Origin: from, Dest: d})
+		ods = append(ods, topology.ODPair{Origin: to, Dest: d})
+	}
+	return &IngressShiftInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: IngressShift, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  ods,
+			Note: fmt.Sprintf("ingress shift %s -> %s (share %.2f)", from, to, share),
+		}},
+		From: from, To: to, Share: share,
+	}
+}
+
+// VolumeScale implements Injector.
+func (s *IngressShiftInjector) VolumeScale(od topology.ODPair, bin int, bg *traffic.Background) float64 {
+	if bin < s.spec.StartBin || bin > s.spec.EndBin {
+		return 1
+	}
+	switch od.Origin {
+	case s.From:
+		return 1 - s.Share
+	case s.To:
+		// The To-origin OD flow absorbs the shifted volume of the
+		// corresponding From-origin flow.
+		moved := s.Share * bg.TrueVolume(topology.ODPair{Origin: s.From, Dest: od.Dest}, bin)
+		base := bg.TrueVolume(od, bin)
+		if base <= 0 {
+			return 1
+		}
+		return 1 + moved/base
+	default:
+		return 1
+	}
+}

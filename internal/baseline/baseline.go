@@ -1,0 +1,159 @@
+// Package baseline implements the single-timeseries anomaly detectors that
+// predate the subspace method and serve as its comparison points (Section 5
+// of the paper): an EWMA residual control chart and a Barford et al.-style
+// wavelet detector. Both operate on one timeseries at a time — a link load
+// or a single OD flow — and therefore lack the network-wide view; the
+// baselines experiment quantifies what that costs.
+package baseline
+
+import (
+	"fmt"
+	"math"
+)
+
+// EWMADetector flags points whose deviation from an exponentially weighted
+// moving average exceeds Threshold times the EWMA of the absolute
+// deviation (a robust online z-test).
+type EWMADetector struct {
+	// Alpha is the EWMA smoothing factor in (0,1].
+	Alpha float64
+	// Threshold is the alarm level in deviation units (typical: 4-6).
+	Threshold float64
+}
+
+// Detect returns the alarmed indexes of the series.
+func (d EWMADetector) Detect(series []float64) ([]int, error) {
+	if !(d.Alpha > 0 && d.Alpha <= 1) {
+		return nil, fmt.Errorf("baseline: alpha %v out of (0,1]", d.Alpha)
+	}
+	if d.Threshold <= 0 {
+		return nil, fmt.Errorf("baseline: threshold %v must be positive", d.Threshold)
+	}
+	var alarms []int
+	var level, dev float64
+	started := false
+	for i, x := range series {
+		if !started {
+			level, dev, started = x, math.Abs(x)*0.1+1, true
+			continue
+		}
+		diff := x - level
+		if math.Abs(diff) > d.Threshold*dev {
+			alarms = append(alarms, i)
+			// Do not absorb the anomaly into the level estimate.
+			continue
+		}
+		level += d.Alpha * diff
+		dev = d.Alpha*math.Abs(diff) + (1-d.Alpha)*dev
+		if dev < 1e-12 {
+			dev = 1e-12
+		}
+	}
+	return alarms, nil
+}
+
+// HaarWavelet computes one level of the Haar discrete wavelet transform,
+// returning (approximation, detail) coefficients; odd-length input drops
+// the last sample, as is conventional.
+func HaarWavelet(series []float64) (approx, detail []float64) {
+	n := len(series) / 2
+	approx = make([]float64, n)
+	detail = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := series[2*i], series[2*i+1]
+		approx[i] = (a + b) / math.Sqrt2
+		detail[i] = (a - b) / math.Sqrt2
+	}
+	return approx, detail
+}
+
+// WaveletDetector implements a simplified Barford-style detector: it
+// reconstructs the mid/high-frequency part of the signal from Haar detail
+// coefficients at the first Levels decomposition levels, then flags windows
+// where the local variance of that part exceeds Threshold times its global
+// (robust) scale.
+type WaveletDetector struct {
+	// Levels of decomposition whose detail signals form the anomaly band.
+	Levels int
+	// Threshold in robust deviation units.
+	Threshold float64
+}
+
+// Detect returns alarmed indexes (in original sample coordinates).
+func (d WaveletDetector) Detect(series []float64) ([]int, error) {
+	if d.Levels <= 0 {
+		return nil, fmt.Errorf("baseline: levels %d must be positive", d.Levels)
+	}
+	if d.Threshold <= 0 {
+		return nil, fmt.Errorf("baseline: threshold %v must be positive", d.Threshold)
+	}
+	if len(series) < 1<<uint(d.Levels+1) {
+		return nil, fmt.Errorf("baseline: series length %d too short for %d levels", len(series), d.Levels)
+	}
+	// Deviation score per sample: sum over levels of the squared detail
+	// coefficient covering the sample.
+	score := make([]float64, len(series))
+	approx := series
+	for lvl := 0; lvl < d.Levels; lvl++ {
+		var detail []float64
+		approx, detail = HaarWavelet(approx)
+		span := 1 << uint(lvl+1)
+		for i, v := range detail {
+			for j := i * span; j < (i+1)*span && j < len(score); j++ {
+				score[j] += v * v
+			}
+		}
+	}
+	// Robust scale of scores.
+	med := medianOf(score)
+	dev := make([]float64, len(score))
+	for i, v := range score {
+		dev[i] = math.Abs(v - med)
+	}
+	mad := medianOf(dev)*1.4826 + 1e-12
+	var alarms []int
+	for i, v := range score {
+		if (v-med)/mad > d.Threshold {
+			alarms = append(alarms, i)
+		}
+	}
+	return alarms, nil
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	// insertion-free: partial sort via simple sort
+	sortFloats(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return 0.5 * (s[n/2-1] + s[n/2])
+}
+
+// sortFloats is a tiny quicksort to avoid importing sort in the hot path.
+func sortFloats(s []float64) {
+	if len(s) < 2 {
+		return
+	}
+	pivot := s[len(s)/2]
+	left, right := 0, len(s)-1
+	for left <= right {
+		for s[left] < pivot {
+			left++
+		}
+		for s[right] > pivot {
+			right--
+		}
+		if left <= right {
+			s[left], s[right] = s[right], s[left]
+			left++
+			right--
+		}
+	}
+	sortFloats(s[:right+1])
+	sortFloats(s[left:])
+}

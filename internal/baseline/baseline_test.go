@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func diurnalSeries(rng *rand.Rand, n int, noise float64, spikes map[int]float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 100*(1+0.5*math.Sin(2*math.Pi*float64(i)/288)) + noise*rng.NormFloat64()
+	}
+	for i, m := range spikes {
+		s[i] += m
+	}
+	return s
+}
+
+func contains(xs []int, want int, slack int) bool {
+	for _, x := range xs {
+		if x >= want-slack && x <= want+slack {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEWMADetectsSpike(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	s := diurnalSeries(rng, 1000, 2, map[int]float64{500: 150})
+	alarms, err := EWMADetector{Alpha: 0.3, Threshold: 6}.Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(alarms, 500, 0) {
+		t.Fatalf("spike missed; alarms=%v", alarms)
+	}
+}
+
+func TestEWMAQuietOnCleanSeries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	s := diurnalSeries(rng, 2000, 2, nil)
+	alarms, err := EWMADetector{Alpha: 0.3, Threshold: 6}.Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) > 10 {
+		t.Fatalf("too many false alarms: %d", len(alarms))
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	if _, err := (EWMADetector{Alpha: 0, Threshold: 5}).Detect(nil); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := (EWMADetector{Alpha: 0.5, Threshold: 0}).Detect(nil); err == nil {
+		t.Fatal("threshold=0 accepted")
+	}
+}
+
+func TestHaarWaveletKnown(t *testing.T) {
+	a, d := HaarWavelet([]float64{1, 1, 4, 2})
+	r2 := math.Sqrt2
+	if math.Abs(a[0]-2/r2) > 1e-12 || math.Abs(a[1]-6/r2) > 1e-12 {
+		t.Fatalf("approx=%v", a)
+	}
+	if math.Abs(d[0]-0) > 1e-12 || math.Abs(d[1]-2/r2) > 1e-12 {
+		t.Fatalf("detail=%v", d)
+	}
+}
+
+// Property: Haar transform preserves energy (Parseval) for even-length
+// input.
+func TestPropHaarEnergy(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 2 * (1 + rng.IntN(100))
+		s := make([]float64, n)
+		var energy float64
+		for i := range s {
+			s[i] = rng.NormFloat64() * 10
+			energy += s[i] * s[i]
+		}
+		a, d := HaarWavelet(s)
+		var out float64
+		for i := range a {
+			out += a[i]*a[i] + d[i]*d[i]
+		}
+		return math.Abs(energy-out) < 1e-6*(1+energy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaveletDetectsSpike(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	s := diurnalSeries(rng, 1024, 2, map[int]float64{400: 200})
+	alarms, err := WaveletDetector{Levels: 3, Threshold: 20}.Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(alarms, 400, 4) {
+		t.Fatalf("wavelet missed spike; %d alarms", len(alarms))
+	}
+}
+
+func TestWaveletIgnoresDiurnal(t *testing.T) {
+	// The diurnal cycle lives at far lower frequency than 3 levels of
+	// detail; a clean series should raise few alarms.
+	rng := rand.New(rand.NewPCG(5, 5))
+	s := diurnalSeries(rng, 2048, 2, nil)
+	alarms, err := WaveletDetector{Levels: 3, Threshold: 20}.Detect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) > 40 {
+		t.Fatalf("too many false alarms: %d", len(alarms))
+	}
+}
+
+func TestWaveletValidation(t *testing.T) {
+	if _, err := (WaveletDetector{Levels: 0, Threshold: 5}).Detect(make([]float64, 100)); err == nil {
+		t.Fatal("levels=0 accepted")
+	}
+	if _, err := (WaveletDetector{Levels: 3, Threshold: 0}).Detect(make([]float64, 100)); err == nil {
+		t.Fatal("threshold=0 accepted")
+	}
+	if _, err := (WaveletDetector{Levels: 5, Threshold: 5}).Detect(make([]float64, 10)); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestSortFloats(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		s := make([]float64, rng.IntN(200))
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		sortFloats(s)
+		for i := 1; i < len(s); i++ {
+			if s[i-1] > s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"netwide/internal/mat"
+	"netwide/internal/stats"
+)
+
+// OnlineDetector is the streaming form of the subspace method — the
+// "practical, online diagnosis of network-wide anomalies" the paper's
+// conclusion points to as future work.
+//
+// It is fitted once on a training window of traffic (typically the
+// preceding week) and then scores each new traffic vector in O(k·p) time,
+// flagging SPE and T² exceedances immediately instead of in batch. The
+// thresholds are those of the training window; refitting on a rolling
+// window (Refit) tracks slow drift in the traffic mix.
+type OnlineDetector struct {
+	opts    Options
+	pca     *mat.PCA
+	qLimit  float64
+	t2Limit float64
+}
+
+// NewOnlineDetector fits the detector on a training matrix (rows =
+// timebins, cols = OD flows), which should be anomaly-light; as in the
+// batch method, moderate contamination only inflates the thresholds
+// slightly.
+func NewOnlineDetector(train *mat.Matrix, opts Options) (*OnlineDetector, error) {
+	d := &OnlineDetector{}
+	if err := d.fit(train, opts); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *OnlineDetector) fit(train *mat.Matrix, opts Options) error {
+	n, p := train.Rows(), train.Cols()
+	if opts.K <= 0 || opts.K >= p {
+		return fmt.Errorf("core: online k=%d out of range (0,%d)", opts.K, p)
+	}
+	if !(opts.Alpha > 0 && opts.Alpha < 1) {
+		return fmt.Errorf("core: online alpha=%v out of (0,1)", opts.Alpha)
+	}
+	if n <= p {
+		return fmt.Errorf("core: online training needs more bins than flows (n > p)")
+	}
+	pca, err := mat.FitPCA(train, true)
+	if err != nil {
+		return err
+	}
+	qLimit, err := stats.QThreshold(pca.Eigenvalues, opts.K, opts.Alpha)
+	if err != nil {
+		return err
+	}
+	t2Limit, err := stats.T2Threshold(opts.K, n, opts.Alpha)
+	if err != nil {
+		return err
+	}
+	d.opts, d.pca, d.qLimit, d.t2Limit = opts, pca, qLimit, t2Limit
+	return nil
+}
+
+// Refit replaces the model with one fitted on a new training window,
+// keeping the detector's options.
+func (d *OnlineDetector) Refit(train *mat.Matrix) error {
+	return d.fit(train, d.opts)
+}
+
+// Limits returns the current (Q, T²) thresholds.
+func (d *OnlineDetector) Limits() (qLimit, t2Limit float64) { return d.qLimit, d.t2Limit }
+
+// Point is the verdict for one streamed traffic vector.
+type Point struct {
+	SPE      float64
+	T2       float64
+	SPEAlarm bool
+	T2Alarm  bool
+	// TopResidualOD is the OD (column) with the largest squared residual —
+	// the first flow an operator should look at when either alarm fires.
+	TopResidualOD int
+}
+
+// Score evaluates one traffic vector x (length = number of OD flows).
+func (d *OnlineDetector) Score(x []float64) (Point, error) {
+	p := d.pca.P()
+	if len(x) != p {
+		return Point{}, fmt.Errorf("core: online vector length %d, want %d", len(x), p)
+	}
+	// Center.
+	xc := make([]float64, p)
+	for i, v := range x {
+		xc[i] = v - d.pca.Mean[i]
+	}
+	// Scores on the top-k axes and T².
+	var pt Point
+	proj := make([]float64, p) // modeled part accumulated across axes
+	for i := 0; i < d.opts.K; i++ {
+		var s float64
+		for f := 0; f < p; f++ {
+			s += xc[f] * d.pca.Components.At(f, i)
+		}
+		if l := d.pca.Eigenvalues[i]; l > 0 {
+			pt.T2 += s * s / l
+		}
+		for f := 0; f < p; f++ {
+			proj[f] += s * d.pca.Components.At(f, i)
+		}
+	}
+	best, bestSq := 0, 0.0
+	for f := 0; f < p; f++ {
+		r := xc[f] - proj[f]
+		sq := r * r
+		pt.SPE += sq
+		if sq > bestSq {
+			best, bestSq = f, sq
+		}
+	}
+	pt.TopResidualOD = best
+	pt.SPEAlarm = pt.SPE > d.qLimit
+	pt.T2Alarm = pt.T2 > d.t2Limit
+	return pt, nil
+}

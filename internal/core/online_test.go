@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestOnlineValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	train := synthTraffic(rng, 200, 8, 1, nil)
+	if _, err := NewOnlineDetector(train, Options{K: 0, Alpha: 0.001}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewOnlineDetector(train, Options{K: 8, Alpha: 0.001}); err == nil {
+		t.Fatal("k=p accepted")
+	}
+	if _, err := NewOnlineDetector(train, Options{K: 4, Alpha: 2}); err == nil {
+		t.Fatal("alpha=2 accepted")
+	}
+	short := synthTraffic(rng, 6, 8, 1, nil)
+	if _, err := NewOnlineDetector(short, Options{K: 4, Alpha: 0.001}); err == nil {
+		t.Fatal("n<=p accepted")
+	}
+}
+
+func TestOnlineMatchesBatchStatistics(t *testing.T) {
+	// Scoring the training rows online must reproduce the batch SPE and
+	// T² series exactly (same model, same thresholds).
+	rng := rand.New(rand.NewPCG(3, 4))
+	x := synthTraffic(rng, 400, 10, 2, []spike{{bin: 100, od: 4, mag: 300}})
+	opts := DefaultOptions()
+	batch, err := Analyze(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := NewOnlineDetector(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, t2 := online.Limits()
+	if q != batch.QLimit || t2 != batch.T2Limit {
+		t.Fatalf("limits differ: online (%v,%v) batch (%v,%v)", q, t2, batch.QLimit, batch.T2Limit)
+	}
+	for bin := 0; bin < x.Rows(); bin += 13 {
+		pt, err := online.Score(x.Row(bin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel(pt.SPE, batch.SPE[bin]) > 1e-9 {
+			t.Fatalf("bin %d: online SPE %v, batch %v", bin, pt.SPE, batch.SPE[bin])
+		}
+		if rel(pt.T2, batch.T2[bin]) > 1e-9 {
+			t.Fatalf("bin %d: online T2 %v, batch %v", bin, pt.T2, batch.T2[bin])
+		}
+	}
+}
+
+func rel(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	den := 1.0
+	if b > 1 {
+		den = b
+	}
+	return d / den
+}
+
+func TestOnlineFlagsFreshAnomaly(t *testing.T) {
+	// Train on clean history, stream a clean bin then an anomalous one.
+	rng := rand.New(rand.NewPCG(5, 6))
+	train := synthTraffic(rng, 600, 10, 2, nil)
+	online, err := NewOnlineDetector(train, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := train.Row(300)
+	pt, err := online.Score(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.SPEAlarm {
+		t.Fatalf("clean bin alarmed: SPE %v > %v", pt.SPE, func() float64 { q, _ := online.Limits(); return q }())
+	}
+	dirty := train.Row(300)
+	dirty[7] += 500
+	pt, err = online.Score(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.SPEAlarm && !pt.T2Alarm {
+		t.Fatal("injected anomaly not alarmed online")
+	}
+	if pt.TopResidualOD != 7 && pt.SPEAlarm {
+		t.Fatalf("top residual OD %d, want 7", pt.TopResidualOD)
+	}
+}
+
+func TestOnlineRefit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	trainA := synthTraffic(rng, 300, 8, 1, nil)
+	online, err := NewOnlineDetector(trainA, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qA, _ := online.Limits()
+	// A much noisier regime: refit must raise the Q threshold.
+	trainB := synthTraffic(rng, 300, 8, 20, nil)
+	if err := online.Refit(trainB); err != nil {
+		t.Fatal(err)
+	}
+	qB, _ := online.Limits()
+	if qB <= qA {
+		t.Fatalf("refit on noisier data should raise Q: %v <= %v", qB, qA)
+	}
+	// Wrong-length vectors are rejected.
+	if _, err := online.Score(make([]float64, 3)); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func BenchmarkOnlineScore(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	train := synthTraffic(rng, 2016, 121, 2, nil)
+	online, err := NewOnlineDetector(train, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := train.Row(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Score(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

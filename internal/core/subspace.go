@@ -1,0 +1,180 @@
+// Package core implements the subspace method for network-wide anomaly
+// detection (Lakhina, Crovella, Diot), extended from link data to OD-flow
+// traffic as in the paper.
+//
+// Given the multivariate timeseries X (n timebins x p OD flows) of one
+// traffic type (bytes, packets or IP-flows), the method:
+//
+//  1. extracts the common temporal patterns (eigenflows) by PCA;
+//  2. designates the span of the top k eigenflows as the normal subspace
+//     and the remainder as the anomalous subspace (k = 4 throughout the
+//     paper);
+//  3. splits each traffic vector x = x̂ + x̃ into modeled and residual
+//     parts;
+//  4. flags timebins where the squared prediction error ‖x̃‖² exceeds the
+//     Jackson–Mudholkar Q-statistic threshold δ²_α; and
+//  5. additionally flags timebins whose normal-subspace T² statistic
+//     exceeds the Hotelling limit — the paper's extension for anomalies so
+//     large (or so widespread) that PCA pulls them into a top eigenflow,
+//     where the Q-statistic cannot see them.
+//
+// On the T² scaling: the paper writes t²_j = Σ_{i=1..k} u²_{ij} over
+// unit-norm eigenflows and compares against (k(n-1)/(n-k))·F_{k,n-k,α}.
+// That control limit applies to the variance-normalized statistic
+// Σ score²_{ij}/λ_i = n·Σ u²_{ij} of the statistical process control
+// literature, so this implementation computes the normalized form.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"netwide/internal/mat"
+	"netwide/internal/stats"
+)
+
+// Options configures the subspace analysis.
+type Options struct {
+	// K is the dimension of the normal subspace. The paper uses 4.
+	K int
+	// Alpha is the false-alarm rate of both thresholds; the paper computes
+	// thresholds at the 99.9% confidence level (alpha = 0.001).
+	Alpha float64
+}
+
+// DefaultOptions returns the paper's parameters (k = 4, 99.9% confidence).
+func DefaultOptions() Options { return Options{K: 4, Alpha: 0.001} }
+
+// StatKind identifies which statistic raised an alarm.
+type StatKind int
+
+// The two detection statistics.
+const (
+	StatSPE StatKind = iota // squared prediction error (Q-statistic)
+	StatT2                  // Hotelling T² in the normal subspace
+)
+
+// String names the statistic.
+func (s StatKind) String() string {
+	switch s {
+	case StatSPE:
+		return "SPE"
+	case StatT2:
+		return "T2"
+	default:
+		return fmt.Sprintf("StatKind(%d)", int(s))
+	}
+}
+
+// Alarm is one timebin flagged by one statistic.
+type Alarm struct {
+	Bin   int
+	Stat  StatKind
+	Value float64 // the statistic's value at the bin
+	Limit float64 // the threshold it exceeded
+}
+
+// Result is the full output of a subspace analysis of one traffic type.
+type Result struct {
+	Opts Options
+	PCA  *mat.PCA
+
+	// State[j] = ‖x_j‖² of the raw traffic vector (top row of Figure 1).
+	State []float64
+	// SPE[j] = ‖x̃_j‖², the residual squared magnitude (middle row).
+	SPE []float64
+	// QLimit is the Jackson–Mudholkar threshold δ²_α for SPE.
+	QLimit float64
+	// T2[j] is the normalized normal-subspace statistic (bottom row).
+	T2 []float64
+	// T2Limit is the Hotelling control limit.
+	T2Limit float64
+	// Residual is the centered residual matrix x̃ (n x p), used by anomaly
+	// identification to find the contributing OD flows.
+	Residual *mat.Matrix
+	// Modeled is the centered normal-subspace projection x̂ (n x p).
+	Modeled *mat.Matrix
+	// Alarms lists every flagged (bin, statistic), ordered by bin.
+	Alarms []Alarm
+}
+
+// Analyze runs the subspace method over X (rows = timebins, cols = OD
+// flows).
+func Analyze(X *mat.Matrix, opts Options) (*Result, error) {
+	n, p := X.Rows(), X.Cols()
+	if opts.K <= 0 || opts.K >= p {
+		return nil, fmt.Errorf("core: k=%d out of range (0,%d)", opts.K, p)
+	}
+	if !(opts.Alpha > 0 && opts.Alpha < 1) {
+		return nil, fmt.Errorf("core: alpha=%v out of (0,1)", opts.Alpha)
+	}
+	if n <= p {
+		return nil, errors.New("core: need more timebins than OD flows (n > p)")
+	}
+	pca, err := mat.FitPCA(X, true)
+	if err != nil {
+		return nil, err
+	}
+	modeled, residual := pca.ProjectionSplit(X, opts.K)
+
+	res := &Result{
+		Opts: opts, PCA: pca,
+		State:    make([]float64, n),
+		SPE:      make([]float64, n),
+		T2:       make([]float64, n),
+		Residual: residual,
+		Modeled:  modeled,
+	}
+	for j := 0; j < n; j++ {
+		res.State[j] = mat.Dot(X.RowView(j), X.RowView(j))
+		rj := residual.RowView(j)
+		res.SPE[j] = mat.Dot(rj, rj)
+	}
+
+	// T²: variance-normalized scores in the normal subspace.
+	scores := pca.Scores(X)
+	for j := 0; j < n; j++ {
+		var t2 float64
+		for i := 0; i < opts.K; i++ {
+			l := pca.Eigenvalues[i]
+			if l <= 0 {
+				continue
+			}
+			s := scores.At(j, i)
+			t2 += s * s / l
+		}
+		res.T2[j] = t2
+	}
+
+	res.QLimit, err = stats.QThreshold(pca.Eigenvalues, opts.K, opts.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("core: Q threshold: %w", err)
+	}
+	res.T2Limit, err = stats.T2Threshold(opts.K, n, opts.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("core: T2 threshold: %w", err)
+	}
+
+	for j := 0; j < n; j++ {
+		if res.SPE[j] > res.QLimit {
+			res.Alarms = append(res.Alarms, Alarm{Bin: j, Stat: StatSPE, Value: res.SPE[j], Limit: res.QLimit})
+		}
+		if res.T2[j] > res.T2Limit {
+			res.Alarms = append(res.Alarms, Alarm{Bin: j, Stat: StatT2, Value: res.T2[j], Limit: res.T2Limit})
+		}
+	}
+	return res, nil
+}
+
+// AlarmBins returns the distinct flagged bins in increasing order.
+func (r *Result) AlarmBins() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, a := range r.Alarms {
+		if !seen[a.Bin] {
+			seen[a.Bin] = true
+			out = append(out, a.Bin)
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"netwide/internal/mat"
+)
+
+// synthTraffic builds a low-rank diurnal OD-like matrix with optional
+// injected spikes: (bin, od, magnitude).
+type spike struct {
+	bin, od int
+	mag     float64
+}
+
+func synthTraffic(rng *rand.Rand, n, p int, noise float64, spikes []spike) *mat.Matrix {
+	loads := mat.New(3, p)
+	for r := 0; r < 3; r++ {
+		for j := 0; j < p; j++ {
+			loads.Set(r, j, 1+rng.Float64()*4)
+		}
+	}
+	x := mat.New(n, p)
+	for i := 0; i < n; i++ {
+		t := float64(i) / 288
+		l := []float64{
+			100 * (1 + 0.5*math.Sin(2*math.Pi*t)),
+			30 * (1 + 0.4*math.Cos(2*math.Pi*t)),
+			10 * math.Sin(4*math.Pi*t),
+		}
+		for j := 0; j < p; j++ {
+			v := 0.0
+			for r := 0; r < 3; r++ {
+				v += l[r] * loads.At(r, j)
+			}
+			x.Set(i, j, v+noise*rng.NormFloat64())
+		}
+	}
+	for _, s := range spikes {
+		x.Set(s.bin, s.od, x.At(s.bin, s.od)+s.mag)
+	}
+	return x
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	x := synthTraffic(rng, 100, 8, 1, nil)
+	if _, err := Analyze(x, Options{K: 0, Alpha: 0.001}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Analyze(x, Options{K: 8, Alpha: 0.001}); err == nil {
+		t.Fatal("k=p accepted")
+	}
+	if _, err := Analyze(x, Options{K: 4, Alpha: 0}); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	small := synthTraffic(rng, 8, 8, 1, nil)
+	if _, err := Analyze(small, Options{K: 4, Alpha: 0.001}); err == nil {
+		t.Fatal("n<=p accepted")
+	}
+}
+
+func TestAnalyzeCleanTrafficFewAlarms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	x := synthTraffic(rng, 2016, 12, 2, nil)
+	r, err := Analyze(x, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At alpha=0.001 over 2016 bins and two statistics, expect a handful
+	// of false alarms at most.
+	if len(r.Alarms) > 30 {
+		t.Fatalf("clean traffic raised %d alarms", len(r.Alarms))
+	}
+	if r.QLimit <= 0 || r.T2Limit <= 0 {
+		t.Fatalf("limits %v / %v", r.QLimit, r.T2Limit)
+	}
+}
+
+func TestAnalyzeDetectsInjectedSpike(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	spikes := []spike{{bin: 500, od: 3, mag: 400}, {bin: 1200, od: 7, mag: 300}}
+	x := synthTraffic(rng, 2016, 12, 2, spikes)
+	r, err := Analyze(x, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, a := range r.Alarms {
+		found[a.Bin] = true
+	}
+	if !found[500] || !found[1200] {
+		t.Fatalf("spikes not detected; alarms at %v", r.AlarmBins())
+	}
+}
+
+func TestAnalyzeSPERemovesDiurnal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	x := synthTraffic(rng, 2016, 12, 2, nil)
+	r, err := Analyze(x, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The state vector has a strong diurnal swing; the SPE must not.
+	// Compare coefficient of variation.
+	cv := func(xs []float64) float64 {
+		var sum, sumsq float64
+		for _, v := range xs {
+			sum += v
+			sumsq += v * v
+		}
+		n := float64(len(xs))
+		mean := sum / n
+		return math.Sqrt(sumsq/n-mean*mean) / mean
+	}
+	if cv(r.SPE) > cv(r.State) {
+		t.Fatalf("residual noisier than raw: cv(SPE)=%v cv(state)=%v", cv(r.SPE), cv(r.State))
+	}
+	// Residual SPE must be orders of magnitude below state.
+	var stateSum, speSum float64
+	for i := range r.State {
+		stateSum += r.State[i]
+		speSum += r.SPE[i]
+	}
+	if speSum > stateSum/100 {
+		t.Fatalf("subspace separation weak: %v vs %v", speSum, stateSum)
+	}
+}
+
+func TestT2CatchesWhatSPEMisses(t *testing.T) {
+	// An anomaly aligned exactly with the first principal axis lives in
+	// the normal subspace: SPE is blind to it, T² must flag it. This is
+	// the paper's motivating case for the T² extension (Section 2.2).
+	rng := rand.New(rand.NewPCG(5, 5))
+	n, p := 1000, 10
+	x := mat.New(n, p)
+	// One dominant latent factor with fixed loading direction.
+	dir := make([]float64, p)
+	var norm float64
+	for j := range dir {
+		dir[j] = 1 + float64(j%3)
+		norm += dir[j] * dir[j]
+	}
+	norm = math.Sqrt(norm)
+	for j := range dir {
+		dir[j] /= norm
+	}
+	for i := 0; i < n; i++ {
+		f := 50 * math.Sin(2*math.Pi*float64(i)/288)
+		for j := 0; j < p; j++ {
+			x.Set(i, j, f*dir[j]+0.5*rng.NormFloat64())
+		}
+	}
+	// Inject a huge shift along the SAME direction at bin 400.
+	for j := 0; j < p; j++ {
+		x.Set(400, j, x.At(400, j)+500*dir[j])
+	}
+	r, err := Analyze(x, Options{K: 2, Alpha: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speHit, t2Hit bool
+	for _, a := range r.Alarms {
+		if a.Bin == 400 {
+			switch a.Stat {
+			case StatSPE:
+				speHit = true
+			case StatT2:
+				t2Hit = true
+			}
+		}
+	}
+	if !t2Hit {
+		t.Fatal("T² missed an in-subspace anomaly")
+	}
+	if speHit {
+		t.Fatal("SPE saw an anomaly that lies inside the normal subspace; test construction is broken")
+	}
+}
+
+func TestStatKindString(t *testing.T) {
+	if StatSPE.String() != "SPE" || StatT2.String() != "T2" {
+		t.Fatal("stat names wrong")
+	}
+	if StatKind(9).String() != "StatKind(9)" {
+		t.Fatal("unknown stat name wrong")
+	}
+}
+
+func TestAlarmBinsDeduplicated(t *testing.T) {
+	r := &Result{Alarms: []Alarm{{Bin: 5, Stat: StatSPE}, {Bin: 5, Stat: StatT2}, {Bin: 9, Stat: StatSPE}}}
+	bins := r.AlarmBins()
+	if len(bins) != 2 || bins[0] != 5 || bins[1] != 9 {
+		t.Fatalf("AlarmBins=%v", bins)
+	}
+}
+
+// Property: SPE + ‖x̂‖² == ‖centered x‖² per bin for any k.
+func TestPropEnergyConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^3))
+		n := 60 + int(seed%40)
+		p := 6 + int((seed>>3)%4)
+		x := synthTraffic(rng, n, p, 1, nil)
+		k := 1 + int(seed%4)
+		r, err := Analyze(x, Options{K: k, Alpha: 0.01})
+		if err != nil {
+			return false
+		}
+		for j := 0; j < n; j += 7 {
+			xc := make([]float64, p)
+			for f := 0; f < p; f++ {
+				xc[f] = x.At(j, f) - r.PCA.Mean[f]
+			}
+			total := mat.Dot(xc, xc)
+			mrow := r.Modeled.RowView(j)
+			modeled := mat.Dot(mrow, mrow)
+			if math.Abs(total-modeled-r.SPE[j]) > 1e-6*(1+total) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: raising k never increases any SPE value.
+func TestPropSPEMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	x := synthTraffic(rng, 300, 9, 1.5, nil)
+	var prev []float64
+	for k := 1; k < 9; k++ {
+		r, err := Analyze(x, Options{K: k, Alpha: 0.001})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			for j := range r.SPE {
+				if r.SPE[j] > prev[j]+1e-9 {
+					t.Fatalf("SPE increased with k at bin %d", j)
+				}
+			}
+		}
+		prev = r.SPE
+	}
+}

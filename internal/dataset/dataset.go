@@ -1,0 +1,247 @@
+// Package dataset assembles the full measurement pipeline into the three
+// multivariate OD-flow timeseries the subspace method consumes: per 5-minute
+// bin and per OD pair, the sampled byte count (B), packet count (P) and
+// IP-flow count (F), exactly as in Section 2.1 of the paper.
+//
+// The pipeline per (OD pair, bin) is:
+//
+//	background flow classes (gravity x diurnal x noise, application mix)
+//	+ anomaly injector classes and volume scaling     (ground truth ledger)
+//	-> 1% packet sampling -> visible flow records     (traffic.Measure)
+//	-> NetFlow v5 export/collect                      (netflow)
+//	-> egress resolution by longest-prefix match on the anonymized
+//	   destination + simulated resolution failures    (routing)
+//	-> accumulation into the B/P/F matrices.
+//
+// Everything is keyed by (seed, OD, bin), so any single bin can be
+// regenerated in isolation; the classifier uses this to compute attribute
+// detail (dominant addresses/ports) only at bins where detection fired,
+// instead of retaining per-bin attribute state for the whole run.
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"netwide/internal/anomaly"
+	"netwide/internal/flow"
+	"netwide/internal/mat"
+	"netwide/internal/netflow"
+	"netwide/internal/routing"
+	"netwide/internal/sampling"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+// Measure identifies one of the three traffic types.
+type Measure int
+
+// The three traffic types of the paper.
+const (
+	Bytes Measure = iota
+	Packets
+	Flows
+	NumMeasures
+)
+
+var measureNames = [NumMeasures]string{"B", "P", "F"}
+
+// String returns the paper's single-letter code (B, P or F).
+func (m Measure) String() string {
+	if m < 0 || m >= NumMeasures {
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+	return measureNames[m]
+}
+
+// Config fully determines a synthetic dataset (same Config, same bytes).
+type Config struct {
+	// Weeks of 5-minute bins to generate.
+	Weeks int
+	// Seed drives all randomness.
+	Seed uint64
+	// MeanRateBps is the network-wide mean offered load, bytes/second.
+	MeanRateBps float64
+	// SamplingRate is the per-packet sampling probability (paper: 0.01).
+	SamplingRate float64
+	// UnresolvedFraction of flow records cannot be mapped to an OD pair
+	// (paper: ~7% unresolved).
+	UnresolvedFraction float64
+	// Schedule configures the injected anomaly population. A zero value
+	// (Weeks == 0) is replaced by anomaly.DefaultSchedule.
+	Schedule anomaly.ScheduleConfig
+}
+
+// DefaultConfig returns the configuration used throughout the experiments:
+// 1%-sampled 4-week run with the paper's anomaly prevalence.
+func DefaultConfig() Config {
+	return Config{
+		Weeks:              4,
+		Seed:               2004,
+		MeanRateBps:        2e6,
+		SamplingRate:       sampling.AbileneRate,
+		UnresolvedFraction: 0.07,
+	}
+}
+
+// Dataset is a generated run: the three matrices plus everything needed to
+// regenerate per-bin detail.
+type Dataset struct {
+	Cfg    Config
+	Top    *topology.Topology
+	BG     *traffic.Background
+	Ledger *anomaly.Ledger
+
+	// Bins is the number of timebins (rows of the matrices).
+	Bins int
+	// X holds the three n x 121 matrices indexed by Measure.
+	X [NumMeasures]*mat.Matrix
+
+	sampler  sampling.Sampler
+	resolver *routing.Resolver
+	// binIndex[bin] lists injectors whose window covers the bin.
+	binIndex [][]anomaly.Injector
+	// RawRecords counts every flow record that reached the collector
+	// (resolved or not); used by the data-reduction experiment.
+	RawRecords uint64
+	// UnresolvedRecords counts records dropped by failed OD resolution.
+	UnresolvedRecords uint64
+}
+
+// Generate runs the full pipeline.
+func Generate(cfg Config) (*Dataset, error) {
+	d, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for bin := 0; bin < d.Bins; bin++ {
+		for i := 0; i < topology.NumODPairs; i++ {
+			od := topology.ODPairFromIndex(i)
+			d.accumulateBin(od, bin)
+		}
+	}
+	return d, nil
+}
+
+// prepare builds the pipeline objects without generating any bins.
+func prepare(cfg Config) (*Dataset, error) {
+	if cfg.Weeks <= 0 {
+		return nil, fmt.Errorf("dataset: weeks %d must be positive", cfg.Weeks)
+	}
+	top := topology.Abilene()
+	bg, err := traffic.NewBackground(top, cfg.MeanRateBps, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sched := cfg.Schedule
+	if sched.Weeks == 0 {
+		sched = anomaly.DefaultSchedule(bg, cfg.Weeks, cfg.Seed)
+	}
+	led, err := anomaly.Build(sched, top)
+	if err != nil {
+		return nil, err
+	}
+	smp, err := sampling.NewSampler(cfg.SamplingRate)
+	if err != nil {
+		return nil, err
+	}
+	res, err := routing.BuildResolver(top, nil, cfg.UnresolvedFraction)
+	if err != nil {
+		return nil, err
+	}
+	bins := cfg.Weeks * traffic.BinsPerWeek
+	d := &Dataset{
+		Cfg: cfg, Top: top, BG: bg, Ledger: led,
+		Bins: bins, sampler: smp, resolver: res,
+	}
+	for m := Measure(0); m < NumMeasures; m++ {
+		d.X[m] = mat.New(bins, topology.NumODPairs)
+	}
+	d.binIndex = make([][]anomaly.Injector, bins)
+	for _, inj := range led.Injectors {
+		s := inj.Spec()
+		for b := s.StartBin; b <= s.EndBin && b < bins; b++ {
+			if b >= 0 {
+				d.binIndex[b] = append(d.binIndex[b], inj)
+			}
+		}
+	}
+	return d, nil
+}
+
+// classesFor returns all true-traffic flow classes of (od, bin): the
+// injector-scaled background plus injected classes. It must consume the rng
+// stream identically on every call with the same arguments.
+func (d *Dataset) classesFor(od topology.ODPair, bin int, rng *rand.Rand) []traffic.FlowClass {
+	scale := 1.0
+	var active []anomaly.Injector
+	for _, inj := range d.binIndex[bin] {
+		if inj.Spec().ActiveAt(od, bin) {
+			active = append(active, inj)
+			scale *= inj.VolumeScale(od, bin, d.BG)
+		}
+	}
+	vol := d.BG.TrueVolume(od, bin) * scale
+	classes := d.BG.ClassesForVolume(od, vol, rng)
+	for _, inj := range active {
+		classes = append(classes, inj.Classes(od, bin, rng)...)
+	}
+	return classes
+}
+
+// ForEachResolvedRecord regenerates the sampled, exported, collected and
+// resolved flow records of one (od, bin) cell, invoking fn with each record
+// and the OD pair it resolved to. It consumes the bin's deterministic RNG
+// stream identically on every invocation, so the records are exactly those
+// that were (or will be) accumulated into the matrices for that cell.
+//
+// The ingress PoP comes from the export engine (interface-based config
+// resolution); the egress PoP from a longest-prefix match on the anonymized
+// destination address.
+func (d *Dataset) ForEachResolvedRecord(od topology.ODPair, bin int, fn func(topology.ODPair, netflow.Record)) {
+	rng := d.BG.BinRNG(od, bin)
+	classes := d.classesFor(od, bin, rng)
+	exp := netflow.NewExporter(uint8(od.Origin), uint16(1/d.Cfg.SamplingRate), nil)
+	for _, c := range classes {
+		traffic.Measure(c, d.sampler, d.BG.Realm, rng, func(r flow.Record) {
+			if err := exp.Add(netflow.Record{Key: r.Key, Packets: r.Packets, Bytes: r.Bytes}); err != nil {
+				panic(fmt.Sprintf("dataset: export failed: %v", err))
+			}
+		})
+	}
+	if err := exp.Flush(); err != nil {
+		panic(fmt.Sprintf("dataset: flush failed: %v", err))
+	}
+	coll := netflow.NewCollector()
+	for _, pkt := range exp.Drain() {
+		if err := coll.Ingest(pkt); err != nil {
+			panic(fmt.Sprintf("dataset: collect failed: %v", err))
+		}
+	}
+	for _, rec := range coll.Records {
+		d.RawRecords++
+		if d.Cfg.UnresolvedFraction > 0 && rng.Float64() < d.Cfg.UnresolvedFraction {
+			d.UnresolvedRecords++
+			continue
+		}
+		egress, ok := d.resolver.ResolveDst(rec.Key.Dst)
+		if !ok {
+			d.UnresolvedRecords++
+			continue
+		}
+		fn(topology.ODPair{Origin: od.Origin, Dest: egress}, rec)
+	}
+}
+
+// accumulateBin folds one (od, bin) cell into the matrices.
+func (d *Dataset) accumulateBin(od topology.ODPair, bin int) {
+	d.ForEachResolvedRecord(od, bin, func(resolved topology.ODPair, rec netflow.Record) {
+		col := resolved.Index()
+		d.X[Bytes].Set(bin, col, d.X[Bytes].At(bin, col)+float64(rec.Bytes))
+		d.X[Packets].Set(bin, col, d.X[Packets].At(bin, col)+float64(rec.Packets))
+		d.X[Flows].Set(bin, col, d.X[Flows].At(bin, col)+1)
+	})
+}
+
+// Matrix returns the n x 121 sampled-traffic matrix for the measure.
+func (d *Dataset) Matrix(m Measure) *mat.Matrix { return d.X[m] }

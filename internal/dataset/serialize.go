@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"netwide/internal/mat"
+	"netwide/internal/topology"
+)
+
+// fileFormat is the on-disk representation. Only the matrices and the
+// generating Config are stored: the topology, background model and anomaly
+// ledger are deterministic functions of the Config and are rebuilt on load,
+// which keeps files small while preserving the ability to regenerate
+// per-bin attribute detail.
+type fileFormat struct {
+	Version           int
+	Cfg               Config
+	Bins              int
+	Rows              [NumMeasures][][]float64
+	RawRecords        uint64
+	UnresolvedRecords uint64
+}
+
+const fileVersion = 1
+
+// Save writes the dataset to w (gob encoding).
+func (d *Dataset) Save(w io.Writer) error {
+	ff := fileFormat{
+		Version:           fileVersion,
+		Cfg:               d.Cfg,
+		Bins:              d.Bins,
+		RawRecords:        d.RawRecords,
+		UnresolvedRecords: d.UnresolvedRecords,
+	}
+	for m := Measure(0); m < NumMeasures; m++ {
+		rows := make([][]float64, d.Bins)
+		for i := 0; i < d.Bins; i++ {
+			rows[i] = d.X[m].Row(i)
+		}
+		ff.Rows[m] = rows
+	}
+	return gob.NewEncoder(w).Encode(&ff)
+}
+
+// Load reads a dataset written by Save, rebuilding the generator state from
+// the stored Config.
+func Load(r io.Reader) (*Dataset, error) {
+	var ff fileFormat
+	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if ff.Version != fileVersion {
+		return nil, fmt.Errorf("dataset: file version %d, want %d", ff.Version, fileVersion)
+	}
+	d, err := prepare(ff.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ff.Bins != d.Bins {
+		return nil, fmt.Errorf("dataset: stored bins %d inconsistent with config (%d)", ff.Bins, d.Bins)
+	}
+	for m := Measure(0); m < NumMeasures; m++ {
+		if len(ff.Rows[m]) != d.Bins {
+			return nil, fmt.Errorf("dataset: measure %v has %d rows, want %d", m, len(ff.Rows[m]), d.Bins)
+		}
+		x, err := mat.NewFromRows(ff.Rows[m])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: measure %v: %w", m, err)
+		}
+		if x.Cols() != topology.NumODPairs {
+			return nil, fmt.Errorf("dataset: measure %v has %d cols, want %d", m, x.Cols(), topology.NumODPairs)
+		}
+		d.X[m] = x
+	}
+	d.RawRecords = ff.RawRecords
+	d.UnresolvedRecords = ff.UnresolvedRecords
+	return d, nil
+}

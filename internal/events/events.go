@@ -1,0 +1,230 @@
+// Package events aggregates per-statistic detections into anomaly events,
+// following Section 4 of the paper: detections are cast as triples of
+// (traffic type, time, OD flow); triples sharing a time value merge across
+// traffic types into the composite categories BP, BF, FP and BFP; triples
+// are then grouped in space (all OD flows of the same type and time) and in
+// time (consecutive time bins of the same type).
+package events
+
+import (
+	"fmt"
+	"sort"
+
+	"netwide/internal/dataset"
+)
+
+// MeasureSet is a bitmask of traffic types in which an anomaly was
+// detected.
+type MeasureSet uint8
+
+// Set constructors for the three base types.
+const (
+	SetB MeasureSet = 1 << dataset.Bytes
+	SetP MeasureSet = 1 << dataset.Packets
+	SetF MeasureSet = 1 << dataset.Flows
+)
+
+// With returns the set extended by m.
+func (s MeasureSet) With(m dataset.Measure) MeasureSet { return s | 1<<m }
+
+// Has reports whether the set contains m.
+func (s MeasureSet) Has(m dataset.Measure) bool { return s&(1<<m) != 0 }
+
+// String renders the paper's composite labels: B, F, P, BF, BP, FP, BFP.
+func (s MeasureSet) String() string {
+	out := ""
+	// Paper's letter order.
+	if s.Has(dataset.Bytes) {
+		out += "B"
+	}
+	if s.Has(dataset.Flows) {
+		out += "F"
+	}
+	if s.Has(dataset.Packets) {
+		out += "P"
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+// AllSets lists the seven non-empty combinations in the paper's Table 1
+// column order.
+func AllSets() []MeasureSet {
+	return []MeasureSet{SetB, SetF, SetP, SetB | SetF, SetB | SetP, SetF | SetP, SetB | SetF | SetP}
+}
+
+// Detection is one identified alarm of one traffic type: the OD flows
+// responsible for an alarmed bin, with their signed residuals.
+type Detection struct {
+	Measure   dataset.Measure
+	Bin       int
+	ODs       []int
+	Residuals []float64
+}
+
+// Event is a fully aggregated anomaly.
+type Event struct {
+	Measures MeasureSet
+	StartBin int
+	EndBin   int
+	// ODs is the union of identified OD-pair indexes, ascending.
+	ODs []int
+	// ODResidual sums the signed residual of each OD over the event; the
+	// sign separates spikes from dips per flow (ingress shifts have both).
+	ODResidual map[int]float64
+}
+
+// DurationBins returns the event length in bins.
+func (e Event) DurationBins() int { return e.EndBin - e.StartBin + 1 }
+
+// NumSpikes and NumDips count ODs by residual sign.
+func (e Event) NumSpikes() int {
+	n := 0
+	for _, v := range e.ODResidual {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumDips counts ODs whose summed residual is negative.
+func (e Event) NumDips() int {
+	n := 0
+	for _, v := range e.ODResidual {
+		if v < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a compact description.
+func (e Event) String() string {
+	return fmt.Sprintf("[%s] bins %d-%d, %d OD flows", e.Measures, e.StartBin, e.EndBin, len(e.ODs))
+}
+
+// Aggregate performs the paper's three aggregation steps over the
+// detections of all three traffic types.
+//
+// Temporal merging requires consecutive bins with the same measure set and
+// overlapping OD sets; the OD-overlap condition (implicit in the paper's
+// "group triples to form anomalies") prevents unrelated same-type anomalies
+// that happen to abut in time from fusing.
+func Aggregate(dets []Detection) []Event {
+	// Step 1+2: measure set and residuals per (bin, od).
+	type cell struct {
+		set MeasureSet
+		res float64
+	}
+	cells := map[[2]int]*cell{}
+	for _, d := range dets {
+		for i, od := range d.ODs {
+			key := [2]int{d.Bin, od}
+			c := cells[key]
+			if c == nil {
+				c = &cell{}
+				cells[key] = c
+			}
+			c.set = c.set.With(d.Measure)
+			if i < len(d.Residuals) {
+				c.res += d.Residuals[i]
+			}
+		}
+	}
+
+	// Step 3 (space): group cells by (bin, measure set).
+	type groupKey struct {
+		bin int
+		set MeasureSet
+	}
+	groups := map[groupKey]*Event{}
+	for key, c := range cells {
+		gk := groupKey{bin: key[0], set: c.set}
+		ev := groups[gk]
+		if ev == nil {
+			ev = &Event{Measures: c.set, StartBin: key[0], EndBin: key[0], ODResidual: map[int]float64{}}
+			groups[gk] = ev
+		}
+		ev.ODResidual[key[1]] += c.res
+	}
+	// Order groups by (bin, set) for deterministic temporal merging.
+	keys := make([]groupKey, 0, len(groups))
+	for gk := range groups {
+		keys = append(keys, gk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bin != keys[j].bin {
+			return keys[i].bin < keys[j].bin
+		}
+		return keys[i].set < keys[j].set
+	})
+
+	// Step 4 (time): merge a group into the latest open event with the
+	// same measure set, adjacent bins and overlapping ODs.
+	var out []*Event
+	open := map[MeasureSet][]*Event{} // events whose EndBin might still extend
+	for _, gk := range keys {
+		g := groups[gk]
+		merged := false
+		for _, ev := range open[gk.set] {
+			if gk.bin == ev.EndBin+1 && overlaps(ev.ODResidual, g.ODResidual) {
+				ev.EndBin = gk.bin
+				for od, r := range g.ODResidual {
+					ev.ODResidual[od] += r
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, g)
+			open[gk.set] = append(open[gk.set], g)
+		}
+		// Drop events that can no longer extend.
+		live := open[gk.set][:0]
+		for _, ev := range open[gk.set] {
+			if ev.EndBin >= gk.bin-1 {
+				live = append(live, ev)
+			}
+		}
+		open[gk.set] = live
+	}
+
+	// Finalize OD lists.
+	final := make([]Event, len(out))
+	for i, ev := range out {
+		for od := range ev.ODResidual {
+			ev.ODs = append(ev.ODs, od)
+		}
+		sort.Ints(ev.ODs)
+		final[i] = *ev
+	}
+	sort.Slice(final, func(i, j int) bool {
+		if final[i].StartBin != final[j].StartBin {
+			return final[i].StartBin < final[j].StartBin
+		}
+		return final[i].Measures < final[j].Measures
+	})
+	return final
+}
+
+func overlaps(a, b map[int]float64) bool {
+	for od := range b {
+		if _, ok := a[od]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// CountBySet tallies events per measure set (the paper's Table 1).
+func CountBySet(evs []Event) map[MeasureSet]int {
+	out := map[MeasureSet]int{}
+	for _, e := range evs {
+		out[e.Measures]++
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package events
+
+import (
+	"testing"
+
+	"netwide/internal/dataset"
+)
+
+func TestMeasureSetStrings(t *testing.T) {
+	cases := map[MeasureSet]string{
+		SetB:               "B",
+		SetP:               "P",
+		SetF:               "F",
+		SetB | SetP:        "BP",
+		SetB | SetF:        "BF",
+		SetF | SetP:        "FP",
+		SetB | SetF | SetP: "BFP",
+		MeasureSet(0):      "-",
+	}
+	for set, want := range cases {
+		if got := set.String(); got != want {
+			t.Fatalf("%d -> %q, want %q", set, got, want)
+		}
+	}
+	if len(AllSets()) != 7 {
+		t.Fatal("AllSets incomplete")
+	}
+}
+
+func TestMeasureSetOps(t *testing.T) {
+	s := MeasureSet(0).With(dataset.Bytes).With(dataset.Flows)
+	if !s.Has(dataset.Bytes) || !s.Has(dataset.Flows) || s.Has(dataset.Packets) {
+		t.Fatalf("set ops wrong: %v", s)
+	}
+}
+
+func TestAggregateMergesMeasures(t *testing.T) {
+	// Same (bin, od) seen in bytes and packets -> one BP event.
+	dets := []Detection{
+		{Measure: dataset.Bytes, Bin: 10, ODs: []int{5}, Residuals: []float64{100}},
+		{Measure: dataset.Packets, Bin: 10, ODs: []int{5}, Residuals: []float64{50}},
+	}
+	evs := Aggregate(dets)
+	if len(evs) != 1 {
+		t.Fatalf("events=%d, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Measures.String() != "BP" {
+		t.Fatalf("measures=%s", e.Measures)
+	}
+	if e.DurationBins() != 1 || len(e.ODs) != 1 || e.ODs[0] != 5 {
+		t.Fatalf("event %+v", e)
+	}
+	if e.ODResidual[5] != 150 {
+		t.Fatalf("residual %v", e.ODResidual[5])
+	}
+}
+
+func TestAggregateKeepsDistinctSetsSeparate(t *testing.T) {
+	// OD 1 in bytes only, OD 2 in flows only, same bin: two events.
+	dets := []Detection{
+		{Measure: dataset.Bytes, Bin: 20, ODs: []int{1}, Residuals: []float64{10}},
+		{Measure: dataset.Flows, Bin: 20, ODs: []int{2}, Residuals: []float64{10}},
+	}
+	evs := Aggregate(dets)
+	if len(evs) != 2 {
+		t.Fatalf("events=%d, want 2", len(evs))
+	}
+}
+
+func TestAggregateSpatialGrouping(t *testing.T) {
+	// Two ODs alarmed in the same measure at the same bin: one event.
+	dets := []Detection{
+		{Measure: dataset.Flows, Bin: 30, ODs: []int{3, 9}, Residuals: []float64{5, 4}},
+	}
+	evs := Aggregate(dets)
+	if len(evs) != 1 || len(evs[0].ODs) != 2 {
+		t.Fatalf("events=%v", evs)
+	}
+}
+
+func TestAggregateTemporalMerge(t *testing.T) {
+	// Consecutive bins, same measure, overlapping OD: one event spanning
+	// both bins.
+	dets := []Detection{
+		{Measure: dataset.Packets, Bin: 40, ODs: []int{7}, Residuals: []float64{8}},
+		{Measure: dataset.Packets, Bin: 41, ODs: []int{7}, Residuals: []float64{9}},
+		{Measure: dataset.Packets, Bin: 42, ODs: []int{7}, Residuals: []float64{7}},
+	}
+	evs := Aggregate(dets)
+	if len(evs) != 1 {
+		t.Fatalf("events=%d, want 1", len(evs))
+	}
+	if evs[0].StartBin != 40 || evs[0].EndBin != 42 || evs[0].DurationBins() != 3 {
+		t.Fatalf("window %d-%d", evs[0].StartBin, evs[0].EndBin)
+	}
+}
+
+func TestAggregateNoMergeAcrossGap(t *testing.T) {
+	dets := []Detection{
+		{Measure: dataset.Packets, Bin: 40, ODs: []int{7}, Residuals: []float64{8}},
+		{Measure: dataset.Packets, Bin: 43, ODs: []int{7}, Residuals: []float64{9}},
+	}
+	if evs := Aggregate(dets); len(evs) != 2 {
+		t.Fatalf("events=%d, want 2 (gap must split)", len(evs))
+	}
+}
+
+func TestAggregateNoMergeDisjointODs(t *testing.T) {
+	// Adjacent bins, same measure set, but disjoint OD sets: distinct
+	// anomalies that happen to abut.
+	dets := []Detection{
+		{Measure: dataset.Flows, Bin: 50, ODs: []int{1}, Residuals: []float64{5}},
+		{Measure: dataset.Flows, Bin: 51, ODs: []int{2}, Residuals: []float64{5}},
+	}
+	if evs := Aggregate(dets); len(evs) != 2 {
+		t.Fatalf("events=%d, want 2", len(evs))
+	}
+}
+
+func TestAggregateNoMergeDifferentSets(t *testing.T) {
+	// Adjacent bins with different measure sets stay separate (the paper
+	// groups in time only within the same traffic type).
+	dets := []Detection{
+		{Measure: dataset.Flows, Bin: 60, ODs: []int{4}, Residuals: []float64{5}},
+		{Measure: dataset.Flows, Bin: 61, ODs: []int{4}, Residuals: []float64{5}},
+		{Measure: dataset.Packets, Bin: 61, ODs: []int{4}, Residuals: []float64{5}},
+	}
+	evs := Aggregate(dets)
+	// bin 60: F; bin 61: FP (measures merged at the cell level) — the F
+	// event cannot absorb the FP bin.
+	if len(evs) != 2 {
+		t.Fatalf("events=%v", evs)
+	}
+}
+
+func TestSpikeDipCounting(t *testing.T) {
+	e := Event{ODResidual: map[int]float64{1: 10, 2: -5, 3: 4}}
+	if e.NumSpikes() != 2 || e.NumDips() != 1 {
+		t.Fatalf("spikes=%d dips=%d", e.NumSpikes(), e.NumDips())
+	}
+}
+
+func TestCountBySet(t *testing.T) {
+	evs := []Event{
+		{Measures: SetB}, {Measures: SetB}, {Measures: SetF | SetP},
+	}
+	c := CountBySet(evs)
+	if c[SetB] != 2 || c[SetF|SetP] != 1 {
+		t.Fatalf("counts %v", c)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if evs := Aggregate(nil); len(evs) != 0 {
+		t.Fatalf("empty input gave %v", evs)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Measures: SetB | SetP, StartBin: 3, EndBin: 5, ODs: []int{1, 2}}
+	if e.String() != "[BP] bins 3-5, 2 OD flows" {
+		t.Fatalf("String=%q", e.String())
+	}
+}

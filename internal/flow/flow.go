@@ -1,0 +1,147 @@
+// Package flow defines the IP-flow data model of the measurement pipeline:
+// protocol numbers, well-known ports, the 5-tuple key on which routers
+// aggregate sampled packets, and the flow records that the exporter emits.
+//
+// The design follows gopacket's Flow/Endpoint idea: keys are small
+// comparable value types usable directly as map keys, with a cheap
+// symmetric FastHash for sharding.
+package flow
+
+import (
+	"fmt"
+
+	"netwide/internal/ipaddr"
+	"netwide/internal/topology"
+)
+
+// Proto is an IP protocol number.
+type Proto uint8
+
+// Protocol numbers used by the generator and classifiers.
+const (
+	ProtoICMP Proto = 1
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+)
+
+// String names the common protocols.
+func (p Proto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Well-known ports that the paper's anomaly discussion refers to.
+const (
+	PortZero     uint16 = 0     // frequent DOS target
+	PortDNS      uint16 = 53    // flash crowds
+	PortHTTP     uint16 = 80    // flash crowds, web
+	PortSMTP     uint16 = 25    // mail
+	PortPOP      uint16 = 110   // the 4/10 DOS target ("port 110" in Fig 1)
+	PortIdentd   uint16 = 113   // the second DOS target in Fig 1
+	PortNNTP     uint16 = 119   // news broadcast (POINT-TO-MULTIPOINT)
+	PortNetBIOS  uint16 = 139   // network scans
+	PortMSSQL    uint16 = 1433  // SQL-Snake worm
+	PortDeloder  uint16 = 445   // Deloder worm
+	PortKazaa    uint16 = 1412  // file sharing ALPHA flows
+	PortIperfLo  uint16 = 5000  // bandwidth experiments (SLAC IEPM)
+	PortIperfHi  uint16 = 5050  // end of the bandwidth-experiment range
+	PortPathdiag uint16 = 56117 // pathdiag measurement tool
+)
+
+// Key is the 5-tuple on which sampled packets are aggregated into IP flows
+// (source and destination address and port, plus protocol) — the exact
+// aggregation the paper's Juniper measurement setup used.
+type Key struct {
+	Src, Dst         ipaddr.Addr
+	SrcPort, DstPort uint16
+	Proto            Proto
+}
+
+// Reverse returns the key of the opposite direction.
+func (k Key) Reverse() Key {
+	return Key{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// FastHash returns a 64-bit non-cryptographic hash that is symmetric under
+// Reverse (like gopacket's Flow.FastHash), so both directions of a
+// conversation shard identically.
+func (k Key) FastHash() uint64 {
+	fwd := k.asymHash(k.Src, k.Dst, k.SrcPort, k.DstPort)
+	rev := k.asymHash(k.Dst, k.Src, k.DstPort, k.SrcPort)
+	// XOR of the two directional hashes is direction-independent. Each side
+	// is avalanche-finalized first: raw FNV-1a hashes of the same byte
+	// multiset are congruent modulo small powers of two, so their plain XOR
+	// would have degenerate low bits.
+	return mix64(fwd) ^ mix64(rev)
+}
+
+// mix64 is the splitmix64 finalizer, a cheap full-avalanche bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (k Key) asymHash(a, b ipaddr.Addr, ap, bp uint16) uint64 {
+	// FNV-1a over the fields.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64, bytes int) {
+		for i := 0; i < bytes; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= prime
+		}
+	}
+	mix(uint64(a), 4)
+	mix(uint64(b), 4)
+	mix(uint64(ap), 2)
+	mix(uint64(bp), 2)
+	mix(uint64(k.Proto), 1)
+	return h
+}
+
+// String renders "tcp 10.0.0.1:80 -> 10.1.0.2:3312".
+func (k Key) String() string {
+	return fmt.Sprintf("%s %s:%d -> %s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// Record is one exported IP-flow record: a 5-tuple with its measured byte
+// and packet volume inside one measurement interval. Bytes and Packets are
+// the *sampled* values when the record comes out of the sampling layer.
+type Record struct {
+	Key     Key
+	Bytes   uint64
+	Packets uint64
+}
+
+// Validate performs basic sanity checks on a record.
+func (r Record) Validate() error {
+	if r.Packets == 0 {
+		return fmt.Errorf("flow: record with zero packets: %v", r.Key)
+	}
+	if r.Bytes < r.Packets*20 {
+		return fmt.Errorf("flow: record %v has %d bytes for %d packets (below minimum IP header)", r.Key, r.Bytes, r.Packets)
+	}
+	return nil
+}
+
+// ODRecord is a flow record annotated with the OD pair it was resolved to —
+// the unit of OD-level aggregation.
+type ODRecord struct {
+	Record
+	OD topology.ODPair
+}

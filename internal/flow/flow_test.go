@@ -1,0 +1,109 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netwide/internal/ipaddr"
+)
+
+func sampleKey() Key {
+	return Key{
+		Src:     ipaddr.FromOctets(10, 0, 0, 1),
+		Dst:     ipaddr.FromOctets(10, 16, 0, 2),
+		SrcPort: 3312,
+		DstPort: PortHTTP,
+		Proto:   ProtoTCP,
+	}
+}
+
+func TestKeyReverse(t *testing.T) {
+	k := sampleKey()
+	r := k.Reverse()
+	if r.Src != k.Dst || r.Dst != k.Src || r.SrcPort != k.DstPort || r.DstPort != k.SrcPort {
+		t.Fatalf("Reverse = %v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse not identity")
+	}
+}
+
+func TestFastHashSymmetric(t *testing.T) {
+	k := sampleKey()
+	if k.FastHash() != k.Reverse().FastHash() {
+		t.Fatal("FastHash not symmetric")
+	}
+}
+
+func TestFastHashSpreads(t *testing.T) {
+	// Different flows should (almost always) hash differently; check a
+	// small port sweep lands in more than one shard of 8.
+	shards := map[uint64]bool{}
+	k := sampleKey()
+	for p := uint16(1000); p < 1032; p++ {
+		k.SrcPort = p
+		shards[k.FastHash()&7] = true
+	}
+	if len(shards) < 4 {
+		t.Fatalf("hash concentrated in %d/8 shards", len(shards))
+	}
+}
+
+func TestKeyUsableAsMapKey(t *testing.T) {
+	m := map[Key]int{}
+	m[sampleKey()] = 1
+	m[sampleKey().Reverse()] = 2
+	if len(m) != 2 {
+		t.Fatalf("map size %d", len(m))
+	}
+	if m[sampleKey()] != 1 {
+		t.Fatal("lookup failed")
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoTCP.String() != "tcp" || ProtoUDP.String() != "udp" || ProtoICMP.String() != "icmp" {
+		t.Fatal("proto names wrong")
+	}
+	if Proto(99).String() != "proto(99)" {
+		t.Fatalf("unknown proto = %s", Proto(99))
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	r := Record{Key: sampleKey(), Bytes: 1500, Packets: 3}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Record{Key: sampleKey(), Bytes: 100, Packets: 0}).Validate(); err == nil {
+		t.Fatal("zero packets accepted")
+	}
+	if err := (Record{Key: sampleKey(), Bytes: 10, Packets: 3}).Validate(); err == nil {
+		t.Fatal("sub-header byte count accepted")
+	}
+}
+
+// Property: FastHash is invariant under Reverse for arbitrary keys.
+func TestPropFastHashSymmetry(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := Key{Src: ipaddr.Addr(src), Dst: ipaddr.Addr(dst), SrcPort: sp, DstPort: dp, Proto: Proto(proto)}
+		return k.FastHash() == k.Reverse().FastHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct directions are distinct map keys unless palindromic.
+func TestPropReverseDistinct(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16) bool {
+		k := Key{Src: ipaddr.Addr(src), Dst: ipaddr.Addr(dst), SrcPort: sp, DstPort: dp, Proto: ProtoTCP}
+		if k == k.Reverse() {
+			return src == dst && sp == dp
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Package gravity implements the gravity model for origin-destination
+// traffic demands: the long-run mean demand between PoPs o and d is
+// proportional to W(o)*W(d), where W is the PoP's attached customer weight.
+//
+// Gravity models are the standard first-order structure of backbone traffic
+// matrices (Zhang et al., and the Lakhina et al. structural-analysis work
+// the paper builds on): a few big PoPs dominate, giving the OD matrix the
+// low-effective-rank temporal structure that makes the subspace method
+// work.
+package gravity
+
+import (
+	"fmt"
+
+	"netwide/internal/topology"
+)
+
+// Model holds normalized OD demand fractions; Fraction sums to 1 over all
+// OD pairs (self-pairs included, scaled by SelfFactor).
+type Model struct {
+	frac [topology.NumODPairs]float64
+}
+
+// New builds a gravity model from the topology's PoP weights.
+//
+// selfFactor in [0,1] scales demand of self-pairs (traffic entering and
+// leaving at the same PoP) relative to what the raw product W(o)^2 would
+// give; backbone customers exchange most traffic across the network, so
+// values around 0.2 are typical.
+func New(top *topology.Topology, selfFactor float64) (*Model, error) {
+	if selfFactor < 0 || selfFactor > 1 {
+		return nil, fmt.Errorf("gravity: self factor %v out of [0,1]", selfFactor)
+	}
+	m := &Model{}
+	var total float64
+	for o := topology.PoP(0); o < topology.NumPoPs; o++ {
+		for d := topology.PoP(0); d < topology.NumPoPs; d++ {
+			v := top.PoPWeight(o) * top.PoPWeight(d)
+			if o == d {
+				v *= selfFactor
+			}
+			m.frac[topology.ODPair{Origin: o, Dest: d}.Index()] = v
+			total += v
+		}
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("gravity: degenerate topology weights")
+	}
+	for i := range m.frac {
+		m.frac[i] /= total
+	}
+	return m, nil
+}
+
+// Fraction returns the share of total network demand carried by the OD
+// pair.
+func (m *Model) Fraction(od topology.ODPair) float64 {
+	return m.frac[od.Index()]
+}
+
+// Demands returns the full demand vector (indexed by ODPair.Index) scaled
+// to the given total volume.
+func (m *Model) Demands(totalVolume float64) []float64 {
+	out := make([]float64, topology.NumODPairs)
+	for i, f := range m.frac {
+		out[i] = f * totalVolume
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package gravity
+
+import (
+	"math"
+	"testing"
+
+	"netwide/internal/topology"
+)
+
+func TestFractionsNormalized(t *testing.T) {
+	top := topology.Abilene()
+	m, err := New(top, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < topology.NumODPairs; i++ {
+		f := m.Fraction(topology.ODPairFromIndex(i))
+		if f <= 0 {
+			t.Fatalf("fraction %v at %s", f, topology.ODPairFromIndex(i))
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}
+
+func TestGravityOrdering(t *testing.T) {
+	top := topology.Abilene()
+	m, err := New(top, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NYCM and WASH are the heaviest PoPs; KSCY and DNVR the lightest.
+	big := m.Fraction(topology.ODPair{Origin: topology.NYCM, Dest: topology.WASH})
+	small := m.Fraction(topology.ODPair{Origin: topology.KSCY, Dest: topology.DNVR})
+	if big <= small {
+		t.Fatalf("gravity ordering: big=%v small=%v", big, small)
+	}
+	// Gravity is symmetric when weights are.
+	ab := m.Fraction(topology.ODPair{Origin: topology.ATLA, Dest: topology.CHIN})
+	ba := m.Fraction(topology.ODPair{Origin: topology.CHIN, Dest: topology.ATLA})
+	if math.Abs(ab-ba) > 1e-15 {
+		t.Fatalf("asymmetric gravity %v vs %v", ab, ba)
+	}
+}
+
+func TestSelfFactorSuppressesSelfPairs(t *testing.T) {
+	top := topology.Abilene()
+	m0, _ := New(top, 0)
+	for p := topology.PoP(0); p < topology.NumPoPs; p++ {
+		if f := m0.Fraction(topology.ODPair{Origin: p, Dest: p}); f != 0 {
+			t.Fatalf("self pair %s has fraction %v with factor 0", p, f)
+		}
+	}
+	if _, err := New(top, -0.1); err == nil {
+		t.Fatal("negative self factor accepted")
+	}
+	if _, err := New(top, 1.1); err == nil {
+		t.Fatal("self factor > 1 accepted")
+	}
+}
+
+func TestDemandsScale(t *testing.T) {
+	top := topology.Abilene()
+	m, _ := New(top, 0.2)
+	d := m.Demands(1e9)
+	var sum float64
+	for _, v := range d {
+		sum += v
+	}
+	if math.Abs(sum-1e9)/1e9 > 1e-12 {
+		t.Fatalf("demands sum %v, want 1e9", sum)
+	}
+}

@@ -1,0 +1,161 @@
+// Package heavyhitter implements the Space-Saving algorithm (Metwally,
+// Agrawal, El Abbadi 2005) for weighted top-k tracking over attribute
+// streams.
+//
+// The anomaly classifier needs, for every (OD pair, timebin), the dominant
+// source/destination addresses and ports by bytes, packets and flows. The
+// full attribute distribution is far too large to retain, but dominance at
+// threshold p = 0.2 (the paper's heuristic) only requires a sketch whose
+// error is bounded well below p — Space-Saving with k counters guarantees
+// per-item error at most total/k.
+package heavyhitter
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sketch tracks approximate weighted counts for the heaviest keys of a
+// stream. The zero value is unusable; construct with New.
+type Sketch struct {
+	capacity int
+	counts   map[uint64]*entry
+	total    float64
+}
+
+type entry struct {
+	key    uint64
+	count  float64 // estimated weight (upper bound)
+	errOff float64 // maximum overestimation
+}
+
+// New returns a sketch with the given counter capacity. A capacity of k
+// bounds the estimation error by Total()/k, so testing dominance at
+// threshold p is exact whenever k > 1/p with margin; the classifier uses
+// p=0.2 and k=16 by default.
+func New(capacity int) *Sketch {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("heavyhitter: capacity %d must be positive", capacity))
+	}
+	return &Sketch{capacity: capacity, counts: make(map[uint64]*entry, capacity)}
+}
+
+// Add records weight w for key. Zero or negative weights are ignored.
+func (s *Sketch) Add(key uint64, w float64) {
+	if w <= 0 {
+		return
+	}
+	s.total += w
+	if e, ok := s.counts[key]; ok {
+		e.count += w
+		return
+	}
+	if len(s.counts) < s.capacity {
+		s.counts[key] = &entry{key: key, count: w}
+		return
+	}
+	// Evict the minimum-count entry, inheriting its count as error bound.
+	var min *entry
+	for _, e := range s.counts {
+		if min == nil || e.count < min.count {
+			min = e
+		}
+	}
+	delete(s.counts, min.key)
+	s.counts[key] = &entry{key: key, count: min.count + w, errOff: min.count}
+}
+
+// Total returns the total weight added.
+func (s *Sketch) Total() float64 { return s.total }
+
+// Item is a reported heavy hitter.
+type Item struct {
+	Key uint64
+	// Count is the estimated weight (an upper bound on the true weight).
+	Count float64
+	// Err is the maximum amount by which Count overestimates.
+	Err float64
+}
+
+// Fraction returns the estimated share of the total stream weight.
+func (it Item) Fraction(total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return it.Count / total
+}
+
+// GuaranteedFraction returns a lower bound on the item's true share.
+func (it Item) GuaranteedFraction(total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return (it.Count - it.Err) / total
+}
+
+// Top returns up to n items sorted by descending estimated count, ties
+// broken by key for determinism.
+func (s *Sketch) Top(n int) []Item {
+	items := make([]Item, 0, len(s.counts))
+	for _, e := range s.counts {
+		items = append(items, Item{Key: e.key, Count: e.count, Err: e.errOff})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Key < items[j].Key
+	})
+	if n < len(items) {
+		items = items[:n]
+	}
+	return items
+}
+
+// Dominant returns the key with the largest estimated count and whether its
+// guaranteed share of the stream meets the threshold frac. This is the
+// paper's dominance test ("an address range or port is dominant if it
+// accounts for more than a fraction p of the total traffic in the
+// timebin").
+func (s *Sketch) Dominant(frac float64) (uint64, bool) {
+	top := s.Top(1)
+	if len(top) == 0 {
+		return 0, false
+	}
+	return top[0].Key, top[0].GuaranteedFraction(s.total) >= frac
+}
+
+// Merge folds other into s (used when 1-minute sketches are combined into
+// 5-minute bins). Merging keeps the error bounds conservative: counts and
+// error offsets add.
+func (s *Sketch) Merge(other *Sketch) {
+	for _, e := range other.counts {
+		s.total += 0 // totals are handled below to keep Add semantics intact
+		if mine, ok := s.counts[e.key]; ok {
+			mine.count += e.count
+			mine.errOff += e.errOff
+			continue
+		}
+		if len(s.counts) < s.capacity {
+			s.counts[e.key] = &entry{key: e.key, count: e.count, errOff: e.errOff}
+			continue
+		}
+		var min *entry
+		for _, x := range s.counts {
+			if min == nil || x.count < min.count {
+				min = x
+			}
+		}
+		if e.count <= min.count {
+			// Dropped entry: its mass still counts toward the total, and
+			// every surviving minimum absorbs the uncertainty.
+			continue
+		}
+		delete(s.counts, min.key)
+		s.counts[e.key] = &entry{key: e.key, count: min.count + e.count, errOff: min.count + e.errOff}
+	}
+	s.total += other.total
+}
+
+// Len returns the number of live counters.
+func (s *Sketch) Len() int { return len(s.counts) }

@@ -1,0 +1,188 @@
+package heavyhitter
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactBelowCapacity(t *testing.T) {
+	s := New(8)
+	s.Add(1, 10)
+	s.Add(2, 5)
+	s.Add(1, 10)
+	if s.Total() != 25 {
+		t.Fatalf("total=%v", s.Total())
+	}
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Key != 1 || top[0].Count != 20 || top[0].Err != 0 {
+		t.Fatalf("top=%v", top)
+	}
+}
+
+func TestZeroWeightIgnored(t *testing.T) {
+	s := New(2)
+	s.Add(1, 0)
+	s.Add(1, -3)
+	if s.Total() != 0 || s.Len() != 0 {
+		t.Fatal("zero/negative weights were recorded")
+	}
+}
+
+func TestEvictionKeepsHeavyKey(t *testing.T) {
+	s := New(4)
+	// One heavy key among many light ones.
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 5000; i++ {
+		s.Add(42, 10)
+		s.Add(uint64(100+rng.IntN(500)), 1)
+	}
+	top := s.Top(1)
+	if top[0].Key != 42 {
+		t.Fatalf("heavy key lost, top=%v", top)
+	}
+	// 42's true weight is 50000; its share must be detected as dominant.
+	if _, dom := s.Dominant(0.2); !dom {
+		t.Fatal("dominant key not detected")
+	}
+}
+
+func TestDominantNegative(t *testing.T) {
+	s := New(16)
+	for k := uint64(0); k < 16; k++ {
+		s.Add(k, 1)
+	}
+	if _, dom := s.Dominant(0.2); dom {
+		t.Fatal("uniform stream reported a dominant key")
+	}
+	// Empty sketch.
+	if _, dom := New(4).Dominant(0.2); dom {
+		t.Fatal("empty sketch reported dominance")
+	}
+}
+
+func TestTopOrderingDeterministic(t *testing.T) {
+	s := New(8)
+	s.Add(5, 3)
+	s.Add(9, 3)
+	s.Add(1, 3)
+	top := s.Top(3)
+	if top[0].Key != 1 || top[1].Key != 5 || top[2].Key != 9 {
+		t.Fatalf("tie order not by key: %v", top)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(8)
+	b := New(8)
+	a.Add(1, 10)
+	a.Add(2, 4)
+	b.Add(1, 7)
+	b.Add(3, 2)
+	a.Merge(b)
+	if a.Total() != 23 {
+		t.Fatalf("merged total %v", a.Total())
+	}
+	top := a.Top(1)
+	if top[0].Key != 1 || top[0].Count != 17 {
+		t.Fatalf("merged top %v", top)
+	}
+}
+
+func TestMergeOverCapacity(t *testing.T) {
+	a := New(2)
+	b := New(2)
+	a.Add(1, 100)
+	a.Add(2, 50)
+	b.Add(3, 200)
+	b.Add(4, 1)
+	a.Merge(b)
+	if a.Len() > 2 {
+		t.Fatalf("capacity exceeded: %d", a.Len())
+	}
+	if a.Total() != 351 {
+		t.Fatalf("total %v", a.Total())
+	}
+	top := a.Top(2)
+	if top[0].Key != 3 {
+		t.Fatalf("heavy key lost in merge: %v", top)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	New(0)
+}
+
+// Property: Space-Saving error bound — for any stream, the estimate of any
+// reported key overestimates its true count by at most Total/capacity.
+func TestPropErrorBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed*7+3))
+		cap := 4 + rng.IntN(12)
+		s := New(cap)
+		truth := map[uint64]float64{}
+		n := 50 + rng.IntN(500)
+		for i := 0; i < n; i++ {
+			k := uint64(rng.IntN(50))
+			w := float64(1 + rng.IntN(9))
+			truth[k] += w
+			s.Add(k, w)
+		}
+		bound := s.Total() / float64(cap)
+		for _, it := range s.Top(cap) {
+			if it.Count-truth[it.Key] > bound+1e-9 {
+				return false
+			}
+			if it.Count < truth[it.Key]-1e-9 { // never underestimates
+				return false
+			}
+			if it.Err > bound+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any key with true share > total/capacity is present in the
+// sketch (the Space-Saving guarantee that no heavy hitter is lost).
+func TestPropHeavyHitterRetained(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed^0xbeef, seed))
+		cap := 8
+		s := New(cap)
+		truth := map[uint64]float64{}
+		for i := 0; i < 400; i++ {
+			var k uint64
+			if rng.Float64() < 0.4 {
+				k = 7 // heavy key
+			} else {
+				k = uint64(10 + rng.IntN(200))
+			}
+			truth[k]++
+			s.Add(k, 1)
+		}
+		threshold := s.Total() / float64(cap)
+		reported := map[uint64]bool{}
+		for _, it := range s.Top(cap) {
+			reported[it.Key] = true
+		}
+		for k, c := range truth {
+			if c > threshold && !reported[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package ipaddr provides the compact IPv4 value types used throughout the
+// simulator: addresses as uint32, CIDR prefixes with containment tests, the
+// Abilene-style destination anonymization (zeroing the last 11 bits), and
+// deterministic synthesis of customer address space.
+//
+// A dedicated numeric type (rather than net/netip) keeps flow records
+// hashable, tiny and allocation-free on the hot path, in the spirit of
+// gopacket's Endpoint values.
+package ipaddr
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// AnonBits is the number of trailing destination-address bits zeroed by the
+// Abilene anonymization procedure described in the paper (Section 2.1).
+const AnonBits = 11
+
+// FromOctets builds an Addr from four octets.
+func FromOctets(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Parse parses dotted-quad notation. It returns an error for anything that
+// is not exactly four dot-separated decimal octets.
+func Parse(s string) (Addr, error) {
+	var a, b, c, d int
+	var tail string
+	n, err := fmt.Sscanf(s, "%d.%d.%d.%d%s", &a, &b, &c, &d, &tail)
+	if err == nil && n == 5 {
+		return 0, fmt.Errorf("ipaddr: trailing garbage in %q", s)
+	}
+	if n != 4 {
+		return 0, fmt.Errorf("ipaddr: cannot parse %q", s)
+	}
+	for _, o := range []int{a, b, c, d} {
+		if o < 0 || o > 255 {
+			return 0, fmt.Errorf("ipaddr: octet out of range in %q", s)
+		}
+	}
+	return FromOctets(byte(a), byte(b), byte(c), byte(d)), nil
+}
+
+// String renders the address as a dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Anonymize zeroes the trailing AnonBits bits, mimicking the privacy
+// procedure Abilene applies to destination addresses before export.
+func (a Addr) Anonymize() Addr {
+	return a &^ Addr(1<<AnonBits-1)
+}
+
+// Prefix is a CIDR prefix: the network address plus a mask length.
+type Prefix struct {
+	Addr Addr
+	Bits int
+}
+
+// MustPrefix builds a prefix and panics on invalid input; intended for
+// static topology tables.
+func MustPrefix(s string, bits int) Prefix {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	p, err := NewPrefix(a, bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewPrefix builds a prefix, validating the mask length and canonicalizing
+// the network address (host bits are cleared).
+func NewPrefix(a Addr, bits int) (Prefix, error) {
+	if bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("ipaddr: prefix length %d out of [0,32]", bits)
+	}
+	return Prefix{Addr: a & mask(bits), Bits: bits}, nil
+}
+
+func mask(bits int) Addr {
+	if bits <= 0 {
+		return 0
+	}
+	return ^Addr(0) << (32 - bits)
+}
+
+// Contains reports whether the prefix covers address a.
+func (p Prefix) Contains(a Addr) bool {
+	return a&mask(p.Bits) == p.Addr
+}
+
+// Overlaps reports whether two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.Bits > q.Bits {
+		p, q = q, p
+	}
+	return q.Addr&mask(p.Bits) == p.Addr
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.Addr, p.Bits)
+}
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 {
+	return 1 << (32 - p.Bits)
+}
+
+// Random returns a uniformly random address inside the prefix.
+func (p Prefix) Random(rng *rand.Rand) Addr {
+	span := p.NumAddrs()
+	return p.Addr + Addr(rng.Uint64N(span))
+}
+
+// Nth returns the i-th address of the prefix (i modulo the prefix size), a
+// deterministic alternative to Random for reproducible host selection.
+func (p Prefix) Nth(i uint64) Addr {
+	return p.Addr + Addr(i%p.NumAddrs())
+}

@@ -1,0 +1,144 @@
+package ipaddr
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	for _, s := range []string{"0.0.0.0", "10.1.2.3", "198.32.8.84", "255.255.255.255"} {
+		a, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Fatalf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.4x"} {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestFromOctets(t *testing.T) {
+	a := FromOctets(198, 32, 8, 84)
+	if a != 0xC6200854 {
+		t.Fatalf("FromOctets = %x", uint32(a))
+	}
+}
+
+func TestAnonymize(t *testing.T) {
+	a := FromOctets(10, 0, 7, 255) // last 11 bits: 0b111_11111111
+	anon := a.Anonymize()
+	if anon != FromOctets(10, 0, 0, 0) {
+		t.Fatalf("Anonymize(%s) = %s", a, anon)
+	}
+	// Idempotent.
+	if anon.Anonymize() != anon {
+		t.Fatal("Anonymize not idempotent")
+	}
+	// Keeps the top 21 bits.
+	b := FromOctets(10, 1, 8, 1) // bit 11 set (0x0800)
+	if b.Anonymize() != FromOctets(10, 1, 8, 0) {
+		t.Fatalf("Anonymize(%s) = %s", b, b.Anonymize())
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustPrefix("10.1.0.0", 16)
+	if !p.Contains(FromOctets(10, 1, 200, 3)) {
+		t.Fatal("prefix should contain member")
+	}
+	if p.Contains(FromOctets(10, 2, 0, 0)) {
+		t.Fatal("prefix should not contain outsider")
+	}
+	if p.NumAddrs() != 65536 {
+		t.Fatalf("NumAddrs=%d", p.NumAddrs())
+	}
+	if p.String() != "10.1.0.0/16" {
+		t.Fatalf("String=%s", p)
+	}
+}
+
+func TestNewPrefixCanonicalizes(t *testing.T) {
+	p, err := NewPrefix(FromOctets(10, 1, 2, 3), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr != FromOctets(10, 1, 0, 0) {
+		t.Fatalf("host bits not cleared: %s", p)
+	}
+	if _, err := NewPrefix(0, 33); err == nil {
+		t.Fatal("bits=33 accepted")
+	}
+	if _, err := NewPrefix(0, -1); err == nil {
+		t.Fatal("bits=-1 accepted")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := MustPrefix("10.0.0.0", 8)
+	b := MustPrefix("10.5.0.0", 16)
+	c := MustPrefix("11.0.0.0", 8)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("nested prefixes must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint prefixes must not overlap")
+	}
+}
+
+func TestRandomAndNthWithinPrefix(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	p := MustPrefix("172.16.4.0", 22)
+	for i := 0; i < 200; i++ {
+		if a := p.Random(rng); !p.Contains(a) {
+			t.Fatalf("Random produced %s outside %s", a, p)
+		}
+	}
+	for i := uint64(0); i < 2000; i += 37 {
+		if a := p.Nth(i); !p.Contains(a) {
+			t.Fatalf("Nth(%d) produced %s outside %s", i, a, p)
+		}
+	}
+	// Nth wraps around the prefix size.
+	if p.Nth(0) != p.Nth(p.NumAddrs()) {
+		t.Fatal("Nth does not wrap")
+	}
+}
+
+// Property: anonymization only ever clears bits, never sets them, and
+// anonymized addresses of the same /21 collide.
+func TestPropAnonymize(t *testing.T) {
+	f := func(raw uint32) bool {
+		a := Addr(raw)
+		anon := a.Anonymize()
+		if anon&^a != 0 {
+			return false
+		}
+		// Same upper 21 bits -> same anonymized value.
+		sibling := (a &^ 0x7FF) | (a+1)&0x7FF
+		return sibling.Anonymize() == anon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse and String are inverse for all addresses.
+func TestPropParseStringRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		a := Addr(raw)
+		b, err := Parse(a.String())
+		return err == nil && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// maxJacobiSweeps bounds the number of full Jacobi sweeps. Convergence for
+// well-conditioned symmetric matrices of the sizes used here (~121x121) is
+// typically reached in 6-10 sweeps; 64 leaves an enormous safety margin.
+const maxJacobiSweeps = 64
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and a
+// matrix whose columns are the corresponding orthonormal eigenvectors, so
+// that A = V diag(vals) V^T.
+//
+// SymEigen returns an error if A is not square, not symmetric (to within a
+// scale-relative tolerance), or if the iteration fails to converge.
+func SymEigen(A *Matrix) (vals []float64, vecs *Matrix, err error) {
+	n := A.rows
+	if n != A.cols {
+		return nil, nil, errors.New("mat: SymEigen on non-square matrix")
+	}
+	scale := 0.0
+	for _, v := range A.data {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if !A.IsSymmetric(1e-9*scale + 1e-12) {
+		return nil, nil, errors.New("mat: SymEigen on non-symmetric matrix")
+	}
+	a := A.Clone()
+	v := Identity(n)
+
+	off := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				x := a.data[i*n+j]
+				s += 2 * x * x
+			}
+		}
+		return math.Sqrt(s)
+	}
+
+	// Convergence threshold relative to the Frobenius norm of A.
+	var fro float64
+	for _, x := range a.data {
+		fro += x * x
+	}
+	fro = math.Sqrt(fro)
+	tol := 1e-14 * (fro + 1)
+
+	converged := false
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		if off() <= tol {
+			converged = true
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.data[p*n+q]
+				if math.Abs(apq) <= tol/float64(n) {
+					continue
+				}
+				app := a.data[p*n+p]
+				aqq := a.data[q*n+q]
+				// Compute the Jacobi rotation that annihilates a[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply rotation: A <- J^T A J on rows/cols p and q.
+				for k := 0; k < n; k++ {
+					akp := a.data[k*n+p]
+					akq := a.data[k*n+q]
+					a.data[k*n+p] = c*akp - s*akq
+					a.data[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := a.data[p*n+k]
+					aqk := a.data[q*n+k]
+					a.data[p*n+k] = c*apk - s*aqk
+					a.data[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate eigenvectors: V <- V J.
+				for k := 0; k < n; k++ {
+					vkp := v.data[k*n+p]
+					vkq := v.data[k*n+q]
+					v.data[k*n+p] = c*vkp - s*vkq
+					v.data[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	if !converged && off() > tol*1e3 {
+		return nil, nil, errors.New("mat: Jacobi iteration did not converge")
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a.data[i*n+i]
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return vals[idx[x]] > vals[idx[y]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.data[r*n+newCol] = v.data[r*n+oldCol]
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}

@@ -1,0 +1,175 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if !almostEqual(vals[i], v, 1e-12) {
+			t.Fatalf("vals=%v, want %v", vals, want)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are unit vectors (up to sign).
+	for j := 0; j < 3; j++ {
+		col := vecs.Col(j)
+		if !almostEqual(Norm2(col), 1, 1e-12) {
+			t.Fatalf("eigenvector %d not unit norm: %v", j, col)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a, _ := NewFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(vals[0], 3, 1e-12) || !almostEqual(vals[1], 1, 1e-12) {
+		t.Fatalf("vals=%v, want [3 1]", vals)
+	}
+	// First eigenvector should be (1,1)/sqrt(2) up to sign.
+	v0 := vecs.Col(0)
+	if !almostEqual(math.Abs(v0[0]), 1/math.Sqrt2, 1e-10) || !almostEqual(math.Abs(v0[1]), 1/math.Sqrt2, 1e-10) {
+		t.Fatalf("v0=%v", v0)
+	}
+}
+
+func TestSymEigenRejectsBadInput(t *testing.T) {
+	if _, _, err := SymEigen(New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	ns, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := SymEigen(ns); err == nil {
+		t.Fatal("non-symmetric accepted")
+	}
+}
+
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	m := randomMatrix(rng, n, n)
+	return Scale(0.5, Add(m, m.T()))
+}
+
+func checkDecomposition(t *testing.T, a *Matrix, vals []float64, vecs *Matrix, tol float64) {
+	t.Helper()
+	n := a.Rows()
+	// Reconstruct A = V diag(vals) V^T.
+	d := New(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, vals[i])
+	}
+	rec := Mul(Mul(vecs, d), vecs.T())
+	if diff := MaxAbsDiff(a, rec); diff > tol {
+		t.Fatalf("reconstruction error %v > %v", diff, tol)
+	}
+	// V orthonormal: V^T V = I.
+	vtv := Mul(vecs.T(), vecs)
+	if diff := MaxAbsDiff(vtv, Identity(n)); diff > tol {
+		t.Fatalf("eigenvectors not orthonormal, error %v", diff)
+	}
+	// Descending order.
+	for i := 1; i < n; i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not descending: %v", vals)
+		}
+	}
+}
+
+func TestSymEigenRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	for _, n := range []int{1, 2, 3, 5, 10, 25, 60} {
+		a := randomSymmetric(rng, n)
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkDecomposition(t, a, vals, vecs, 1e-9)
+	}
+}
+
+func TestSymEigenCovarianceSized(t *testing.T) {
+	// Exercise the exact size used by the subspace method (121x121) built
+	// from a realistic low-rank-plus-noise data matrix.
+	rng := rand.New(rand.NewPCG(7, 8))
+	n, p := 400, 121
+	x := New(n, p)
+	// Three latent temporal patterns shared across columns plus noise.
+	for i := 0; i < n; i++ {
+		tday := float64(i) / 288
+		l1 := math.Sin(2 * math.Pi * tday)
+		l2 := math.Cos(4 * math.Pi * tday)
+		l3 := math.Sin(6 * math.Pi * tday)
+		for j := 0; j < p; j++ {
+			v := 5*l1*float64(j%7) + 3*l2*float64(j%3) + l3 + rng.NormFloat64()
+			x.Set(i, j, v)
+		}
+	}
+	cov := x.Covariance()
+	vals, vecs, err := SymEigen(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecomposition(t, cov, vals, vecs, 1e-6)
+	// The data has ~3 strong latent dimensions: eigenvalue 4 should be far
+	// smaller than eigenvalue 1.
+	if vals[3] > vals[0]/100 {
+		t.Fatalf("expected low-rank spectrum, got %v ...", vals[:5])
+	}
+}
+
+// Property: trace is preserved by the eigendecomposition.
+func TestPropEigenTrace(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed*2+1))
+		n := 2 + int(seed%8)
+		a := randomSymmetric(rng, n)
+		vals, _, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += vals[i]
+		}
+		return math.Abs(trace-sum) < 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eigenvalues of A + cI are eigenvalues of A shifted by c.
+func TestPropEigenShift(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+		n := 2 + int(seed%6)
+		a := randomSymmetric(rng, n)
+		c := rng.NormFloat64() * 10
+		shifted := Add(a, Scale(c, Identity(n)))
+		va, _, err1 := SymEigen(a)
+		vs, _, err2 := SymEigen(shifted)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range va {
+			if math.Abs(va[i]+c-vs[i]) > 1e-8*(1+math.Abs(va[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

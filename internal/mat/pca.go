@@ -1,0 +1,144 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// PCA holds a principal component analysis of an n x p data matrix X whose
+// rows are observations (timebins) and whose columns are variables (OD
+// flows).
+//
+// Components are the principal axes v_i (columns of a p x p orthonormal
+// matrix), ordered by descending eigenvalue of the covariance. Eigenvalues
+// are the variances captured along each axis. Mean is the per-column mean
+// removed before analysis (all zeros when fitted with centering disabled).
+type PCA struct {
+	Mean        []float64
+	Eigenvalues []float64
+	Components  *Matrix // p x p; column i is the i-th principal axis.
+	n           int     // number of observations used in the fit
+}
+
+// FitPCA computes the PCA of X. If center is true the column means are
+// removed first (the standard formulation, and the one used throughout this
+// repository: the subspace method studies deviations around the mean OD
+// traffic).
+func FitPCA(X *Matrix, center bool) (*PCA, error) {
+	if X.Rows() < 2 {
+		return nil, errors.New("mat: FitPCA needs at least 2 rows")
+	}
+	work := X.Clone()
+	var mean []float64
+	if center {
+		mean = work.CenterColumns()
+	} else {
+		mean = make([]float64, X.Cols())
+	}
+	cov := Scale(1/float64(work.Rows()-1), work.Gram())
+	vals, vecs, err := SymEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	// Clamp tiny negative eigenvalues caused by roundoff: covariance is PSD.
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	return &PCA{Mean: mean, Eigenvalues: vals, Components: vecs, n: X.Rows()}, nil
+}
+
+// N returns the number of observations the PCA was fitted on.
+func (p *PCA) N() int { return p.n }
+
+// P returns the number of variables (OD flows).
+func (p *PCA) P() int { return len(p.Eigenvalues) }
+
+// Center returns X with the fitted mean removed (a new matrix).
+func (p *PCA) Center(X *Matrix) *Matrix {
+	out := X.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.RowView(i)
+		for j := range row {
+			row[j] -= p.Mean[j]
+		}
+	}
+	return out
+}
+
+// Scores returns the score matrix T = Xc * V (n x p): the coordinates of
+// each centered observation in the principal-axis basis.
+func (p *PCA) Scores(X *Matrix) *Matrix {
+	return Mul(p.Center(X), p.Components)
+}
+
+// Eigenflows returns the matrix U (n x p) whose column i is the i-th
+// eigenflow: the i-th score column normalized to unit Euclidean norm. This
+// is the formulation of Lakhina et al. (SIGMETRICS 2004): X = U S V^T, so
+// eigenflow i is the common temporal pattern along principal axis i.
+//
+// Columns whose score norm is (near) zero are left as all-zero; they
+// correspond to directions with no variance.
+func (p *PCA) Eigenflows(X *Matrix) *Matrix {
+	scores := p.Scores(X)
+	n, k := scores.Rows(), scores.Cols()
+	for j := 0; j < k; j++ {
+		var norm float64
+		for i := 0; i < n; i++ {
+			v := scores.At(i, j)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-300 {
+			continue
+		}
+		inv := 1 / norm
+		for i := 0; i < n; i++ {
+			scores.Set(i, j, scores.At(i, j)*inv)
+		}
+	}
+	return scores
+}
+
+// ProjectionSplit reconstructs each row of X as the sum of a modeled part
+// (projection onto the top-k principal axes) and a residual part, returning
+// (Xhat, Xtilde) with X = Xhat + Xtilde + 1*mean^T. Both returned matrices
+// are in the centered coordinate frame; callers inspecting magnitudes of
+// state and residual vectors (as the subspace method does) use them
+// directly.
+func (p *PCA) ProjectionSplit(X *Matrix, k int) (modeled, residual *Matrix) {
+	if k < 0 || k > p.P() {
+		panic("mat: ProjectionSplit k out of range")
+	}
+	xc := p.Center(X)
+	// P_k = V_k V_k^T. Applying it row-wise: modeled = Xc V_k V_k^T.
+	vk := New(p.P(), k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < p.P(); i++ {
+			vk.Set(i, j, p.Components.At(i, j))
+		}
+	}
+	scores := Mul(xc, vk)         // n x k
+	modeled = Mul(scores, vk.T()) // n x p
+	residual = Sub(xc, modeled)
+	return modeled, residual
+}
+
+// VarianceExplained returns the cumulative fraction of total variance
+// captured by the top-k components, for k = 1..p.
+func (p *PCA) VarianceExplained() []float64 {
+	total := 0.0
+	for _, v := range p.Eigenvalues {
+		total += v
+	}
+	out := make([]float64, len(p.Eigenvalues))
+	run := 0.0
+	for i, v := range p.Eigenvalues {
+		run += v
+		if total > 0 {
+			out[i] = run / total
+		}
+	}
+	return out
+}

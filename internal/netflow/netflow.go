@@ -1,0 +1,256 @@
+// Package netflow implements the measurement-plane wire format of the
+// simulator: a NetFlow v5 compatible binary codec plus an exporter/collector
+// pair.
+//
+// The paper's data was collected with Juniper Traffic Sampling, which (like
+// Cisco NetFlow, referenced in the paper's introduction) exports sampled
+// flow records from every router. Reproducing the export/collect hop keeps
+// the pipeline honest: the OD aggregation layer consumes exactly what a
+// collector could have parsed off the wire, nothing more.
+//
+// Layout (all fields big-endian, as on the wire):
+//
+//	header (24 bytes): version, count, sysUptime, unixSecs, unixNsecs,
+//	                   flowSequence, engineType, engineID, samplingInterval
+//	record (48 bytes): srcAddr, dstAddr, nextHop, input, output, dPkts,
+//	                   dOctets, first, last, srcPort, dstPort, pad, tcpFlags,
+//	                   proto, tos, srcAS, dstAS, srcMask, dstMask, pad
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"netwide/internal/flow"
+	"netwide/internal/ipaddr"
+)
+
+// Version is the only export format version the codec speaks.
+const Version = 5
+
+// HeaderLen and RecordLen are the NetFlow v5 wire sizes.
+const (
+	HeaderLen = 24
+	RecordLen = 48
+	// MaxRecordsPerPacket is the v5 limit (a full packet stays under the
+	// common 1500-byte MTU).
+	MaxRecordsPerPacket = 30
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated  = errors.New("netflow: truncated packet")
+	ErrBadVersion = errors.New("netflow: unsupported version")
+	ErrBadCount   = errors.New("netflow: record count does not match packet length")
+)
+
+// Header is the decoded packet header.
+type Header struct {
+	Count            uint16
+	SysUptime        uint32
+	UnixSecs         uint32
+	UnixNsecs        uint32
+	FlowSequence     uint32
+	EngineType       uint8
+	EngineID         uint8
+	SamplingInterval uint16 // low 14 bits: 1-in-N packet sampling
+}
+
+// Record is one decoded flow record. It carries the subset of v5 fields the
+// pipeline uses plus the raw extras so that re-encoding is lossless.
+type Record struct {
+	Key          flow.Key
+	Packets      uint64
+	Bytes        uint64
+	First, Last  uint32 // router uptime at first/last packet of the flow
+	TCPFlags     uint8
+	InputSNMP    uint16
+	OutputSNMP   uint16
+	SrcAS, DstAS uint16
+}
+
+// EncodePacket serializes a header and up to MaxRecordsPerPacket records.
+func EncodePacket(h Header, recs []Record) ([]byte, error) {
+	if len(recs) > MaxRecordsPerPacket {
+		return nil, fmt.Errorf("netflow: %d records exceeds packet limit %d", len(recs), MaxRecordsPerPacket)
+	}
+	h.Count = uint16(len(recs))
+	buf := make([]byte, HeaderLen+RecordLen*len(recs))
+	be := binary.BigEndian
+	be.PutUint16(buf[0:], Version)
+	be.PutUint16(buf[2:], h.Count)
+	be.PutUint32(buf[4:], h.SysUptime)
+	be.PutUint32(buf[8:], h.UnixSecs)
+	be.PutUint32(buf[12:], h.UnixNsecs)
+	be.PutUint32(buf[16:], h.FlowSequence)
+	buf[20] = h.EngineType
+	buf[21] = h.EngineID
+	be.PutUint16(buf[22:], h.SamplingInterval)
+
+	for i, r := range recs {
+		off := HeaderLen + i*RecordLen
+		if r.Packets > 0xFFFFFFFF || r.Bytes > 0xFFFFFFFF {
+			return nil, fmt.Errorf("netflow: record %d counters exceed 32 bits", i)
+		}
+		be.PutUint32(buf[off+0:], uint32(r.Key.Src))
+		be.PutUint32(buf[off+4:], uint32(r.Key.Dst))
+		// nextHop (off+8) left zero: the simulator does not model it.
+		be.PutUint16(buf[off+12:], r.InputSNMP)
+		be.PutUint16(buf[off+14:], r.OutputSNMP)
+		be.PutUint32(buf[off+16:], uint32(r.Packets))
+		be.PutUint32(buf[off+20:], uint32(r.Bytes))
+		be.PutUint32(buf[off+24:], r.First)
+		be.PutUint32(buf[off+28:], r.Last)
+		be.PutUint16(buf[off+32:], r.Key.SrcPort)
+		be.PutUint16(buf[off+34:], r.Key.DstPort)
+		buf[off+37] = r.TCPFlags
+		buf[off+38] = uint8(r.Key.Proto)
+		be.PutUint16(buf[off+40:], r.SrcAS)
+		be.PutUint16(buf[off+42:], r.DstAS)
+	}
+	return buf, nil
+}
+
+// DecodePacket parses one export packet.
+func DecodePacket(buf []byte) (Header, []Record, error) {
+	if len(buf) < HeaderLen {
+		return Header{}, nil, ErrTruncated
+	}
+	be := binary.BigEndian
+	if v := be.Uint16(buf[0:]); v != Version {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	h := Header{
+		Count:            be.Uint16(buf[2:]),
+		SysUptime:        be.Uint32(buf[4:]),
+		UnixSecs:         be.Uint32(buf[8:]),
+		UnixNsecs:        be.Uint32(buf[12:]),
+		FlowSequence:     be.Uint32(buf[16:]),
+		EngineType:       buf[20],
+		EngineID:         buf[21],
+		SamplingInterval: be.Uint16(buf[22:]),
+	}
+	want := HeaderLen + int(h.Count)*RecordLen
+	if len(buf) != want {
+		if len(buf) < want {
+			return Header{}, nil, ErrTruncated
+		}
+		return Header{}, nil, ErrBadCount
+	}
+	recs := make([]Record, h.Count)
+	for i := range recs {
+		off := HeaderLen + i*RecordLen
+		recs[i] = Record{
+			Key: flow.Key{
+				Src:     ipaddr.Addr(be.Uint32(buf[off+0:])),
+				Dst:     ipaddr.Addr(be.Uint32(buf[off+4:])),
+				SrcPort: be.Uint16(buf[off+32:]),
+				DstPort: be.Uint16(buf[off+34:]),
+				Proto:   flow.Proto(buf[off+38]),
+			},
+			InputSNMP:  be.Uint16(buf[off+12:]),
+			OutputSNMP: be.Uint16(buf[off+14:]),
+			Packets:    uint64(be.Uint32(buf[off+16:])),
+			Bytes:      uint64(be.Uint32(buf[off+20:])),
+			First:      be.Uint32(buf[off+24:]),
+			Last:       be.Uint32(buf[off+28:]),
+			TCPFlags:   buf[off+37],
+			SrcAS:      be.Uint16(buf[off+40:]),
+			DstAS:      be.Uint16(buf[off+42:]),
+		}
+	}
+	return h, recs, nil
+}
+
+// Exporter batches flow records into export packets, maintaining the v5
+// flow sequence counter. One Exporter models one router's export engine.
+type Exporter struct {
+	EngineID         uint8
+	SamplingInterval uint16
+	seq              uint32
+	pending          []Record
+	packets          [][]byte
+	now              func() (sysUptime, unixSecs uint32)
+}
+
+// NewExporter creates an exporter; clock supplies (sysUptime, unixSecs) for
+// packet headers and may be nil for a fixed zero clock (useful in tests).
+func NewExporter(engineID uint8, samplingInterval uint16, clock func() (uint32, uint32)) *Exporter {
+	if clock == nil {
+		clock = func() (uint32, uint32) { return 0, 0 }
+	}
+	return &Exporter{EngineID: engineID, SamplingInterval: samplingInterval, now: clock}
+}
+
+// Add queues a record, flushing a packet when the batch is full.
+func (e *Exporter) Add(r Record) error {
+	e.pending = append(e.pending, r)
+	if len(e.pending) >= MaxRecordsPerPacket {
+		return e.Flush()
+	}
+	return nil
+}
+
+// Flush emits any pending records as a packet.
+func (e *Exporter) Flush() error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	up, secs := e.now()
+	h := Header{
+		SysUptime:        up,
+		UnixSecs:         secs,
+		FlowSequence:     e.seq,
+		EngineID:         e.EngineID,
+		SamplingInterval: e.SamplingInterval,
+	}
+	pkt, err := EncodePacket(h, e.pending)
+	if err != nil {
+		return err
+	}
+	e.seq += uint32(len(e.pending))
+	e.pending = e.pending[:0]
+	e.packets = append(e.packets, pkt)
+	return nil
+}
+
+// Drain returns and clears the accumulated packets.
+func (e *Exporter) Drain() [][]byte {
+	out := e.packets
+	e.packets = nil
+	return out
+}
+
+// Collector parses export packets and tracks per-engine sequence numbers to
+// count records lost in transit (v5's only loss signal).
+type Collector struct {
+	Records    []Record
+	Lost       uint64
+	nextSeq    map[uint8]uint32
+	seqStarted map[uint8]bool
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{nextSeq: map[uint8]uint32{}, seqStarted: map[uint8]bool{}}
+}
+
+// Ingest parses one packet, appending its records.
+func (c *Collector) Ingest(pkt []byte) error {
+	h, recs, err := DecodePacket(pkt)
+	if err != nil {
+		return err
+	}
+	if c.seqStarted[h.EngineID] {
+		if exp := c.nextSeq[h.EngineID]; h.FlowSequence != exp {
+			// Sequence gap: records were dropped between collector and
+			// exporter (uint32 arithmetic handles wraparound).
+			c.Lost += uint64(h.FlowSequence - exp)
+		}
+	}
+	c.seqStarted[h.EngineID] = true
+	c.nextSeq[h.EngineID] = h.FlowSequence + uint32(len(recs))
+	c.Records = append(c.Records, recs...)
+	return nil
+}

@@ -1,0 +1,274 @@
+package netflow
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"netwide/internal/flow"
+	"netwide/internal/ipaddr"
+)
+
+func mkRecord(i int) Record {
+	return Record{
+		Key: flow.Key{
+			Src:     ipaddr.FromOctets(10, byte(i), 0, 1),
+			Dst:     ipaddr.FromOctets(10, 16, byte(i), 2),
+			SrcPort: uint16(1024 + i),
+			DstPort: flow.PortHTTP,
+			Proto:   flow.ProtoTCP,
+		},
+		Packets:  uint64(i + 1),
+		Bytes:    uint64((i + 1) * 600),
+		First:    100,
+		Last:     160,
+		TCPFlags: 0x18,
+		SrcAS:    11537,
+		DstAS:    11537,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h := Header{SysUptime: 42, UnixSecs: 1050000000, FlowSequence: 7, EngineID: 3, SamplingInterval: 100}
+	recs := []Record{mkRecord(0), mkRecord(1), mkRecord(2)}
+	pkt, err := EncodePacket(h, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) != HeaderLen+3*RecordLen {
+		t.Fatalf("packet length %d", len(pkt))
+	}
+	h2, recs2, err := DecodePacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Count != 3 || h2.FlowSequence != 7 || h2.EngineID != 3 || h2.SamplingInterval != 100 || h2.UnixSecs != h.UnixSecs {
+		t.Fatalf("header mismatch: %+v", h2)
+	}
+	for i := range recs {
+		if recs2[i] != recs[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, recs2[i], recs[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	pkt, _ := EncodePacket(Header{}, []Record{mkRecord(0)})
+
+	if _, _, err := DecodePacket(pkt[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	if _, _, err := DecodePacket(pkt[:len(pkt)-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated record: %v", err)
+	}
+	long := append(append([]byte{}, pkt...), 0)
+	if _, _, err := DecodePacket(long); !errors.Is(err, ErrBadCount) {
+		t.Fatalf("overlong packet: %v", err)
+	}
+	bad := append([]byte{}, pkt...)
+	bad[0], bad[1] = 0, 9
+	if _, _, err := DecodePacket(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+}
+
+func TestEncodeLimits(t *testing.T) {
+	recs := make([]Record, MaxRecordsPerPacket+1)
+	if _, err := EncodePacket(Header{}, recs); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	big := mkRecord(0)
+	big.Bytes = 1 << 33
+	if _, err := EncodePacket(Header{}, []Record{big}); err == nil {
+		t.Fatal("counter overflow accepted")
+	}
+}
+
+func TestExporterBatching(t *testing.T) {
+	e := NewExporter(1, 100, nil)
+	for i := 0; i < 65; i++ {
+		if err := e.Add(mkRecord(i % 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pkts := e.Drain()
+	// 65 records = 2 full packets of 30 + 1 packet of 5.
+	if len(pkts) != 3 {
+		t.Fatalf("packets=%d, want 3", len(pkts))
+	}
+	h0, r0, _ := DecodePacket(pkts[0])
+	h2, r2, _ := DecodePacket(pkts[2])
+	if len(r0) != 30 || len(r2) != 5 {
+		t.Fatalf("batch sizes %d/%d", len(r0), len(r2))
+	}
+	if h0.FlowSequence != 0 || h2.FlowSequence != 60 {
+		t.Fatalf("sequences %d/%d", h0.FlowSequence, h2.FlowSequence)
+	}
+	// Drain clears.
+	if len(e.Drain()) != 0 {
+		t.Fatal("drain did not clear")
+	}
+	// Flush with nothing pending is a no-op.
+	if err := e.Flush(); err != nil || len(e.Drain()) != 0 {
+		t.Fatal("empty flush emitted a packet")
+	}
+}
+
+func TestCollectorCountsLoss(t *testing.T) {
+	e := NewExporter(7, 100, nil)
+	for i := 0; i < 90; i++ {
+		_ = e.Add(mkRecord(i % 5))
+	}
+	_ = e.Flush()
+	pkts := e.Drain()
+	if len(pkts) != 3 {
+		t.Fatalf("packets=%d", len(pkts))
+	}
+	c := NewCollector()
+	// Drop the middle packet (30 records).
+	if err := c.Ingest(pkts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(pkts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if c.Lost != 30 {
+		t.Fatalf("lost=%d, want 30", c.Lost)
+	}
+	if len(c.Records) != 60 {
+		t.Fatalf("records=%d, want 60", len(c.Records))
+	}
+}
+
+func TestCollectorPerEngineSequences(t *testing.T) {
+	e1 := NewExporter(1, 100, nil)
+	e2 := NewExporter(2, 100, nil)
+	for i := 0; i < 30; i++ {
+		_ = e1.Add(mkRecord(i % 3))
+	}
+	for i := 0; i < 30; i++ {
+		_ = e2.Add(mkRecord(i % 3))
+	}
+	c := NewCollector()
+	// Interleaving engines must not look like loss.
+	for _, p := range append(e1.Drain(), e2.Drain()...) {
+		if err := c.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Lost != 0 {
+		t.Fatalf("lost=%d across engines, want 0", c.Lost)
+	}
+}
+
+func TestClockInHeaders(t *testing.T) {
+	e := NewExporter(1, 100, func() (uint32, uint32) { return 777, 1071000000 })
+	_ = e.Add(mkRecord(0))
+	_ = e.Flush()
+	h, _, err := DecodePacket(e.Drain()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SysUptime != 777 || h.UnixSecs != 1071000000 {
+		t.Fatalf("header clock %d/%d", h.SysUptime, h.UnixSecs)
+	}
+}
+
+// Property: encode->decode is the identity for arbitrary valid records.
+func TestPropRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xdead))
+		n := rng.IntN(MaxRecordsPerPacket + 1)
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = Record{
+				Key: flow.Key{
+					Src:     ipaddr.Addr(rng.Uint32()),
+					Dst:     ipaddr.Addr(rng.Uint32()),
+					SrcPort: uint16(rng.UintN(65536)),
+					DstPort: uint16(rng.UintN(65536)),
+					Proto:   flow.Proto(rng.UintN(256)),
+				},
+				Packets:    uint64(rng.Uint32()),
+				Bytes:      uint64(rng.Uint32()),
+				First:      rng.Uint32(),
+				Last:       rng.Uint32(),
+				TCPFlags:   uint8(rng.UintN(256)),
+				InputSNMP:  uint16(rng.UintN(65536)),
+				OutputSNMP: uint16(rng.UintN(65536)),
+				SrcAS:      uint16(rng.UintN(65536)),
+				DstAS:      uint16(rng.UintN(65536)),
+			}
+		}
+		h := Header{SysUptime: rng.Uint32(), UnixSecs: rng.Uint32(), FlowSequence: rng.Uint32(), EngineID: uint8(rng.UintN(256)), SamplingInterval: uint16(rng.UintN(1 << 14))}
+		pkt, err := EncodePacket(h, recs)
+		if err != nil {
+			return false
+		}
+		h2, recs2, err := DecodePacket(pkt)
+		if err != nil {
+			return false
+		}
+		if h2.FlowSequence != h.FlowSequence || int(h2.Count) != n {
+			return false
+		}
+		for i := range recs {
+			if recs[i] != recs2[i] {
+				return false
+			}
+		}
+		// Re-encoding must be byte-identical (lossless).
+		pkt2, err := EncodePacket(h2, recs2)
+		return err == nil && bytes.Equal(pkt, pkt2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DecodePacket never panics and never fabricates records on
+// arbitrary input bytes — it either errors or returns exactly Count
+// records.
+func TestPropDecodeRobust(t *testing.T) {
+	f := func(seed uint64, size uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xF00D))
+		buf := make([]byte, int(size)%2048)
+		for i := range buf {
+			buf[i] = byte(rng.UintN(256))
+		}
+		h, recs, err := DecodePacket(buf)
+		if err != nil {
+			return recs == nil
+		}
+		return len(recs) == int(h.Count) && len(buf) == HeaderLen+int(h.Count)*RecordLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping the version field always yields ErrBadVersion, never
+// a successful parse.
+func TestPropDecodeVersionStrict(t *testing.T) {
+	f := func(v uint16, seed uint64) bool {
+		if v == Version {
+			return true
+		}
+		pkt, err := EncodePacket(Header{FlowSequence: uint32(seed % 1000)}, []Record{mkRecord(int(seed % 7))})
+		if err != nil {
+			return false
+		}
+		pkt[0] = byte(v >> 8)
+		pkt[1] = byte(v)
+		_, _, err = DecodePacket(pkt)
+		return errors.Is(err, ErrBadVersion)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

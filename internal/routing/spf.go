@@ -1,0 +1,169 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"netwide/internal/topology"
+)
+
+// SPF holds the all-pairs shortest-path state computed from the backbone
+// IGP weights: distance and next hop for every (source, destination) PoP
+// pair, plus per-directed-link indexes used for link-load accounting.
+type SPF struct {
+	dist    [topology.NumPoPs][topology.NumPoPs]float64
+	nextHop [topology.NumPoPs][topology.NumPoPs]topology.PoP
+	// linkIndex maps a directed PoP adjacency to a dense index in [0, 2L).
+	linkIndex map[[2]topology.PoP]int
+	links     [][2]topology.PoP
+}
+
+type pqItem struct {
+	pop  topology.PoP
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ComputeSPF runs Dijkstra from every PoP over the topology's IGP weights.
+// ECMP ties are broken deterministically toward the lower-numbered neighbor
+// so that routing (and therefore every downstream experiment) is
+// reproducible.
+func ComputeSPF(top *topology.Topology) (*SPF, error) {
+	if err := top.Validate(); err != nil {
+		return nil, fmt.Errorf("routing: invalid topology: %w", err)
+	}
+	s := &SPF{linkIndex: map[[2]topology.PoP]int{}}
+	for _, l := range top.Links {
+		s.linkIndex[[2]topology.PoP{l.A, l.B}] = len(s.links)
+		s.links = append(s.links, [2]topology.PoP{l.A, l.B})
+		s.linkIndex[[2]topology.PoP{l.B, l.A}] = len(s.links)
+		s.links = append(s.links, [2]topology.PoP{l.B, l.A})
+	}
+
+	type edge struct {
+		to topology.PoP
+		w  float64
+	}
+	adj := make([][]edge, topology.NumPoPs)
+	for _, l := range top.Links {
+		adj[l.A] = append(adj[l.A], edge{l.B, l.Weight})
+		adj[l.B] = append(adj[l.B], edge{l.A, l.Weight})
+	}
+
+	for src := topology.PoP(0); src < topology.NumPoPs; src++ {
+		var dist [topology.NumPoPs]float64
+		var prev [topology.NumPoPs]topology.PoP
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prev[i] = -1
+		}
+		dist[src] = 0
+		q := &pq{{src, 0}}
+		done := [topology.NumPoPs]bool{}
+		for q.Len() > 0 {
+			it := heap.Pop(q).(pqItem)
+			u := it.pop
+			if done[u] {
+				continue
+			}
+			done[u] = true
+			for _, e := range adj[u] {
+				nd := dist[u] + e.w
+				// Deterministic ECMP: on an exact tie prefer the path whose
+				// predecessor is the lower-numbered PoP.
+				if nd < dist[e.to] || (nd == dist[e.to] && prev[e.to] > u) {
+					dist[e.to] = nd
+					prev[e.to] = u
+					heap.Push(q, pqItem{e.to, nd})
+				}
+			}
+		}
+		for dst := topology.PoP(0); dst < topology.NumPoPs; dst++ {
+			s.dist[src][dst] = dist[dst]
+			if dst == src {
+				s.nextHop[src][dst] = src
+				continue
+			}
+			// Walk back from dst to find the first hop out of src.
+			hop := dst
+			for prev[hop] != src {
+				hop = prev[hop]
+				if hop < 0 {
+					return nil, fmt.Errorf("routing: no path %s -> %s", src, dst)
+				}
+			}
+			s.nextHop[src][dst] = hop
+		}
+	}
+	return s, nil
+}
+
+// Dist returns the IGP distance between two PoPs.
+func (s *SPF) Dist(a, b topology.PoP) float64 { return s.dist[a][b] }
+
+// NextHop returns the first hop on the shortest path from src toward dst.
+func (s *SPF) NextHop(src, dst topology.PoP) topology.PoP { return s.nextHop[src][dst] }
+
+// Path returns the full PoP sequence from src to dst inclusive.
+func (s *SPF) Path(src, dst topology.PoP) []topology.PoP {
+	path := []topology.PoP{src}
+	for src != dst {
+		src = s.nextHop[src][dst]
+		path = append(path, src)
+		if len(path) > topology.NumPoPs {
+			panic("routing: path longer than PoP count (loop)")
+		}
+	}
+	return path
+}
+
+// NumDirectedLinks returns the number of directed backbone links (2 per
+// physical link).
+func (s *SPF) NumDirectedLinks() int { return len(s.links) }
+
+// DirectedLink returns the (from, to) PoPs of directed link i.
+func (s *SPF) DirectedLink(i int) (from, to topology.PoP) {
+	return s.links[i][0], s.links[i][1]
+}
+
+// LinkLoads routes a per-OD demand vector (indexed by ODPair.Index) over the
+// shortest paths and returns the resulting per-directed-link loads. Demand
+// on self-pairs (origin == destination) never touches the backbone. This is
+// the projection from the OD-flow view to the link view of the authors'
+// earlier SIGCOMM work, used by the single-link baseline detectors.
+func (s *SPF) LinkLoads(demand []float64) ([]float64, error) {
+	if len(demand) != topology.NumODPairs {
+		return nil, fmt.Errorf("routing: demand length %d, want %d", len(demand), topology.NumODPairs)
+	}
+	loads := make([]float64, len(s.links))
+	for i, d := range demand {
+		if d == 0 {
+			continue
+		}
+		od := topology.ODPairFromIndex(i)
+		if od.Origin == od.Dest {
+			continue
+		}
+		cur := od.Origin
+		for cur != od.Dest {
+			next := s.nextHop[cur][od.Dest]
+			loads[s.linkIndex[[2]topology.PoP{cur, next}]] += d
+			cur = next
+		}
+	}
+	return loads, nil
+}

@@ -1,0 +1,118 @@
+// Package routing implements the control-plane substrate of the simulator:
+// IS-IS-like shortest-path routing over the Abilene backbone (Dijkstra with
+// deterministic ECMP tie-breaking), a binary longest-prefix-match trie in
+// the style of a BGP RIB, and the ingress/egress resolution procedure the
+// paper uses to aggregate IP flows into OD flows (router configuration files
+// for ingress, BGP/IS-IS tables for egress, computed once per day).
+package routing
+
+import (
+	"netwide/internal/ipaddr"
+)
+
+// Trie is a binary (one bit per level) longest-prefix-match trie mapping
+// IPv4 prefixes to values of type V. The zero value is an empty trie ready
+// to use. It is not safe for concurrent mutation.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Insert adds or replaces the value for prefix p.
+func (t *Trie[V]) Insert(p ipaddr.Prefix, v V) {
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	for i := 0; i < p.Bits; i++ {
+		b := (p.Addr >> (31 - i)) & 1
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// Lookup returns the value of the longest prefix containing a, and whether
+// any prefix matched.
+func (t *Trie[V]) Lookup(a ipaddr.Addr) (V, bool) {
+	var best V
+	found := false
+	n := t.root
+	for i := 0; n != nil; i++ {
+		if n.set {
+			best, found = n.val, true
+		}
+		if i == 32 {
+			break
+		}
+		b := (a >> (31 - i)) & 1
+		n = n.child[b]
+	}
+	return best, found
+}
+
+// LookupPrefix returns the value stored exactly at prefix p.
+func (t *Trie[V]) LookupPrefix(p ipaddr.Prefix) (V, bool) {
+	n := t.root
+	for i := 0; i < p.Bits && n != nil; i++ {
+		b := (p.Addr >> (31 - i)) & 1
+		n = n.child[b]
+	}
+	if n == nil || !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Remove deletes the entry stored exactly at prefix p, reporting whether it
+// existed. Interior nodes are left in place (the trie is small and rebuilt
+// daily, so no pruning is needed).
+func (t *Trie[V]) Remove(p ipaddr.Prefix) bool {
+	n := t.root
+	for i := 0; i < p.Bits && n != nil; i++ {
+		b := (p.Addr >> (31 - i)) & 1
+		n = n.child[b]
+	}
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Len returns the number of stored prefixes.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Walk visits every stored prefix/value pair in address order.
+func (t *Trie[V]) Walk(fn func(ipaddr.Prefix, V)) {
+	var rec func(n *trieNode[V], addr ipaddr.Addr, depth int)
+	rec = func(n *trieNode[V], addr ipaddr.Addr, depth int) {
+		if n == nil {
+			return
+		}
+		if n.set {
+			p, _ := ipaddr.NewPrefix(addr, depth)
+			fn(p, n.val)
+		}
+		if depth == 32 {
+			return
+		}
+		rec(n.child[0], addr, depth+1)
+		rec(n.child[1], addr|1<<(31-depth), depth+1)
+	}
+	rec(t.root, 0, 0)
+}

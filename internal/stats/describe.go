@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than two
+// values).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics. It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q=%v out of [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Histogram is a fixed-width-bin histogram over [Min, Max). Values outside
+// the range are clamped into the first/last bin so that totals are
+// preserved (the paper's figures similarly bound their axes).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram creates a histogram with the given bin count over [min,max).
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || !(max > min) {
+		panic(fmt.Sprintf("stats: NewHistogram bad parameters min=%v max=%v bins=%d", min, max, bins))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	idx := int(float64(bins) * (x - h.Min) / (h.Max - h.Min))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int {
+	var t int
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// Mode returns the index of the most populated bin (ties resolve to the
+// lowest index).
+func (h *Histogram) Mode() int {
+	best, bestc := 0, -1
+	for i, c := range h.Counts {
+		if c > bestc {
+			best, bestc = i, c
+		}
+	}
+	return best
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0,1]: higher alpha weights recent values more. The zero value is
+// not usable; construct with NewEWMA.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor.
+func NewEWMA(alpha float64) *EWMA {
+	if !(alpha > 0 && alpha <= 1) {
+		panic(fmt.Sprintf("stats: NewEWMA alpha=%v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds x into the average and returns the new value. The first
+// observation initializes the average.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.started {
+		e.value = x
+		e.started = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any update).
+func (e *EWMA) Value() float64 { return e.value }

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	near(t, Mean(xs), 5, 1e-12, "mean")
+	near(t, Variance(xs), 32.0/7, 1e-12, "variance")
+	near(t, StdDev(xs), math.Sqrt(32.0/7), 1e-12, "stddev")
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs not zero")
+	}
+}
+
+func TestQuantileMedian(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	near(t, Median(xs), 2, 1e-12, "median")
+	near(t, Quantile(xs, 0), 1, 1e-12, "q0")
+	near(t, Quantile(xs, 1), 3, 1e-12, "q1")
+	near(t, Quantile([]float64{1, 2, 3, 4}, 0.5), 2.5, 1e-12, "interpolated median")
+	// Quantile must not mutate its input.
+	if xs[0] != 3 {
+		t.Fatal("Quantile sorted caller slice")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty Quantile did not panic")
+			}
+		}()
+		Quantile(nil, 0.5)
+	}()
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 3.5, 9.9, -5, 100} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total %d, want 7", h.Total())
+	}
+	// -5 clamps into bin 0; 100 into bin 4.
+	if h.Counts[0] != 3 { // 0.5, 1, -5
+		t.Fatalf("bin0=%d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.9, 100
+		t.Fatalf("bin4=%d, want 2", h.Counts[4])
+	}
+	if h.Counts[1] != 2 { // 3, 3.5
+		t.Fatalf("bin1=%d, want 2", h.Counts[1])
+	}
+	near(t, h.BinCenter(0), 1, 1e-12, "bin center")
+	if h.Mode() != 0 {
+		t.Fatalf("mode=%d, want 0", h.Mode())
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if v := e.Update(10); v != 10 {
+		t.Fatalf("first update %v", v)
+	}
+	if v := e.Update(0); v != 5 {
+		t.Fatalf("second update %v", v)
+	}
+	if v := e.Value(); v != 5 {
+		t.Fatalf("value %v", v)
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha=%v accepted", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestPropMeanBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^5))
+		n := 1 + rng.IntN(50)
+		xs := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+11))
+		n := 2 + rng.IntN(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		q1 := rng.Float64()
+		q2 := q1 + (1-q1)*rng.Float64()
+		return Quantile(xs, q1) <= Quantile(xs, q2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram preserves total count regardless of out-of-range
+// values.
+func TestPropHistogramTotal(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		h := NewHistogram(-1, 1, 8)
+		n := rng.IntN(200)
+		for i := 0; i < n; i++ {
+			h.Add(rng.NormFloat64() * 3)
+		}
+		return h.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package stats provides the statistical machinery behind the subspace
+// method: normal and F-distribution quantiles, the Jackson–Mudholkar
+// Q-statistic threshold for the squared prediction error, the Hotelling T²
+// threshold, and small descriptive-statistics helpers (histograms, EWMA,
+// moments) used by the anomaly characterization pipeline.
+//
+// Everything is implemented from first principles on top of math.Erf /
+// math.Lgamma; numerical routines are validated in tests against reference
+// values from standard tables.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NormQuantile returns the quantile (inverse CDF) of the standard normal
+// distribution at probability p in (0,1).
+func NormQuantile(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("stats: NormQuantile p=%v out of (0,1)", p))
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// NormCDF returns the standard normal cumulative distribution function at x.
+func NormCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// logBeta returns log(Beta(a,b)).
+func logBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b)
+// for a, b > 0 and x in [0, 1], evaluated with the Lentz continued-fraction
+// method (Numerical Recipes betacf), using the symmetry transformation for
+// fast convergence.
+func RegIncBeta(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic(fmt.Sprintf("stats: RegIncBeta a=%v b=%v must be positive", a, b))
+	}
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	bt := math.Exp(a*math.Log(x) + b*math.Log(1-x) - logBeta(a, b))
+	if x < (a+1)/(a+b+2) {
+		return bt * betacf(a, b, x) / a
+	}
+	return 1 - bt*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			return h
+		}
+	}
+	// Extremely skewed parameters can be slow; the partial sum is still a
+	// usable approximation at this point.
+	return h
+}
+
+// FCDF returns P(F <= x) for the F distribution with d1 and d2 degrees of
+// freedom.
+func FCDF(x, d1, d2 float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegIncBeta(d1/2, d2/2, d1*x/(d1*x+d2))
+}
+
+// FQuantile returns the quantile of the F distribution with d1 and d2
+// degrees of freedom at probability p in (0,1). It inverts FCDF by bracketed
+// bisection refined with Newton steps.
+func FQuantile(p, d1, d2 float64) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("stats: FQuantile p=%v out of (0,1)", p)
+	}
+	if d1 <= 0 || d2 <= 0 {
+		return 0, fmt.Errorf("stats: FQuantile degrees of freedom d1=%v d2=%v must be positive", d1, d2)
+	}
+	// Bracket the root.
+	lo, hi := 0.0, 1.0
+	for FCDF(hi, d1, d2) < p {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, errors.New("stats: FQuantile failed to bracket")
+		}
+	}
+	// Bisection to convergence (60 iterations give ~1e-18 relative width).
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if FCDF(mid, d1, d2) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*(1+hi) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square distribution with k
+// degrees of freedom, via the regularized lower incomplete gamma function.
+func ChiSquareCDF(x, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(k/2, x/2)
+}
+
+// regIncGammaLower computes P(a, x), the regularized lower incomplete gamma
+// function, by series (x < a+1) or continued fraction (x >= a+1).
+func regIncGammaLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		panic(fmt.Sprintf("stats: regIncGammaLower a=%v x=%v", a, x))
+	}
+	if x == 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series expansion.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a,x), return 1-Q.
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func near(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+func TestNormQuantileReference(t *testing.T) {
+	// Reference values from standard normal tables.
+	near(t, NormQuantile(0.5), 0, 1e-12, "z(0.5)")
+	near(t, NormQuantile(0.975), 1.959963984540054, 1e-9, "z(0.975)")
+	near(t, NormQuantile(0.999), 3.090232306167813, 1e-9, "z(0.999)")
+	near(t, NormQuantile(0.0013498980316301), -3.0, 1e-8, "z(~0.00135)")
+}
+
+func TestNormQuantileCDFInverse(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999} {
+		near(t, NormCDF(NormQuantile(p)), p, 1e-10, "CDF(quantile(p))")
+	}
+}
+
+func TestNormQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NormQuantile(%v) did not panic", p)
+				}
+			}()
+			NormQuantile(p)
+		}()
+	}
+}
+
+func TestRegIncBetaReference(t *testing.T) {
+	near(t, RegIncBeta(1, 1, 0.3), 0.3, 1e-12, "I_0.3(1,1)")
+	near(t, RegIncBeta(2, 2, 0.5), 0.5, 1e-12, "I_0.5(2,2)")
+	// Beta(2,3) CDF = 6x^2 - 8x^3 + 3x^4.
+	near(t, RegIncBeta(2, 3, 0.25), 0.26171875, 1e-10, "I_0.25(2,3)")
+	near(t, RegIncBeta(2, 3, 0), 0, 0, "I_0(2,3)")
+	near(t, RegIncBeta(2, 3, 1), 1, 0, "I_1(2,3)")
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, tc := range []struct{ a, b, x float64 }{
+		{0.5, 0.5, 0.2}, {3, 7, 0.6}, {10, 2, 0.9}, {50, 50, 0.5},
+	} {
+		lhs := RegIncBeta(tc.a, tc.b, tc.x)
+		rhs := 1 - RegIncBeta(tc.b, tc.a, 1-tc.x)
+		near(t, lhs, rhs, 1e-12, "beta symmetry")
+	}
+}
+
+func TestFCDFReference(t *testing.T) {
+	// F(1,1) CDF at 161.4476 is 0.95 (the classic table value).
+	near(t, FCDF(161.4476, 1, 1), 0.95, 1e-4, "FCDF(161.45;1,1)")
+	// F(4,100) 95th percentile is 2.4626.
+	near(t, FCDF(2.4626, 4, 100), 0.95, 1e-4, "FCDF(2.4626;4,100)")
+	if FCDF(0, 3, 3) != 0 || FCDF(-1, 3, 3) != 0 {
+		t.Fatal("FCDF not zero at non-positive x")
+	}
+}
+
+func TestFQuantileReference(t *testing.T) {
+	q, err := FQuantile(0.95, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, q, 2.4626, 2e-4, "F(0.95;4,100)")
+
+	q, err = FQuantile(0.99, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, q, 5.6363, 2e-3, "F(0.99;5,10)")
+
+	// As d2 -> infinity, F_{k,d2} quantile -> chi2_k quantile / k.
+	// chi2(4) 99.9th percentile = 18.4668.
+	q, err = FQuantile(0.999, 4, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, q, 18.4668/4, 5e-3, "F(0.999;4,inf)")
+}
+
+func TestFQuantileErrors(t *testing.T) {
+	if _, err := FQuantile(0, 2, 2); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := FQuantile(1.5, 2, 2); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+	if _, err := FQuantile(0.5, -1, 2); err == nil {
+		t.Fatal("negative dof accepted")
+	}
+}
+
+func TestChiSquareCDFReference(t *testing.T) {
+	// k=2 is exponential: CDF(x) = 1 - exp(-x/2).
+	near(t, ChiSquareCDF(2, 2), 1-math.Exp(-1), 1e-10, "chi2 CDF(2;2)")
+	// chi2(4) 95th percentile is 9.4877.
+	near(t, ChiSquareCDF(9.4877, 4), 0.95, 1e-4, "chi2 CDF(9.4877;4)")
+	// chi2(4) 99.9th percentile is 18.4668.
+	near(t, ChiSquareCDF(18.4668, 4), 0.999, 1e-5, "chi2 CDF(18.4668;4)")
+	if ChiSquareCDF(0, 3) != 0 {
+		t.Fatal("chi2 CDF at 0 not 0")
+	}
+}
+
+// Property: FQuantile is the right inverse of FCDF.
+func TestPropFQuantileInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+7))
+		p := 0.01 + 0.98*rng.Float64()
+		d1 := 1 + float64(rng.IntN(30))
+		d2 := 2 + float64(rng.IntN(300))
+		q, err := FQuantile(p, d1, d2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(FCDF(q, d1, d2)-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDFs are monotone non-decreasing.
+func TestPropCDFMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed*3+1))
+		d1 := 1 + float64(rng.IntN(20))
+		d2 := 1 + float64(rng.IntN(200))
+		x := rng.Float64() * 10
+		y := x + rng.Float64()*10
+		return FCDF(x, d1, d2) <= FCDF(y, d1, d2)+1e-12 &&
+			ChiSquareCDF(x, d1) <= ChiSquareCDF(y, d1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

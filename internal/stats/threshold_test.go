@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestQThresholdBasic(t *testing.T) {
+	eig := []float64{100, 50, 10, 5, 1, 0.5, 0.2, 0.1}
+	q1, err := QThreshold(eig, 4, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 <= 0 {
+		t.Fatalf("threshold %v not positive", q1)
+	}
+	// Residual variance sums to 1.8; the 99.9% threshold must exceed the
+	// expected SPE (phi1) by a comfortable margin.
+	if q1 < 1.8 {
+		t.Fatalf("threshold %v below expected SPE", q1)
+	}
+}
+
+func TestQThresholdMonotoneInAlpha(t *testing.T) {
+	eig := []float64{40, 20, 8, 3, 1.5, 0.9, 0.4, 0.2, 0.1}
+	prev := math.Inf(1)
+	for _, alpha := range []float64{0.001, 0.01, 0.05, 0.1, 0.2} {
+		q, err := QThreshold(eig, 3, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q > prev {
+			t.Fatalf("threshold not decreasing in alpha: %v after %v", q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestQThresholdMonotoneInResidualMass(t *testing.T) {
+	small := []float64{50, 20, 1, 0.5, 0.1}
+	large := []float64{50, 20, 10, 5, 1}
+	qs, err := QThreshold(small, 2, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ql, err := QThreshold(large, 2, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ql <= qs {
+		t.Fatalf("more residual variance should raise threshold: %v <= %v", ql, qs)
+	}
+}
+
+func TestQThresholdEdgeCases(t *testing.T) {
+	if _, err := QThreshold([]float64{1, 2}, 2, 0.01); err == nil {
+		t.Fatal("k == p accepted")
+	}
+	if _, err := QThreshold([]float64{1, 2}, -1, 0.01); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := QThreshold([]float64{1, 2}, 1, 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	// Zero residual spectrum: threshold collapses to zero.
+	q, err := QThreshold([]float64{5, 0, 0}, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Fatalf("zero residual spectrum gave threshold %v", q)
+	}
+}
+
+// QThreshold false-alarm calibration: for multivariate Gaussian data with a
+// known spectrum, the fraction of SPE values above the threshold should be
+// close to alpha.
+func TestQThresholdCalibration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 202))
+	// Residual space: 6 dims with modest, distinct variances.
+	vars := []float64{4, 2.5, 1.5, 1, 0.6, 0.4}
+	eig := append([]float64{1000, 500, 200}, vars...) // 3 "normal" dims ignored
+	const alpha = 0.02
+	q, err := QThreshold(eig, 3, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	exceed := 0
+	for i := 0; i < n; i++ {
+		var spe float64
+		for _, v := range vars {
+			x := rng.NormFloat64() * math.Sqrt(v)
+			spe += x * x
+		}
+		if spe > q {
+			exceed++
+		}
+	}
+	got := float64(exceed) / n
+	if got < alpha/3 || got > alpha*3 {
+		t.Fatalf("empirical false-alarm rate %v, want within 3x of %v", got, alpha)
+	}
+}
+
+func TestT2ThresholdReference(t *testing.T) {
+	// k=4, n=1000, alpha=0.001: close to the chi-square limit
+	// chi2_{4,0.999} = 18.4668 but strictly above it for finite n.
+	th, err := T2Threshold(4, 1000, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th < 18.4668 || th > 21 {
+		t.Fatalf("T2 threshold %v outside expected (18.47, 21)", th)
+	}
+	// Large n converges to chi-square limit.
+	th, err = T2Threshold(4, 2_000_000, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, th, 18.4668, 0.05, "T2 limit")
+}
+
+func TestT2ThresholdErrors(t *testing.T) {
+	if _, err := T2Threshold(0, 10, 0.01); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := T2Threshold(5, 5, 0.01); err == nil {
+		t.Fatal("n=k accepted")
+	}
+}
+
+// T2 calibration: normalized scores of Gaussian data should exceed the
+// threshold with probability about alpha.
+func TestT2Calibration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(303, 404))
+	const (
+		k     = 4
+		n     = 30000
+		alpha = 0.02
+	)
+	th, err := T2Threshold(k, n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exceed := 0
+	for i := 0; i < n; i++ {
+		var t2 float64
+		for j := 0; j < k; j++ {
+			z := rng.NormFloat64()
+			t2 += z * z
+		}
+		if t2 > th {
+			exceed++
+		}
+	}
+	got := float64(exceed) / n
+	if got < alpha/3 || got > alpha*3 {
+		t.Fatalf("empirical T2 false-alarm rate %v, want within 3x of %v", got, alpha)
+	}
+}

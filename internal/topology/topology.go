@@ -1,0 +1,368 @@
+// Package topology models the Abilene Internet2 backbone as it stood during
+// the paper's measurement period (April and December 2003): 11 points of
+// presence spanning the continental US, the 14 OC-192 backbone links between
+// them, and the customer networks attached at each PoP.
+//
+// The topology is the substrate every other layer builds on: routing derives
+// IS-IS weights from the link distances; the traffic generator derives OD
+// demands from PoP weights (gravity model); ingress/egress resolution maps
+// customer prefixes to PoPs.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"netwide/internal/ipaddr"
+)
+
+// PoP identifies an Abilene point of presence. Values are dense indexes so
+// OD pairs can be addressed as PoP*NumPoPs+PoP.
+type PoP int
+
+// The 11 Abilene PoPs (2003). The three-to-four-letter codes are the ones
+// used by the Abilene NOC and by the paper (e.g. "LOSA outage on 4/17",
+// "measurement failure from CHIN on 12/21").
+const (
+	ATLA PoP = iota // Atlanta
+	CHIN            // Chicago
+	DNVR            // Denver
+	HSTN            // Houston
+	IPLS            // Indianapolis
+	KSCY            // Kansas City
+	LOSA            // Los Angeles
+	NYCM            // New York City
+	SNVA            // Sunnyvale
+	STTL            // Seattle
+	WASH            // Washington DC
+
+	// NumPoPs is the number of PoPs; the OD matrix is NumPoPs^2 = 121 wide.
+	NumPoPs = 11
+)
+
+// NumODPairs is the number of origin-destination pairs (including the
+// self-pairs PoP->same PoP, which carry locally exchanged customer traffic,
+// exactly as in the paper's p = 121).
+const NumODPairs = NumPoPs * NumPoPs
+
+var popNames = [NumPoPs]string{
+	"ATLA", "CHIN", "DNVR", "HSTN", "IPLS", "KSCY", "LOSA", "NYCM", "SNVA", "STTL", "WASH",
+}
+
+// String returns the NOC code of the PoP.
+func (p PoP) String() string {
+	if p < 0 || p >= NumPoPs {
+		return fmt.Sprintf("PoP(%d)", int(p))
+	}
+	return popNames[p]
+}
+
+// Valid reports whether p is a real PoP index.
+func (p PoP) Valid() bool { return p >= 0 && p < NumPoPs }
+
+// ParsePoP resolves a NOC code (e.g. "LOSA") to a PoP.
+func ParsePoP(code string) (PoP, error) {
+	for i, n := range popNames {
+		if n == code {
+			return PoP(i), nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown PoP %q", code)
+}
+
+// coord is a geographic coordinate in degrees.
+type coord struct{ lat, lon float64 }
+
+// Approximate PoP locations, used to derive IS-IS-like link weights from
+// great-circle distances (Abilene's IGP metrics were distance-based).
+var popCoords = [NumPoPs]coord{
+	ATLA: {33.76, -84.39},
+	CHIN: {41.88, -87.63},
+	DNVR: {39.74, -104.99},
+	HSTN: {29.76, -95.37},
+	IPLS: {39.77, -86.16},
+	KSCY: {39.10, -94.58},
+	LOSA: {34.05, -118.24},
+	NYCM: {40.71, -74.01},
+	SNVA: {37.37, -122.04},
+	STTL: {47.61, -122.33},
+	WASH: {38.91, -77.04},
+}
+
+// Link is an undirected backbone link between two PoPs.
+type Link struct {
+	A, B PoP
+	// CapacityBps is the link capacity in bits per second (Abilene ran
+	// OC-192, ~10 Gb/s).
+	CapacityBps float64
+	// Weight is the IGP metric used by shortest-path routing; derived from
+	// great-circle distance in kilometers.
+	Weight float64
+}
+
+// ODPair is an (origin PoP, destination PoP) pair — the aggregation level of
+// the paper's traffic matrices.
+type ODPair struct {
+	Origin, Dest PoP
+}
+
+// Index returns the dense index of the pair in [0, NumODPairs).
+func (od ODPair) Index() int { return int(od.Origin)*NumPoPs + int(od.Dest) }
+
+// ODPairFromIndex inverts Index.
+func ODPairFromIndex(i int) ODPair {
+	return ODPair{Origin: PoP(i / NumPoPs), Dest: PoP(i % NumPoPs)}
+}
+
+// String renders "LOSA->NYCM".
+func (od ODPair) String() string { return od.Origin.String() + "->" + od.Dest.String() }
+
+// Customer is a network attached to the backbone at one or more PoPs (a
+// university, a regional aggregation network, or a peer). Multihomed
+// customers (several Homes) are the ones that can perform ingress shifts.
+type Customer struct {
+	Name string
+	// Homes lists attachment PoPs in preference order: traffic enters and
+	// leaves via Homes[0] unless an ingress shift or outage moves it.
+	Homes []PoP
+	// Prefixes is the customer's address space, announced at its homes.
+	Prefixes []ipaddr.Prefix
+	// Weight scales the customer's traffic volume in the gravity model.
+	Weight float64
+}
+
+// Topology is the full network model.
+type Topology struct {
+	Links     []Link
+	Customers []Customer
+	// popWeight caches the summed customer weight per PoP for the gravity
+	// model.
+	popWeight [NumPoPs]float64
+}
+
+// haversineKm returns the great-circle distance between two coordinates.
+func haversineKm(a, b coord) float64 {
+	const earthRadiusKm = 6371
+	rad := math.Pi / 180
+	dLat := (b.lat - a.lat) * rad
+	dLon := (b.lon - a.lon) * rad
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(a.lat*rad)*math.Cos(b.lat*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(s))
+}
+
+// abileneAdjacency is the 14-link Abilene backbone of 2003.
+var abileneAdjacency = [][2]PoP{
+	{STTL, SNVA}, {STTL, DNVR},
+	{SNVA, LOSA}, {SNVA, DNVR},
+	{LOSA, HSTN},
+	{DNVR, KSCY},
+	{KSCY, HSTN}, {KSCY, IPLS},
+	{HSTN, ATLA},
+	{IPLS, CHIN}, {IPLS, ATLA},
+	{CHIN, NYCM},
+	{ATLA, WASH},
+	{NYCM, WASH},
+}
+
+// Abilene constructs the reference topology: the 2003 backbone plus a
+// synthetic-but-structured customer population. Each PoP hosts several
+// single-homed customers with deterministic address space carved from
+// 10.0.0.0/8; LOSA and SNVA share one multihomed customer ("CALREN", the
+// customer whose ingress shift around the 4/17 LOSA outage the paper
+// describes).
+func Abilene() *Topology {
+	t := &Topology{}
+	const oc192 = 10e9
+	for _, adj := range abileneAdjacency {
+		d := haversineKm(popCoords[adj[0]], popCoords[adj[1]])
+		t.Links = append(t.Links, Link{A: adj[0], B: adj[1], CapacityBps: oc192, Weight: d})
+	}
+
+	// Customer address plan: PoP i owns 10.(16*i).0.0/12; customer c at
+	// PoP i owns 10.(16*i+c).0.0/16. This keeps ingress resolution a pure
+	// prefix lookup, like the BGP/config-file procedure in the paper.
+	customersPerPoP := [NumPoPs]int{
+		ATLA: 5, CHIN: 6, DNVR: 3, HSTN: 4, IPLS: 5, KSCY: 3,
+		LOSA: 5, NYCM: 7, SNVA: 6, STTL: 4, WASH: 6,
+	}
+	// Relative sizes loosely follow the PoP's academic population; these
+	// drive the gravity model.
+	popScale := [NumPoPs]float64{
+		ATLA: 1.0, CHIN: 1.6, DNVR: 0.6, HSTN: 0.8, IPLS: 1.1, KSCY: 0.5,
+		LOSA: 1.3, NYCM: 1.8, SNVA: 1.4, STTL: 0.9, WASH: 1.5,
+	}
+	for p := PoP(0); p < NumPoPs; p++ {
+		n := customersPerPoP[p]
+		for c := 0; c < n; c++ {
+			pfx, err := ipaddr.NewPrefix(ipaddr.FromOctets(10, byte(16*int(p)+c), 0, 0), 16)
+			if err != nil {
+				panic(err)
+			}
+			// Within a PoP, customer sizes decay geometrically so a few
+			// large customers dominate, as in real aggregation networks.
+			w := popScale[p] * math.Pow(0.65, float64(c))
+			t.Customers = append(t.Customers, Customer{
+				Name:     fmt.Sprintf("%s-CUST%d", p, c),
+				Homes:    []PoP{p},
+				Prefixes: []ipaddr.Prefix{pfx},
+				Weight:   w,
+			})
+		}
+	}
+	// The multihomed regional customer: primary LOSA, backup SNVA.
+	calren, err := ipaddr.NewPrefix(ipaddr.FromOctets(10, 200, 0, 0), 14)
+	if err != nil {
+		panic(err)
+	}
+	t.Customers = append(t.Customers, Customer{
+		Name:     "CALREN",
+		Homes:    []PoP{LOSA, SNVA},
+		Prefixes: []ipaddr.Prefix{calren},
+		Weight:   1.2,
+	})
+
+	for _, c := range t.Customers {
+		t.popWeight[c.Homes[0]] += c.Weight
+	}
+	return t
+}
+
+// PoPWeight returns the gravity-model weight of PoP p (sum of primary-homed
+// customer weights).
+func (t *Topology) PoPWeight(p PoP) float64 { return t.popWeight[p] }
+
+// TotalWeight returns the sum of all PoP weights.
+func (t *Topology) TotalWeight() float64 {
+	var s float64
+	for _, w := range t.popWeight {
+		s += w
+	}
+	return s
+}
+
+// Neighbors returns the PoPs adjacent to p along with the connecting link
+// weights.
+func (t *Topology) Neighbors(p PoP) []struct {
+	PoP    PoP
+	Weight float64
+} {
+	var out []struct {
+		PoP    PoP
+		Weight float64
+	}
+	for _, l := range t.Links {
+		switch p {
+		case l.A:
+			out = append(out, struct {
+				PoP    PoP
+				Weight float64
+			}{l.B, l.Weight})
+		case l.B:
+			out = append(out, struct {
+				PoP    PoP
+				Weight float64
+			}{l.A, l.Weight})
+		}
+	}
+	return out
+}
+
+// CustomerByName finds a customer; it returns nil if absent.
+func (t *Topology) CustomerByName(name string) *Customer {
+	for i := range t.Customers {
+		if t.Customers[i].Name == name {
+			return &t.Customers[i]
+		}
+	}
+	return nil
+}
+
+// CustomersAt returns the customers whose primary home is p.
+func (t *Topology) CustomersAt(p PoP) []*Customer {
+	var out []*Customer
+	for i := range t.Customers {
+		if t.Customers[i].Homes[0] == p {
+			out = append(out, &t.Customers[i])
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: PoP indexes in range, no self
+// links, no duplicate links, connected backbone, customers non-empty with
+// valid homes and non-overlapping prefixes.
+func (t *Topology) Validate() error {
+	seen := map[[2]PoP]bool{}
+	adj := make([][]PoP, NumPoPs)
+	for _, l := range t.Links {
+		if !l.A.Valid() || !l.B.Valid() {
+			return fmt.Errorf("topology: link %v has invalid PoP", l)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("topology: self link at %s", l.A)
+		}
+		key := [2]PoP{l.A, l.B}
+		if l.B < l.A {
+			key = [2]PoP{l.B, l.A}
+		}
+		if seen[key] {
+			return fmt.Errorf("topology: duplicate link %s-%s", l.A, l.B)
+		}
+		seen[key] = true
+		if l.Weight <= 0 || l.CapacityBps <= 0 {
+			return fmt.Errorf("topology: non-positive weight/capacity on %s-%s", l.A, l.B)
+		}
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	// Connectivity (BFS from PoP 0).
+	visited := make([]bool, NumPoPs)
+	queue := []PoP{0}
+	visited[0] = true
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, q := range adj[p] {
+			if !visited[q] {
+				visited[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	for p, v := range visited {
+		if !v {
+			return fmt.Errorf("topology: PoP %s unreachable", PoP(p))
+		}
+	}
+	if len(t.Customers) == 0 {
+		return fmt.Errorf("topology: no customers")
+	}
+	for i := range t.Customers {
+		c := &t.Customers[i]
+		if len(c.Homes) == 0 {
+			return fmt.Errorf("topology: customer %s has no homes", c.Name)
+		}
+		for _, h := range c.Homes {
+			if !h.Valid() {
+				return fmt.Errorf("topology: customer %s home invalid", c.Name)
+			}
+		}
+		if len(c.Prefixes) == 0 {
+			return fmt.Errorf("topology: customer %s has no prefixes", c.Name)
+		}
+		if c.Weight <= 0 {
+			return fmt.Errorf("topology: customer %s non-positive weight", c.Name)
+		}
+		for j := 0; j < i; j++ {
+			for _, p1 := range c.Prefixes {
+				for _, p2 := range t.Customers[j].Prefixes {
+					if p1.Overlaps(p2) {
+						return fmt.Errorf("topology: customers %s and %s have overlapping prefixes", c.Name, t.Customers[j].Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

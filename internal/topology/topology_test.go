@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAbileneValid(t *testing.T) {
+	top := Abilene()
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbileneShape(t *testing.T) {
+	top := Abilene()
+	if len(top.Links) != 14 {
+		t.Fatalf("links=%d, want 14 (2003 Abilene backbone)", len(top.Links))
+	}
+	if NumODPairs != 121 {
+		t.Fatalf("NumODPairs=%d, want 121", NumODPairs)
+	}
+	// Every PoP has at least one customer.
+	for p := PoP(0); p < NumPoPs; p++ {
+		if len(top.CustomersAt(p)) == 0 {
+			t.Fatalf("PoP %s has no customers", p)
+		}
+		if top.PoPWeight(p) <= 0 {
+			t.Fatalf("PoP %s weight %v", p, top.PoPWeight(p))
+		}
+	}
+}
+
+func TestMultihomedCustomer(t *testing.T) {
+	top := Abilene()
+	c := top.CustomerByName("CALREN")
+	if c == nil {
+		t.Fatal("CALREN missing")
+	}
+	if len(c.Homes) != 2 || c.Homes[0] != LOSA || c.Homes[1] != SNVA {
+		t.Fatalf("CALREN homes = %v, want [LOSA SNVA]", c.Homes)
+	}
+	if top.CustomerByName("NOPE") != nil {
+		t.Fatal("unknown customer resolved")
+	}
+}
+
+func TestPoPStringParse(t *testing.T) {
+	for p := PoP(0); p < NumPoPs; p++ {
+		got, err := ParsePoP(p.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Fatalf("ParsePoP(%s) = %v", p, got)
+		}
+	}
+	if _, err := ParsePoP("XXXX"); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+	if PoP(99).String() != "PoP(99)" {
+		t.Fatalf("out-of-range String = %s", PoP(99))
+	}
+	if PoP(-1).Valid() || PoP(NumPoPs).Valid() {
+		t.Fatal("Valid() wrong at boundaries")
+	}
+}
+
+func TestODPairIndexRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		i := int(raw) % NumODPairs
+		od := ODPairFromIndex(i)
+		return od.Index() == i && od.Origin.Valid() && od.Dest.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	od := ODPair{Origin: LOSA, Dest: NYCM}
+	if od.String() != "LOSA->NYCM" {
+		t.Fatalf("String = %s", od)
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	top := Abilene()
+	for p := PoP(0); p < NumPoPs; p++ {
+		for _, nb := range top.Neighbors(p) {
+			found := false
+			for _, back := range top.Neighbors(nb.PoP) {
+				if back.PoP == p && back.Weight == nb.Weight {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric adjacency %s <-> %s", p, nb.PoP)
+			}
+		}
+	}
+	// Degree spot checks against the 2003 map.
+	if len(top.Neighbors(KSCY)) != 3 {
+		t.Fatalf("KSCY degree %d, want 3", len(top.Neighbors(KSCY)))
+	}
+	if len(top.Neighbors(LOSA)) != 2 {
+		t.Fatalf("LOSA degree %d, want 2", len(top.Neighbors(LOSA)))
+	}
+}
+
+func TestLinkWeightsLookPhysical(t *testing.T) {
+	top := Abilene()
+	for _, l := range top.Links {
+		// Great-circle distances between these cities are 400-2000 km.
+		if l.Weight < 200 || l.Weight > 3000 {
+			t.Fatalf("link %s-%s weight %v km implausible", l.A, l.B, l.Weight)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func(mutate func(*Topology)) error {
+		top := Abilene()
+		mutate(top)
+		return top.Validate()
+	}
+	if err := mk(func(tp *Topology) { tp.Links[0].B = tp.Links[0].A }); err == nil {
+		t.Fatal("self link accepted")
+	}
+	if err := mk(func(tp *Topology) { tp.Links = append(tp.Links, tp.Links[0]) }); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+	if err := mk(func(tp *Topology) { tp.Links = tp.Links[:4] }); err == nil {
+		t.Fatal("disconnected backbone accepted")
+	}
+	if err := mk(func(tp *Topology) { tp.Customers[0].Weight = 0 }); err == nil {
+		t.Fatal("zero-weight customer accepted")
+	}
+	if err := mk(func(tp *Topology) { tp.Customers[1].Prefixes = tp.Customers[0].Prefixes }); err == nil {
+		t.Fatal("overlapping prefixes accepted")
+	}
+	if err := mk(func(tp *Topology) { tp.Customers[0].Homes = nil }); err == nil {
+		t.Fatal("homeless customer accepted")
+	}
+}

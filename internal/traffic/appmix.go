@@ -1,0 +1,158 @@
+package traffic
+
+import (
+	"fmt"
+
+	"netwide/internal/flow"
+)
+
+// SizeClass is one mode of an application's flow-size mixture.
+type SizeClass struct {
+	// VolumeFrac is the fraction of the app's byte volume carried by flows
+	// of this class; fractions sum to 1 within an app.
+	VolumeFrac float64
+	// PktsPerFlow is the true per-flow packet count of the class.
+	PktsPerFlow uint64
+	// BytesPerPkt is the mean packet size.
+	BytesPerPkt float64
+}
+
+// App is one application in the background mix.
+type App struct {
+	Name string
+	// VolumeShare is the app's fraction of total background bytes; shares
+	// sum to 1 across the mix.
+	VolumeShare float64
+	Proto       flow.Proto
+	// DstPort is the app's service port template (the attribute the
+	// classifier keys on).
+	DstPort PortTemplate
+	// Sizes is the flow-size mixture, heavy-tailed for bulk apps.
+	Sizes []SizeClass
+}
+
+// Mix is a complete application mix.
+type Mix []App
+
+// DefaultMix models an academic backbone circa 2003: web-dominated byte
+// volume, a long tail of small DNS/mail flows (which dominate flow counts),
+// news feeds, ssh, and early P2P file sharing on port 1412
+// (kazaa/morpheus, called out by the paper as an ALPHA-flow port).
+func DefaultMix() Mix {
+	return Mix{
+		{
+			Name: "web", VolumeShare: 0.46, Proto: flow.ProtoTCP,
+			DstPort: PortTemplate{Mode: PortFixed, Port: flow.PortHTTP},
+			Sizes: []SizeClass{
+				{VolumeFrac: 0.35, PktsPerFlow: 10, BytesPerPkt: 600},
+				{VolumeFrac: 0.40, PktsPerFlow: 60, BytesPerPkt: 800},
+				{VolumeFrac: 0.25, PktsPerFlow: 700, BytesPerPkt: 1100},
+			},
+		},
+		{
+			Name: "https", VolumeShare: 0.08, Proto: flow.ProtoTCP,
+			DstPort: PortTemplate{Mode: PortFixed, Port: 443},
+			Sizes: []SizeClass{
+				{VolumeFrac: 0.5, PktsPerFlow: 14, BytesPerPkt: 650},
+				{VolumeFrac: 0.5, PktsPerFlow: 90, BytesPerPkt: 900},
+			},
+		},
+		{
+			Name: "dns", VolumeShare: 0.03, Proto: flow.ProtoUDP,
+			DstPort: PortTemplate{Mode: PortFixed, Port: flow.PortDNS},
+			Sizes: []SizeClass{
+				{VolumeFrac: 1.0, PktsPerFlow: 2, BytesPerPkt: 90},
+			},
+		},
+		{
+			Name: "mail", VolumeShare: 0.06, Proto: flow.ProtoTCP,
+			DstPort: PortTemplate{Mode: PortFixed, Port: flow.PortSMTP},
+			Sizes: []SizeClass{
+				{VolumeFrac: 0.6, PktsPerFlow: 20, BytesPerPkt: 500},
+				{VolumeFrac: 0.4, PktsPerFlow: 150, BytesPerPkt: 900},
+			},
+		},
+		{
+			Name: "nntp", VolumeShare: 0.07, Proto: flow.ProtoTCP,
+			DstPort: PortTemplate{Mode: PortFixed, Port: flow.PortNNTP},
+			Sizes: []SizeClass{
+				{VolumeFrac: 1.0, PktsPerFlow: 1200, BytesPerPkt: 1200},
+			},
+		},
+		{
+			Name: "ssh", VolumeShare: 0.04, Proto: flow.ProtoTCP,
+			DstPort: PortTemplate{Mode: PortFixed, Port: 22},
+			Sizes: []SizeClass{
+				{VolumeFrac: 0.7, PktsPerFlow: 40, BytesPerPkt: 250},
+				{VolumeFrac: 0.3, PktsPerFlow: 800, BytesPerPkt: 700},
+			},
+		},
+		{
+			Name: "p2p", VolumeShare: 0.22, Proto: flow.ProtoTCP,
+			DstPort: PortTemplate{Mode: PortFixed, Port: flow.PortKazaa},
+			Sizes: []SizeClass{
+				{VolumeFrac: 0.3, PktsPerFlow: 30, BytesPerPkt: 400},
+				{VolumeFrac: 0.7, PktsPerFlow: 1200, BytesPerPkt: 1200},
+			},
+		},
+		{
+			Name: "grid-ftp", VolumeShare: 0.04, Proto: flow.ProtoTCP,
+			DstPort: PortTemplate{Mode: PortRange, Lo: 2811, Hi: 2813},
+			Sizes: []SizeClass{
+				{VolumeFrac: 1.0, PktsPerFlow: 2000, BytesPerPkt: 1400},
+			},
+		},
+	}
+}
+
+// Validate checks that volume shares and per-app size fractions are
+// normalized and that every size class is measurable.
+func (m Mix) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("traffic: empty mix")
+	}
+	var share float64
+	for _, a := range m {
+		if a.VolumeShare <= 0 {
+			return fmt.Errorf("traffic: app %s non-positive share", a.Name)
+		}
+		share += a.VolumeShare
+		if len(a.Sizes) == 0 {
+			return fmt.Errorf("traffic: app %s has no size classes", a.Name)
+		}
+		var frac float64
+		for _, s := range a.Sizes {
+			if s.VolumeFrac <= 0 {
+				return fmt.Errorf("traffic: app %s non-positive size fraction", a.Name)
+			}
+			frac += s.VolumeFrac
+			c := FlowClass{Count: 1, PktsPerFlow: s.PktsPerFlow, BytesPerPkt: s.BytesPerPkt}
+			if err := c.Validate(); err != nil {
+				return fmt.Errorf("traffic: app %s: %w", a.Name, err)
+			}
+		}
+		if frac < 0.999 || frac > 1.001 {
+			return fmt.Errorf("traffic: app %s size fractions sum to %v", a.Name, frac)
+		}
+	}
+	if share < 0.999 || share > 1.001 {
+		return fmt.Errorf("traffic: volume shares sum to %v", share)
+	}
+	return nil
+}
+
+// MeanFlowBytes returns the mix's average true bytes per flow — the
+// conversion factor between byte volume and flow counts.
+func (m Mix) MeanFlowBytes() float64 {
+	// Per app: flows per byte = sum over classes of frac/(pkts*bpp).
+	var totalFlowsPerByte float64
+	for _, a := range m {
+		for _, s := range a.Sizes {
+			totalFlowsPerByte += a.VolumeShare * s.VolumeFrac / (float64(s.PktsPerFlow) * s.BytesPerPkt)
+		}
+	}
+	if totalFlowsPerByte <= 0 {
+		return 0
+	}
+	return 1 / totalFlowsPerByte
+}

@@ -1,0 +1,84 @@
+package traffic
+
+import (
+	"math"
+)
+
+// Timebin constants for the paper's 5-minute binning.
+const (
+	BinSeconds  = 300
+	BinsPerHour = 12
+	BinsPerDay  = 288
+	BinsPerWeek = 7 * BinsPerDay
+)
+
+// Profile is the deterministic temporal shape of network demand: a daily
+// cycle (low at night, peak in the afternoon), a weaker semi-diurnal
+// harmonic, and a weekday/weekend factor. Values are multiplicative around
+// a mean of roughly 1.
+type Profile struct {
+	// DailyAmp is the amplitude of the 24h harmonic (0 disables).
+	DailyAmp float64
+	// SemiAmp is the amplitude of the 12h harmonic.
+	SemiAmp float64
+	// PeakHour is the local hour of the daily maximum.
+	PeakHour float64
+	// WeekendFactor scales Saturday and Sunday (academic networks drop to
+	// ~60% on weekends).
+	WeekendFactor float64
+}
+
+// DefaultProfile mimics the diurnal structure visible in the paper's
+// Figure 1 state-vector plots.
+func DefaultProfile() Profile {
+	return Profile{DailyAmp: 0.45, SemiAmp: 0.12, PeakHour: 15, WeekendFactor: 0.65}
+}
+
+// At returns the demand multiplier for a bin index (bin 0 is Monday
+// 00:00). The multiplier is always positive.
+func (p Profile) At(bin int) float64 {
+	if bin < 0 {
+		bin = 0
+	}
+	dayBin := bin % BinsPerDay
+	hour := float64(dayBin) / BinsPerHour
+	day := (bin / BinsPerDay) % 7
+	v := 1 +
+		p.DailyAmp*math.Cos(2*math.Pi*(hour-p.PeakHour)/24) +
+		p.SemiAmp*math.Cos(4*math.Pi*(hour-p.PeakHour)/24)
+	if day >= 5 { // Saturday, Sunday
+		v *= p.WeekendFactor
+	}
+	if v < 0.05 {
+		v = 0.05
+	}
+	return v
+}
+
+// noiseMix hashes (seed, od, bin, salt) into a deterministic uniform in
+// (0,1); the generator uses it for reproducible per-bin randomness that can
+// be re-derived in isolation (pass 2 of the pipeline regenerates single
+// bins without replaying the whole stream).
+func noiseMix(seed uint64, od, bin int, salt uint64) float64 {
+	x := seed ^ 0x9E3779B97F4A7C15
+	x ^= uint64(od) * 0xBF58476D1CE4E5B9
+	x ^= uint64(bin) * 0x94D049BB133111EB
+	x ^= salt * 0xD6E8FEB86659FD93
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	// Map to (0,1) avoiding exact 0.
+	return (float64(x>>11) + 0.5) / (1 << 53)
+}
+
+// LognormalNoise returns a deterministic multiplicative noise factor
+// exp(sigma*Z) with E[factor] normalized to 1, keyed by (seed, od, bin).
+func LognormalNoise(seed uint64, od, bin int, sigma float64) float64 {
+	u1 := noiseMix(seed, od, bin, 1)
+	u2 := noiseMix(seed, od, bin, 2)
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(sigma*z - sigma*sigma/2)
+}

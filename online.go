@@ -1,0 +1,69 @@
+package netwide
+
+import (
+	"fmt"
+
+	"netwide/internal/core"
+	"netwide/internal/dataset"
+	"netwide/internal/topology"
+)
+
+// OnlineDetector scores live traffic vectors against a model trained on a
+// run — the streaming mode the paper's conclusion calls "practical, online
+// diagnosis of network-wide anomalies".
+type OnlineDetector struct {
+	inner   *core.OnlineDetector
+	measure dataset.Measure
+}
+
+// OnlinePoint is the verdict for one streamed 5-minute traffic vector.
+type OnlinePoint struct {
+	// SPE and T2 are the two subspace statistics for the vector.
+	SPE, T2 float64
+	// SPEAlarm / T2Alarm report threshold exceedance.
+	SPEAlarm, T2Alarm bool
+	// TopOD names the OD pair with the largest residual, the first place
+	// an operator should look when an alarm fires.
+	TopOD string
+}
+
+// NewOnlineDetector trains a streaming detector on one traffic measure
+// ("B", "P" or "F") of the run, using the given detection options.
+func (r *Run) NewOnlineDetector(measure string, opts DetectOptions) (*OnlineDetector, error) {
+	if opts.K == 0 {
+		opts = DefaultDetectOptions()
+	}
+	var m dataset.Measure
+	switch measure {
+	case "B":
+		m = dataset.Bytes
+	case "P":
+		m = dataset.Packets
+	case "F":
+		m = dataset.Flows
+	default:
+		return nil, fmt.Errorf("netwide: unknown measure %q (want B, P or F)", measure)
+	}
+	inner, err := core.NewOnlineDetector(r.ds.Matrix(m), core.Options{K: opts.K, Alpha: opts.Alpha})
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineDetector{inner: inner, measure: m}, nil
+}
+
+// Score evaluates one traffic vector of 121 per-OD values.
+func (d *OnlineDetector) Score(x []float64) (OnlinePoint, error) {
+	pt, err := d.inner.Score(x)
+	if err != nil {
+		return OnlinePoint{}, err
+	}
+	return OnlinePoint{
+		SPE: pt.SPE, T2: pt.T2,
+		SPEAlarm: pt.SPEAlarm, T2Alarm: pt.T2Alarm,
+		TopOD: odName(pt.TopResidualOD),
+	}, nil
+}
+
+func odName(i int) string {
+	return topology.ODPairFromIndex(i).String()
+}
