@@ -9,12 +9,14 @@ package netwide_test
 
 import (
 	"io"
+	"math/rand/v2"
 	"sync"
 	"testing"
 
 	"netwide"
 	"netwide/internal/core"
 	"netwide/internal/dataset"
+	"netwide/internal/mat"
 )
 
 var (
@@ -223,6 +225,163 @@ func BenchmarkBaselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := run.Baselines(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineScoreSerial is the pre-pipeline baseline (E10): the whole
+// week replayed one vector at a time through the three per-measure
+// OnlineDetectors on a single goroutine. Compare with
+// BenchmarkStreamDetect; both report one full 3-measure week per op.
+func BenchmarkOnlineScoreSerial(b *testing.B) {
+	run := benchSetup(b)
+	opts := netwide.DefaultDetectOptions()
+	dets := make([]*netwide.OnlineDetector, 0, 3)
+	for _, m := range []string{"B", "P", "F"} {
+		d, err := run.NewOnlineDetector(m, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dets = append(dets, d)
+	}
+	rows := make([][3][]float64, run.Bins())
+	for bin := 0; bin < run.Bins(); bin++ {
+		for m := dataset.Measure(0); m < dataset.NumMeasures; m++ {
+			rows[bin][m] = run.Dataset().Matrix(m).RowView(bin)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alarms := 0
+		for bin := range rows {
+			for m, det := range dets {
+				pt, err := det.Score(rows[bin][m])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pt.SPEAlarm || pt.T2Alarm {
+					alarms++
+				}
+			}
+		}
+		if alarms == 0 {
+			b.Fatal("no alarms in replay")
+		}
+	}
+}
+
+// BenchmarkStreamDetect replays the same 3-measure week through the
+// concurrent streaming pipeline (E10): per-measure worker lanes, batched
+// scoring via two dense products on the cached subspace basis, ordered
+// verdict merge. Model training happens outside the timer, matching the
+// serial baseline above.
+func BenchmarkStreamDetect(b *testing.B) {
+	run := benchSetup(b)
+	opts := netwide.DefaultDetectOptions()
+	cfg := netwide.StreamConfig{TrainBins: run.Bins(), BatchSize: 32}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		det, err := run.NewStreamDetector(opts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		verdicts, err := det.Replay(0, run.Bins())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(verdicts) != run.Bins() {
+			b.Fatalf("replay returned %d verdicts, want %d", len(verdicts), run.Bins())
+		}
+	}
+}
+
+// BenchmarkStreamDetectRefit adds daily rolling background refits to the
+// replay. The refits run on dedicated goroutines and swap in atomically,
+// so verdicts are never delayed waiting on a fit; the extra time over
+// BenchmarkStreamDetect is the fit CPU itself, which overlaps scoring on
+// multi-core machines.
+func BenchmarkStreamDetectRefit(b *testing.B) {
+	run := benchSetup(b)
+	opts := netwide.DefaultDetectOptions()
+	cfg := netwide.StreamConfig{TrainBins: run.Bins() / 2, BatchSize: 32, RefitEvery: 288, Window: run.Bins() / 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		det, err := run.NewStreamDetector(opts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := det.Replay(run.Bins()/2, run.Bins()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMatPair builds the product shape of the streaming hot path: a week
+// of centered traffic against the full principal-axis basis.
+func benchMatPair() (*mat.Matrix, *mat.Matrix) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	a := mat.New(2016, 121)
+	bm := mat.New(121, 121)
+	for i := 0; i < a.Rows(); i++ {
+		row := a.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	for i := 0; i < bm.Rows(); i++ {
+		row := bm.RowView(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return a, bm
+}
+
+// BenchmarkMatMulSerial pins the dense product to one worker.
+func BenchmarkMatMulSerial(b *testing.B) {
+	a, bm := benchMatPair()
+	prev := mat.SetWorkers(1)
+	defer mat.SetWorkers(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := mat.Mul(a, bm); out.Rows() != 2016 {
+			b.Fatal("bad product")
+		}
+	}
+}
+
+// BenchmarkMatMulParallel runs the same product on the full worker pool
+// (GOMAXPROCS goroutines over disjoint row blocks).
+func BenchmarkMatMulParallel(b *testing.B) {
+	a, bm := benchMatPair()
+	prev := mat.SetWorkers(0) // reset to GOMAXPROCS
+	defer mat.SetWorkers(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := mat.Mul(a, bm); out.Rows() != 2016 {
+			b.Fatal("bad product")
+		}
+	}
+}
+
+// BenchmarkCovarianceParallel times the covariance accumulation behind
+// every PCA fit and background refit, on the full worker pool.
+func BenchmarkCovarianceParallel(b *testing.B) {
+	a, _ := benchMatPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := a.Covariance(); c.Rows() != 121 {
+			b.Fatal("bad covariance")
 		}
 	}
 }

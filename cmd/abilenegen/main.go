@@ -27,6 +27,11 @@ func main() {
 		unres = flag.Float64("unresolved", 0.07, "fraction of flow records failing OD resolution")
 		out   = flag.String("out", "abilene.nwds", "output dataset file")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"abilenegen: generate a synthetic Abilene-like OD-flow dataset.\n\nSimulates gravity-model backbone traffic with injected ground-truth anomalies,\nmeasures it through 1%% packet sampling, NetFlow export and OD resolution, and\nwrites the three B/P/F matrices plus the anomaly ledger to -out.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	cfg := netwide.Config{

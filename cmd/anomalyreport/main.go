@@ -24,6 +24,11 @@ func main() {
 		in      = flag.String("in", "abilene.nwds", "dataset file from abilenegen")
 		verbose = flag.Bool("v", false, "list every classified anomaly")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"anomalyreport: detect, aggregate and classify the anomalies of a dataset.\n\nPrints the characterization tables (Table 1, Table 3), the scope histograms\n(Figure 2) and the detection score against the injected ground truth.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	f, err := os.Open(*in)

@@ -35,6 +35,11 @@ func main() {
 		fig1csv = flag.String("fig1csv", "", "write Figure 1 series to this CSV file")
 		quick   = flag.Bool("quick", false, "1-week quick run (overrides -weeks)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"paper: regenerate every table and figure of the paper's evaluation section\nfrom a fresh simulation (the E1..E9 experiment index in DESIGN.md).\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	cfg := netwide.DefaultConfig()

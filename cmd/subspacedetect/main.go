@@ -25,6 +25,11 @@ func main() {
 		k     = flag.Int("k", 4, "normal subspace dimension")
 		alpha = flag.Float64("alpha", 0.001, "detection false-alarm rate")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"subspacedetect: run the subspace method over a dataset written by abilenegen.\n\nPrints every aggregated anomaly event with its traffic-type combination, start\ntime, duration and the OD flows identified as responsible.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	f, err := os.Open(*in)

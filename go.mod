@@ -1,0 +1,3 @@
+module netwide
+
+go 1.24

@@ -21,6 +21,10 @@ type OnlineDetector struct {
 	pca     *mat.PCA
 	qLimit  float64
 	t2Limit float64
+	// vk (p x k) holds the normal-subspace axes extracted once at fit time;
+	// vkT is its transpose. Batch scoring applies them as two dense products
+	// instead of per-element Components.At lookups.
+	vk, vkT *mat.Matrix
 }
 
 // NewOnlineDetector fits the detector on a training matrix (rows =
@@ -58,12 +62,22 @@ func (d *OnlineDetector) fit(train *mat.Matrix, opts Options) error {
 	if err != nil {
 		return err
 	}
+	vk := pca.TopComponents(opts.K)
 	d.opts, d.pca, d.qLimit, d.t2Limit = opts, pca, qLimit, t2Limit
+	d.vk, d.vkT = vk, vk.T()
 	return nil
 }
 
+// P returns the number of OD flows (vector length) the detector scores.
+func (d *OnlineDetector) P() int { return d.pca.P() }
+
+// Opts returns the options the detector was fitted with.
+func (d *OnlineDetector) Opts() Options { return d.opts }
+
 // Refit replaces the model with one fitted on a new training window,
-// keeping the detector's options.
+// keeping the detector's options. Refit mutates the receiver and must not
+// run concurrently with Score or ScoreBatch; the stream package instead
+// fits a fresh detector in the background and swaps it in atomically.
 func (d *OnlineDetector) Refit(train *mat.Matrix) error {
 	return d.fit(train, d.opts)
 }
@@ -121,4 +135,55 @@ func (d *OnlineDetector) Score(x []float64) (Point, error) {
 	pt.SPEAlarm = pt.SPE > d.qLimit
 	pt.T2Alarm = pt.T2 > d.t2Limit
 	return pt, nil
+}
+
+// ScoreBatch evaluates a batch of traffic vectors in one pass, appending
+// the verdicts to dst (which may be nil) and returning it. The batch is
+// staged as an m x p matrix so the subspace projection becomes two dense
+// matrix products on the cached normal-subspace basis — tight slice loops
+// instead of Score's per-element accessor arithmetic, and parallel across
+// mat.Workers() goroutines when the batch is large enough. Results are in
+// input order and numerically identical to scoring each vector alone.
+func (d *OnlineDetector) ScoreBatch(xs [][]float64, dst []Point) ([]Point, error) {
+	m := len(xs)
+	if m == 0 {
+		return dst, nil
+	}
+	p, k := d.pca.P(), d.opts.K
+	xc := mat.New(m, p)
+	for i, x := range xs {
+		if len(x) != p {
+			return dst, fmt.Errorf("core: batch vector %d length %d, want %d", i, len(x), p)
+		}
+		row := xc.RowView(i)
+		for f, v := range x {
+			row[f] = v - d.pca.Mean[f]
+		}
+	}
+	scores := mat.Mul(xc, d.vk)      // m x k: coordinates in the normal subspace
+	proj := mat.Mul(scores, d.vkT)   // m x p: modeled part of each vector
+	for i := 0; i < m; i++ {
+		var pt Point
+		srow := scores.RowView(i)
+		for j := 0; j < k; j++ {
+			if l := d.pca.Eigenvalues[j]; l > 0 {
+				pt.T2 += srow[j] * srow[j] / l
+			}
+		}
+		xrow, prow := xc.RowView(i), proj.RowView(i)
+		best, bestSq := 0, 0.0
+		for f, v := range xrow {
+			r := v - prow[f]
+			sq := r * r
+			pt.SPE += sq
+			if sq > bestSq {
+				best, bestSq = f, sq
+			}
+		}
+		pt.TopResidualOD = best
+		pt.SPEAlarm = pt.SPE > d.qLimit
+		pt.T2Alarm = pt.T2 > d.t2Limit
+		dst = append(dst, pt)
+	}
+	return dst, nil
 }

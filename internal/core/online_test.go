@@ -120,6 +120,57 @@ func TestOnlineRefit(t *testing.T) {
 	}
 }
 
+func TestScoreBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	train := synthTraffic(rng, 400, 10, 2, []spike{{bin: 50, od: 3, mag: 400}})
+	online, err := NewOnlineDetector(train, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch [][]float64
+	var want []Point
+	for bin := 0; bin < 64; bin++ {
+		x := train.Row(bin * 5)
+		batch = append(batch, x)
+		pt, err := online.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, pt)
+	}
+	got, err := online.ScoreBatch(batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d points, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if rel(got[i].SPE, want[i].SPE) > 1e-9 || rel(got[i].T2, want[i].T2) > 1e-9 {
+			t.Fatalf("point %d: batch (%v,%v) serial (%v,%v)", i, got[i].SPE, got[i].T2, want[i].SPE, want[i].T2)
+		}
+		if got[i].SPEAlarm != want[i].SPEAlarm || got[i].T2Alarm != want[i].T2Alarm ||
+			got[i].TopResidualOD != want[i].TopResidualOD {
+			t.Fatalf("point %d: batch verdict %+v, serial %+v", i, got[i], want[i])
+		}
+	}
+	// Reusing dst appends after existing entries.
+	again, err := online.ScoreBatch(batch[:2], got[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 {
+		t.Fatalf("dst reuse: got %d points, want 2", len(again))
+	}
+	// Bad vector length is rejected; empty batch is a no-op.
+	if _, err := online.ScoreBatch([][]float64{make([]float64, 3)}, nil); err == nil {
+		t.Fatal("short vector accepted in batch")
+	}
+	if out, err := online.ScoreBatch(nil, nil); err != nil || out != nil {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+}
+
 func BenchmarkOnlineScore(b *testing.B) {
 	rng := rand.New(rand.NewPCG(9, 10))
 	train := synthTraffic(rng, 2016, 121, 2, nil)

@@ -5,7 +5,10 @@
 // The package is deliberately minimal and stdlib-only. The problem sizes in
 // this repository are tiny by numerical-computing standards (the covariance
 // of the Abilene OD-flow matrix is 121x121), so clarity and robustness are
-// preferred over cache blocking or SIMD.
+// preferred over cache blocking or SIMD. The two superlinear kernels — Mul
+// and Gram, and through them Covariance, FitPCA and ProjectionSplit — do
+// split their row ranges across goroutines when the flop count warrants it;
+// see SetWorkers for the tunable pool size.
 package mat
 
 import (
@@ -135,25 +138,19 @@ func (m *Matrix) T() *Matrix {
 }
 
 // Mul returns the matrix product a*b. It panics on dimension mismatch.
+// Large products are computed by Workers() goroutines over disjoint row
+// blocks of a.
 func Mul(a, b *Matrix) *Matrix {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.rows, b.cols)
-	// ikj loop order: stream through b rows for locality.
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+	w := Workers()
+	if w <= 1 || a.rows*a.cols*b.cols < parallelFlopThreshold {
+		mulRange(out, a, b, 0, a.rows)
+		return out
 	}
+	parallelRows(a.rows, w, func(lo, hi int) { mulRange(out, a, b, lo, hi) })
 	return out
 }
 
@@ -242,27 +239,17 @@ func (m *Matrix) CenterColumns() []float64 {
 }
 
 // Gram returns the Gram matrix m^T m (cols x cols), exploiting symmetry.
+// Large accumulations run on Workers() goroutines, each summing a private
+// partial triangle that is reduced at the end.
 func (m *Matrix) Gram() *Matrix {
-	out := New(m.cols, m.cols)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for a, va := range row {
-			if va == 0 {
-				continue
-			}
-			orow := out.data[a*out.cols : (a+1)*out.cols]
-			for b := a; b < len(row); b++ {
-				orow[b] += va * row[b]
-			}
-		}
+	w := Workers()
+	if w <= 1 || m.rows*m.cols*m.cols/2 < parallelFlopThreshold {
+		out := New(m.cols, m.cols)
+		gramUpper(out, m, 0, m.rows)
+		mirrorUpper(out)
+		return out
 	}
-	// Mirror the upper triangle.
-	for a := 0; a < out.rows; a++ {
-		for b := a + 1; b < out.cols; b++ {
-			out.data[b*out.cols+a] = out.data[a*out.cols+b]
-		}
-	}
-	return out
+	return gramParallel(m, w)
 }
 
 // Covariance returns the sample covariance matrix of the columns of m,

@@ -1,0 +1,144 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The dense kernels with superlinear work (Mul, Gram, and everything built
+// on them: Covariance, FitPCA, Scores, ProjectionSplit) split their row
+// ranges across a pool of goroutines when the flop count is large enough to
+// amortize goroutine startup. The pool size is a package-level tunable so
+// callers embedding the kernels in their own concurrent pipelines (one
+// scoring worker per traffic measure, say) can budget cores explicitly.
+
+// workerCount is the number of goroutines a single parallel kernel
+// invocation may use. Guarded by atomic access; defaults to GOMAXPROCS.
+var workerCount atomic.Int64
+
+func init() { workerCount.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetWorkers sets the number of goroutines the parallel kernels may use and
+// returns the previous setting. n < 1 resets to runtime.GOMAXPROCS(0).
+// It is safe to call concurrently with running kernels: in-flight calls
+// keep the worker count they started with.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(workerCount.Swap(int64(n)))
+}
+
+// Workers returns the current parallel-kernel worker count.
+func Workers() int { return int(workerCount.Load()) }
+
+// parallelFlopThreshold is the approximate multiply-add count below which
+// the serial kernels win: spawning a goroutine costs on the order of a
+// microsecond, which buys ~10^4-10^5 flops of dense arithmetic.
+const parallelFlopThreshold = 1 << 16
+
+// parallelRows splits [0, n) into at most w contiguous chunks and runs fn
+// on each concurrently, returning when all chunks are done. fn must only
+// write state disjoint per row range.
+func parallelRows(n, w int, fn func(lo, hi int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulRange computes rows [lo, hi) of out = a*b. Row i of out depends only
+// on row i of a, so disjoint ranges never race.
+func mulRange(out, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		// ikj loop order: stream through b rows for locality.
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// gramUpper accumulates the upper triangle of m[lo:hi]^T m[lo:hi] into out
+// (cols x cols). Callers sum partial results and mirror the triangle.
+func gramUpper(out *Matrix, m *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for a, va := range row {
+			if va == 0 {
+				continue
+			}
+			orow := out.data[a*out.cols : (a+1)*out.cols]
+			for b := a; b < len(row); b++ {
+				orow[b] += va * row[b]
+			}
+		}
+	}
+}
+
+// gramParallel computes the full Gram matrix m^T m using w workers, each
+// accumulating a private upper-triangular partial that is reduced serially.
+// The reduction is O(w p²), negligible against the O(n p²/2) accumulation.
+func gramParallel(m *Matrix, w int) *Matrix {
+	partials := make([]*Matrix, w)
+	var wg sync.WaitGroup
+	chunk := (m.rows + w - 1) / w
+	slot := 0
+	for lo := 0; lo < m.rows; lo += chunk {
+		hi := lo + chunk
+		if hi > m.rows {
+			hi = m.rows
+		}
+		p := New(m.cols, m.cols)
+		partials[slot] = p
+		wg.Add(1)
+		go func(p *Matrix, lo, hi int) {
+			defer wg.Done()
+			gramUpper(p, m, lo, hi)
+		}(p, lo, hi)
+		slot++
+	}
+	wg.Wait()
+	out := partials[0]
+	for _, p := range partials[1:slot] {
+		for i, v := range p.data {
+			out.data[i] += v
+		}
+	}
+	mirrorUpper(out)
+	return out
+}
+
+// mirrorUpper copies the upper triangle of a square matrix onto the lower.
+func mirrorUpper(m *Matrix) {
+	for a := 0; a < m.rows; a++ {
+		for b := a + 1; b < m.cols; b++ {
+			m.data[b*m.cols+a] = m.data[a*m.cols+b]
+		}
+	}
+}

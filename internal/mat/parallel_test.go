@@ -1,0 +1,104 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// mulSerial is the reference product used to validate the parallel kernel.
+func mulSerial(a, b *Matrix) *Matrix {
+	out := New(a.rows, b.cols)
+	mulRange(out, a, b, 0, a.rows)
+	return out
+}
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	shapes := [][3]int{
+		{1, 1, 1},     // degenerate
+		{7, 3, 5},     // below threshold
+		{200, 121, 121},
+		{2016, 121, 4}, // the streaming scores product
+		{333, 64, 97},  // odd sizes that don't divide evenly
+	}
+	for _, s := range shapes {
+		a := randomMatrix(rng, s[0], s[1])
+		b := randomMatrix(rng, s[1], s[2])
+		want := mulSerial(a, b)
+		for _, w := range []int{1, 2, 3, 8, 64} {
+			prev := SetWorkers(w)
+			got := Mul(a, b)
+			SetWorkers(prev)
+			if d := MaxAbsDiff(got, want); d != 0 {
+				t.Fatalf("%dx%d*%dx%d workers=%d: max diff %v", s[0], s[1], s[1], s[2], w, d)
+			}
+		}
+	}
+}
+
+func TestGramParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	for _, shape := range [][2]int{{3, 2}, {50, 9}, {2016, 121}, {97, 33}} {
+		m := randomMatrix(rng, shape[0], shape[1])
+		out := New(m.cols, m.cols)
+		gramUpper(out, m, 0, m.rows)
+		mirrorUpper(out)
+		for _, w := range []int{1, 2, 5, 16} {
+			prev := SetWorkers(w)
+			got := m.Gram()
+			SetWorkers(prev)
+			// Partial sums reassociate floating-point addition, so allow a
+			// tiny tolerance relative to the magnitudes involved.
+			if d := MaxAbsDiff(got, out); d > 1e-9*float64(shape[0]) {
+				t.Fatalf("Gram %dx%d workers=%d: max diff %v", shape[0], shape[1], w, d)
+			}
+		}
+	}
+}
+
+func TestGramParallelMoreWorkersThanRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	m := randomMatrix(rng, 3, 300) // wide: passes the flop threshold with 3 rows
+	want := New(m.cols, m.cols)
+	gramUpper(want, m, 0, m.rows)
+	mirrorUpper(want)
+	prev := SetWorkers(8)
+	got := m.Gram()
+	SetWorkers(prev)
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("wide Gram with excess workers: max diff %v", d)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	if prev := SetWorkers(5); prev != orig {
+		t.Fatalf("SetWorkers returned %d, want previous %d", prev, orig)
+	}
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d after SetWorkers(5)", Workers())
+	}
+	SetWorkers(0) // resets to GOMAXPROCS
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset", Workers())
+	}
+}
+
+func TestCovarianceParallelStable(t *testing.T) {
+	// Covariance goes through the parallel Gram; the PSD structure and
+	// symmetry must survive the partial-sum reduction.
+	rng := rand.New(rand.NewPCG(17, 18))
+	m := randomMatrix(rng, 500, 121)
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	cov := m.Covariance()
+	if !cov.IsSymmetric(1e-12) {
+		t.Fatal("parallel covariance not symmetric")
+	}
+	for i := 0; i < cov.Rows(); i++ {
+		if cov.At(i, i) < 0 {
+			t.Fatalf("negative variance at %d: %v", i, cov.At(i, i))
+		}
+	}
+}

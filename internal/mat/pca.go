@@ -24,6 +24,10 @@ type PCA struct {
 // removed first (the standard formulation, and the one used throughout this
 // repository: the subspace method studies deviations around the mean OD
 // traffic).
+//
+// The covariance accumulation — the O(n·p²) hot path of a fit, and the
+// dominant cost of every background refit in the streaming pipeline — runs
+// on the parallel Gram kernel; tune it with SetWorkers.
 func FitPCA(X *Matrix, center bool) (*PCA, error) {
 	if X.Rows() < 2 {
 		return nil, errors.New("mat: FitPCA needs at least 2 rows")
@@ -101,6 +105,21 @@ func (p *PCA) Eigenflows(X *Matrix) *Matrix {
 	return scores
 }
 
+// TopComponents returns the p x k matrix V_k whose columns are the top-k
+// principal axes — the normal-subspace basis of the subspace method.
+func (p *PCA) TopComponents(k int) *Matrix {
+	if k < 0 || k > p.P() {
+		panic("mat: TopComponents k out of range")
+	}
+	vk := New(p.P(), k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < p.P(); i++ {
+			vk.Set(i, j, p.Components.At(i, j))
+		}
+	}
+	return vk
+}
+
 // ProjectionSplit reconstructs each row of X as the sum of a modeled part
 // (projection onto the top-k principal axes) and a residual part, returning
 // (Xhat, Xtilde) with X = Xhat + Xtilde + 1*mean^T. Both returned matrices
@@ -113,12 +132,7 @@ func (p *PCA) ProjectionSplit(X *Matrix, k int) (modeled, residual *Matrix) {
 	}
 	xc := p.Center(X)
 	// P_k = V_k V_k^T. Applying it row-wise: modeled = Xc V_k V_k^T.
-	vk := New(p.P(), k)
-	for j := 0; j < k; j++ {
-		for i := 0; i < p.P(); i++ {
-			vk.Set(i, j, p.Components.At(i, j))
-		}
-	}
+	vk := p.TopComponents(k)
 	scores := Mul(xc, vk)         // n x k
 	modeled = Mul(scores, vk.T()) // n x p
 	residual = Sub(xc, modeled)

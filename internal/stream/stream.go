@@ -1,0 +1,415 @@
+// Package stream is the concurrent streaming detection pipeline: the
+// "practical, online diagnosis of network-wide anomalies" the paper's
+// conclusion calls for, built to keep up with live collection.
+//
+// One Pipeline owns one detector lane per traffic measure (bytes, packets,
+// IP-flows in the paper's setup, but any set of fitted core.OnlineDetector
+// models works). Each submitted Sample — one 5-minute timebin carrying one
+// traffic vector per lane — is fanned out over channels to the lane
+// workers, which score vectors in batches (core.OnlineDetector.ScoreBatch,
+// two dense matrix products per batch instead of per-vector accessor
+// arithmetic). A single aggregator merges the per-lane verdicts back into
+// one stream of per-bin Verdicts, emitted strictly in submission order
+// regardless of how lane scheduling interleaves.
+//
+// Each lane also maintains a rolling window of the vectors it has accepted
+// and periodically refits its model on that window in the background: the
+// fit (dominated by the parallel covariance accumulation in internal/mat)
+// runs on a separate refitter goroutine against a snapshot of the window
+// while the worker keeps scoring with the current model, and the finished
+// model is swapped in with a single atomic pointer store. Scoring never
+// stalls, and no verdict is dropped or reordered across a swap; each
+// Verdict records the model generation that scored it.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"netwide/internal/core"
+	"netwide/internal/mat"
+)
+
+// Config tunes a Pipeline. The zero value gets sensible defaults.
+type Config struct {
+	// BatchSize is the number of vectors a lane worker scores per model
+	// application (default 16). Larger batches amortize the projection
+	// products but add up to BatchSize bins of verdict latency.
+	BatchSize int
+	// Buffer is the per-channel depth between pipeline stages (default
+	// 4*BatchSize): how far the dispatcher may run ahead of a slow lane.
+	Buffer int
+	// RefitEvery is the number of accepted bins between background refits
+	// of a lane's model (0 disables refitting).
+	RefitEvery int
+	// Window is the rolling training window length in bins. Required when
+	// RefitEvery > 0; must exceed the vector length p for the PCA fit to
+	// be well-posed (the fit itself demands n > p).
+	Window int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 4 * c.BatchSize
+	}
+	return c
+}
+
+// Sample is one timebin of traffic: one vector per lane, in lane order.
+type Sample struct {
+	Bin  int
+	Vecs [][]float64
+}
+
+// Verdict is the merged scoring of one bin across every lane. Verdicts are
+// delivered in submission order.
+type Verdict struct {
+	Bin int
+	// Points holds each lane's statistics for the bin, indexed by lane.
+	Points []core.Point
+	// Gens[i] is the model generation of lane i that scored this bin
+	// (0 = the initial fit, incremented per completed background refit).
+	Gens []uint64
+}
+
+// Alarm reports whether any lane flagged the bin on either statistic.
+func (v Verdict) Alarm() bool {
+	for _, pt := range v.Points {
+		if pt.SPEAlarm || pt.T2Alarm {
+			return true
+		}
+	}
+	return false
+}
+
+// AlarmLanes returns the lane indices that flagged the bin.
+func (v Verdict) AlarmLanes() []int {
+	var out []int
+	for i, pt := range v.Points {
+		if pt.SPEAlarm || pt.T2Alarm {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// laneTask is one vector en route to a lane worker. seq is the global
+// submission index the aggregator reorders on.
+type laneTask struct {
+	seq int
+	bin int
+	x   []float64
+}
+
+// laneResult is one scored vector en route to the aggregator.
+type laneResult struct {
+	lane int
+	seq  int
+	bin  int
+	pt   core.Point
+	gen  uint64
+}
+
+// model pairs a fitted detector with its generation number so scoring
+// workers observe both through one atomic load: a verdict's generation is
+// always that of the model that actually scored it.
+type model struct {
+	det *core.OnlineDetector
+	gen uint64
+}
+
+// lane is one detector worker: a current model behind an atomic pointer, a
+// task channel, and the rolling refit machinery.
+type lane struct {
+	id    int
+	model atomic.Pointer[model]
+	in    chan laneTask
+	p     int // vector length the lane's model scores
+
+	// Rolling window ring; owned by the lane worker goroutine.
+	window [][]float64
+	wNext  int
+	wFill  int
+	since  int // accepted bins since the last refit hand-off
+
+	refitIn chan *mat.Matrix // capacity 1; nil when refitting disabled
+}
+
+// Pipeline is the running detection pipeline. Construct with New, feed with
+// Submit, then Close and drain Verdicts; Wait blocks until the verdict
+// stream is complete and reports any background refit error.
+type Pipeline struct {
+	cfg   Config
+	lanes []*lane
+	in    chan Sample
+	out   chan Verdict
+	agg   chan laneResult
+
+	workerWG sync.WaitGroup // dispatcher + lane workers
+	refitWG  sync.WaitGroup
+	done     chan struct{} // closed when the aggregator finishes
+
+	seq int
+
+	// closeMu serializes Submit against Close so a concurrent shutdown can
+	// neither double-close the input channel nor race a send on it.
+	closeMu sync.Mutex
+	closed  bool
+
+	errMu sync.Mutex
+	err   error // first background refit failure
+}
+
+// New builds a pipeline with one lane per fitted detector. The detectors
+// are adopted: the pipeline scores with them and (when cfg.RefitEvery > 0)
+// replaces them with background-refitted successors, so callers must not
+// mutate them afterwards.
+func New(dets []*core.OnlineDetector, cfg Config) (*Pipeline, error) {
+	if len(dets) == 0 {
+		return nil, errors.New("stream: no detectors")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.RefitEvery > 0 {
+		for i, d := range dets {
+			if cfg.Window <= d.P() {
+				return nil, fmt.Errorf("stream: window %d must exceed lane %d vector length %d for refitting", cfg.Window, i, d.P())
+			}
+		}
+	}
+	p := &Pipeline{
+		cfg:  cfg,
+		in:   make(chan Sample, cfg.Buffer),
+		out:  make(chan Verdict, cfg.Buffer),
+		agg:  make(chan laneResult, cfg.Buffer*len(dets)),
+		done: make(chan struct{}),
+	}
+	for i, d := range dets {
+		l := &lane{id: i, in: make(chan laneTask, cfg.Buffer), p: d.P()}
+		l.model.Store(&model{det: d})
+		if cfg.RefitEvery > 0 {
+			l.window = make([][]float64, cfg.Window)
+			l.refitIn = make(chan *mat.Matrix, 1)
+			p.refitWG.Add(1)
+			go p.refitter(l)
+		}
+		p.lanes = append(p.lanes, l)
+		p.workerWG.Add(1)
+		go p.laneWorker(l)
+	}
+	p.workerWG.Add(1)
+	go p.dispatch()
+	go p.aggregate()
+	return p, nil
+}
+
+// Lanes returns the number of detector lanes.
+func (p *Pipeline) Lanes() int { return len(p.lanes) }
+
+// Generations returns each lane's current model generation: the number of
+// completed background refits.
+func (p *Pipeline) Generations() []uint64 {
+	out := make([]uint64, len(p.lanes))
+	for i, l := range p.lanes {
+		out[i] = l.model.Load().gen
+	}
+	return out
+}
+
+// Submit feeds one timebin into the pipeline. Vectors are validated here so
+// the concurrent stages never see a malformed sample; the pipeline retains
+// the slices, so callers streaming from a reused buffer must copy first.
+// Submit blocks when the pipeline is more than Buffer bins behind.
+func (p *Pipeline) Submit(s Sample) error {
+	if len(s.Vecs) != len(p.lanes) {
+		return fmt.Errorf("stream: sample has %d vectors, want %d", len(s.Vecs), len(p.lanes))
+	}
+	for i, x := range s.Vecs {
+		if len(x) != p.lanes[i].p {
+			return fmt.Errorf("stream: lane %d vector length %d, want %d", i, len(x), p.lanes[i].p)
+		}
+	}
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if p.closed {
+		return errors.New("stream: submit after Close")
+	}
+	p.in <- s
+	return nil
+}
+
+// Close signals end of input. It is idempotent and safe to call
+// concurrently with Submit; it does not wait — drain Verdicts (the channel
+// is closed after the final verdict) or call Wait.
+func (p *Pipeline) Close() {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.in)
+	}
+}
+
+// Verdicts returns the ordered verdict stream. The channel is closed once
+// every submitted bin has been scored and merged.
+func (p *Pipeline) Verdicts() <-chan Verdict { return p.out }
+
+// Wait blocks until the pipeline has emitted every verdict (the consumer
+// must be draining Verdicts) and all background refits have settled, then
+// returns the first background refit error, if any.
+func (p *Pipeline) Wait() error {
+	<-p.done
+	p.refitWG.Wait()
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+// dispatch fans each submitted sample out to every lane, stamping the
+// global sequence number the aggregator reorders on.
+func (p *Pipeline) dispatch() {
+	defer p.workerWG.Done()
+	for s := range p.in {
+		seq := p.seq
+		p.seq++
+		for i, l := range p.lanes {
+			l.in <- laneTask{seq: seq, bin: s.Bin, x: s.Vecs[i]}
+		}
+	}
+	for _, l := range p.lanes {
+		close(l.in)
+	}
+}
+
+// laneWorker scores its lane's vectors in batches against whatever model is
+// current, maintains the rolling window, and hands window snapshots to the
+// refitter when due.
+func (p *Pipeline) laneWorker(l *lane) {
+	defer p.workerWG.Done()
+	if l.refitIn != nil {
+		defer close(l.refitIn)
+	}
+	batch := make([]laneTask, 0, p.cfg.BatchSize)
+	vecs := make([][]float64, 0, p.cfg.BatchSize)
+	pts := make([]core.Point, 0, p.cfg.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		m := l.model.Load()
+		var err error
+		pts, err = m.det.ScoreBatch(vecs, pts[:0])
+		if err != nil {
+			// Submit validated lengths and refits preserve p, so a batch
+			// failure is a programming error, not a data error.
+			panic(fmt.Sprintf("stream: lane %d: %v", l.id, err))
+		}
+		for i, t := range batch {
+			p.agg <- laneResult{lane: l.id, seq: t.seq, bin: t.bin, pt: pts[i], gen: m.gen}
+		}
+		batch, vecs = batch[:0], vecs[:0]
+	}
+	for t := range l.in {
+		batch = append(batch, t)
+		vecs = append(vecs, t.x)
+		if len(batch) >= p.cfg.BatchSize {
+			flush()
+		}
+		l.observe(t.x, p.cfg.RefitEvery)
+	}
+	flush()
+}
+
+// observe appends a scored vector to the rolling window and, when a refit
+// is due and the refitter is idle, hands off a snapshot. A busy refitter
+// just delays the next refit; scoring is never blocked.
+func (l *lane) observe(x []float64, refitEvery int) {
+	if l.refitIn == nil {
+		return
+	}
+	l.window[l.wNext] = x
+	l.wNext = (l.wNext + 1) % len(l.window)
+	if l.wFill < len(l.window) {
+		l.wFill++
+	}
+	l.since++
+	if l.since < refitEvery || l.wFill < len(l.window) {
+		return
+	}
+	snap := mat.New(l.wFill, l.p)
+	for i := 0; i < l.wFill; i++ {
+		copy(snap.RowView(i), l.window[i])
+	}
+	select {
+	case l.refitIn <- snap:
+		l.since = 0
+	default: // previous refit still running; try again next bin
+	}
+}
+
+// refitter fits replacement models on window snapshots and swaps them in.
+// The swap is a single atomic store: in-flight batches finish on the old
+// model, the next batch loads the new one.
+func (p *Pipeline) refitter(l *lane) {
+	defer p.refitWG.Done()
+	for snap := range l.refitIn {
+		cur := l.model.Load()
+		next, err := core.NewOnlineDetector(snap, cur.det.Opts())
+		if err != nil {
+			p.errMu.Lock()
+			if p.err == nil {
+				p.err = fmt.Errorf("stream: lane %d refit: %w", l.id, err)
+			}
+			p.errMu.Unlock()
+			continue // keep scoring on the current model
+		}
+		l.model.Store(&model{det: next, gen: cur.gen + 1})
+	}
+}
+
+// aggregate merges per-lane results back into per-bin verdicts, emitted
+// strictly in submission order.
+func (p *Pipeline) aggregate() {
+	go func() {
+		p.workerWG.Wait()
+		close(p.agg)
+	}()
+	type partial struct {
+		v    Verdict
+		left int
+	}
+	pending := make(map[int]*partial)
+	next := 0
+	for r := range p.agg {
+		pt, ok := pending[r.seq]
+		if !ok {
+			pt = &partial{
+				v: Verdict{
+					Bin:    r.bin,
+					Points: make([]core.Point, len(p.lanes)),
+					Gens:   make([]uint64, len(p.lanes)),
+				},
+				left: len(p.lanes),
+			}
+			pending[r.seq] = pt
+		}
+		pt.v.Points[r.lane] = r.pt
+		pt.v.Gens[r.lane] = r.gen
+		pt.left--
+		for {
+			done, ok := pending[next]
+			if !ok || done.left > 0 {
+				break
+			}
+			delete(pending, next)
+			p.out <- done.v
+			next++
+		}
+	}
+	close(p.out)
+	close(p.done)
+}

@@ -1,0 +1,231 @@
+package stream
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"netwide/internal/core"
+	"netwide/internal/mat"
+)
+
+// synth builds an n x p traffic-like matrix: a shared sinusoidal daily
+// pattern plus per-flow noise, so the PCA has a clear low-dimensional
+// normal subspace like real OD traffic.
+func synth(rng *rand.Rand, n, p int, noise float64) *mat.Matrix {
+	m := mat.New(n, p)
+	for i := 0; i < n; i++ {
+		daily := math.Sin(2 * math.Pi * float64(i) / 288)
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = 100 + 40*daily*float64(1+j%3) + noise*rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func fitLane(t *testing.T, rng *rand.Rand, n, p int) *core.OnlineDetector {
+	t.Helper()
+	det, err := core.NewOnlineDetector(synth(rng, n, p, 2), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// feed submits n bins drawn from live (one row per lane vector, lane l
+// offset by l to make lanes distinguishable) and returns the collected
+// verdicts, in arrival order.
+func feed(t *testing.T, pipe *Pipeline, live *mat.Matrix, lanes, n int) []Verdict {
+	t.Helper()
+	done := make(chan []Verdict)
+	go func() {
+		var got []Verdict
+		for v := range pipe.Verdicts() {
+			got = append(got, v)
+		}
+		done <- got
+	}()
+	for bin := 0; bin < n; bin++ {
+		vecs := make([][]float64, lanes)
+		for l := range vecs {
+			row := live.Row(bin % live.Rows())
+			for j := range row {
+				row[j] += float64(l)
+			}
+			vecs[l] = row
+		}
+		if err := pipe.Submit(Sample{Bin: bin, Vecs: vecs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pipe.Close()
+	if err := pipe.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done
+}
+
+func TestPipelineOrderedAndMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	const p, lanes, n = 8, 3, 500
+	dets := make([]*core.OnlineDetector, lanes)
+	for i := range dets {
+		dets[i] = fitLane(t, rng, 300, p)
+	}
+	pipe, err := New(dets, Config{BatchSize: 7}) // batch that doesn't divide n
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := synth(rand.New(rand.NewPCG(33, 34)), n, p, 2)
+	got := feed(t, pipe, live, lanes, n)
+	if len(got) != n {
+		t.Fatalf("got %d verdicts, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v.Bin != i {
+			t.Fatalf("verdict %d has bin %d: stream reordered", i, v.Bin)
+		}
+	}
+	// Spot-check against serial scoring through the same models.
+	for _, i := range []int{0, 6, 7, 250, n - 1} {
+		vecs := make([][]float64, lanes)
+		for l := range vecs {
+			row := live.Row(i % live.Rows())
+			for j := range row {
+				row[j] += float64(l)
+			}
+			vecs[l] = row
+		}
+		for l, det := range dets {
+			want, err := det.Score(vecs[l])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotPt := got[i].Points[l]
+			if math.Abs(gotPt.SPE-want.SPE) > 1e-9*(1+want.SPE) || gotPt.SPEAlarm != want.SPEAlarm {
+				t.Fatalf("bin %d lane %d: stream SPE %v, serial %v", i, l, gotPt.SPE, want.SPE)
+			}
+		}
+	}
+}
+
+func TestPipelineRefitDuringScoring(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	const p, lanes, n = 8, 3, 1200
+	dets := make([]*core.OnlineDetector, lanes)
+	for i := range dets {
+		dets[i] = fitLane(t, rng, 200, p)
+	}
+	pipe, err := New(dets, Config{BatchSize: 4, RefitEvery: 50, Window: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := synth(rand.New(rand.NewPCG(43, 44)), n, p, 2)
+	got := feed(t, pipe, live, lanes, n)
+	if len(got) != n {
+		t.Fatalf("got %d verdicts, want %d: refit dropped bins", len(got), n)
+	}
+	for i, v := range got {
+		if v.Bin != i {
+			t.Fatalf("verdict %d has bin %d: refit reordered the stream", i, v.Bin)
+		}
+	}
+	for l, g := range pipe.Generations() {
+		if g == 0 {
+			t.Fatalf("lane %d never refitted over %d bins (RefitEvery=50)", l, n)
+		}
+	}
+	// Generations recorded on verdicts must be monotone per lane and reach
+	// the final generation.
+	for l := 0; l < lanes; l++ {
+		var prev uint64
+		for i, v := range got {
+			if v.Gens[l] < prev {
+				t.Fatalf("lane %d gen went backwards at bin %d: %d -> %d", l, i, prev, v.Gens[l])
+			}
+			prev = v.Gens[l]
+		}
+	}
+}
+
+func TestPipelineFlagsAnomaly(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	const p = 8
+	det := fitLane(t, rng, 400, p)
+	pipe, err := New([]*core.OnlineDetector{det}, Config{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := synth(rand.New(rand.NewPCG(53, 54)), 4, p, 2)
+	dirty := clean.Row(2)
+	dirty[5] += 5000
+	done := make(chan []Verdict)
+	go func() {
+		var got []Verdict
+		for v := range pipe.Verdicts() {
+			got = append(got, v)
+		}
+		done <- got
+	}()
+	for bin := 0; bin < 4; bin++ {
+		x := clean.Row(bin)
+		if bin == 2 {
+			x = dirty
+		}
+		if err := pipe.Submit(Sample{Bin: bin, Vecs: [][]float64{x}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pipe.Close()
+	if err := pipe.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got[0].Alarm() {
+		t.Fatalf("clean bin alarmed: %+v", got[0].Points[0])
+	}
+	if !got[2].Alarm() {
+		t.Fatalf("spiked bin not alarmed: %+v", got[2].Points[0])
+	}
+	if lanes := got[2].AlarmLanes(); len(lanes) != 1 || lanes[0] != 0 {
+		t.Fatalf("AlarmLanes = %v, want [0]", lanes)
+	}
+	if got[2].Points[0].TopResidualOD != 5 {
+		t.Fatalf("top residual OD %d, want 5", got[2].Points[0].TopResidualOD)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	det := fitLane(t, rng, 200, 8)
+
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("empty detector list accepted")
+	}
+	if _, err := New([]*core.OnlineDetector{det}, Config{RefitEvery: 10, Window: 8}); err == nil {
+		t.Fatal("window <= p accepted with refitting on")
+	}
+
+	pipe, err := New([]*core.OnlineDetector{det}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Lanes() != 1 {
+		t.Fatalf("Lanes() = %d, want 1", pipe.Lanes())
+	}
+	if err := pipe.Submit(Sample{Vecs: [][]float64{{1, 2}, {3, 4}}}); err == nil {
+		t.Fatal("wrong lane count accepted")
+	}
+	if err := pipe.Submit(Sample{Vecs: [][]float64{{1, 2, 3}}}); err == nil {
+		t.Fatal("wrong vector length accepted")
+	}
+	pipe.Close()
+	pipe.Close() // idempotent
+	if err := pipe.Submit(Sample{Vecs: [][]float64{make([]float64, 8)}}); err == nil {
+		t.Fatal("submit after Close accepted")
+	}
+	if err := pipe.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,13 @@
 // subspace) on each matrix, identifies the responsible OD flows per alarm
 // and aggregates them into events. Characterize labels every event with
 // the paper's taxonomy and matches it against the injected ground truth.
+//
+// For live operation there are two streaming modes: OnlineDetector scores
+// one measure, one vector at a time, while StreamDetector runs the
+// concurrent pipeline of internal/stream — per-measure scoring workers fed
+// over channels, batched model application, a single ordered verdict
+// stream, and rolling background refits that swap models in without
+// stalling scoring.
 package netwide
 
 import (

@@ -11,9 +11,28 @@ import (
 // OnlineDetector scores live traffic vectors against a model trained on a
 // run — the streaming mode the paper's conclusion calls "practical, online
 // diagnosis of network-wide anomalies".
+//
+// It scores one measure, one vector at a time, on the caller's goroutine.
+// For concurrent batched scoring of all three measures with background
+// model refresh, use StreamDetector.
 type OnlineDetector struct {
 	inner   *core.OnlineDetector
 	measure dataset.Measure
+}
+
+// parseMeasure maps the paper's single-letter traffic-type codes to the
+// dataset's measure indices.
+func parseMeasure(s string) (dataset.Measure, error) {
+	switch s {
+	case "B":
+		return dataset.Bytes, nil
+	case "P":
+		return dataset.Packets, nil
+	case "F":
+		return dataset.Flows, nil
+	default:
+		return 0, fmt.Errorf("netwide: unknown measure %q (want B, P or F)", s)
+	}
 }
 
 // OnlinePoint is the verdict for one streamed 5-minute traffic vector.
@@ -33,16 +52,9 @@ func (r *Run) NewOnlineDetector(measure string, opts DetectOptions) (*OnlineDete
 	if opts.K == 0 {
 		opts = DefaultDetectOptions()
 	}
-	var m dataset.Measure
-	switch measure {
-	case "B":
-		m = dataset.Bytes
-	case "P":
-		m = dataset.Packets
-	case "F":
-		m = dataset.Flows
-	default:
-		return nil, fmt.Errorf("netwide: unknown measure %q (want B, P or F)", measure)
+	m, err := parseMeasure(measure)
+	if err != nil {
+		return nil, err
 	}
 	inner, err := core.NewOnlineDetector(r.ds.Matrix(m), core.Options{K: opts.K, Alpha: opts.Alpha})
 	if err != nil {

@@ -1,0 +1,199 @@
+package netwide
+
+import (
+	"fmt"
+
+	"netwide/internal/core"
+	"netwide/internal/dataset"
+	"netwide/internal/mat"
+	"netwide/internal/stream"
+)
+
+// StreamConfig tunes the concurrent streaming detector.
+type StreamConfig struct {
+	// TrainBins is how many leading bins of the run train the per-measure
+	// models (0 = all bins). Must exceed the 121 OD flows.
+	TrainBins int
+	// BatchSize is the number of vectors scored per model application.
+	BatchSize int
+	// RefitEvery is the number of streamed bins between background model
+	// refits (0 disables refitting).
+	RefitEvery int
+	// Window is the rolling training window for refits, in bins.
+	Window int
+}
+
+// SetMathWorkers tunes the process-wide linear-algebra goroutine pool that
+// batch scoring, model fits and background refits all draw from (default
+// GOMAXPROCS; n < 1 resets to it). It returns the previous setting. The
+// pool is global state shared by every detector in the process, which is
+// why it is an explicit call rather than a per-detector option.
+func SetMathWorkers(n int) int { return mat.SetWorkers(n) }
+
+// DefaultStreamConfig trains on the first week, scores in batches of 16,
+// and refits nightly on a rolling one-week window.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		TrainBins:  7 * 288,  // one week of 5-minute bins
+		BatchSize:  16,
+		RefitEvery: 288,      // daily
+		Window:     7 * 288,
+	}
+}
+
+// StreamVerdict is the merged verdict for one streamed 5-minute bin across
+// the three traffic measures.
+type StreamVerdict struct {
+	// Bin is the caller-supplied bin index.
+	Bin int
+	// Points holds the per-measure statistics, indexed by dataset order
+	// (B, P, F).
+	Points [dataset.NumMeasures]OnlinePoint
+	// Measures concatenates, in dataset order, the single-letter codes of
+	// the measures that alarmed ("" when the bin is clean, "BPF" when all
+	// three fired).
+	Measures string
+	// Generations records, per measure, which model generation scored the
+	// bin (0 = initial fit; each completed background refit increments it).
+	Generations [dataset.NumMeasures]uint64
+}
+
+// Alarm reports whether any measure flagged the bin.
+func (v StreamVerdict) Alarm() bool { return v.Measures != "" }
+
+// StreamDetector scores live traffic across all three measures
+// concurrently: one detector lane per measure fed over channels, batched
+// scoring, a single ordered verdict stream, and background rolling refits
+// that swap models in without stalling scoring. It is the streaming
+// counterpart of Run.Detect and the concurrent successor of the
+// one-vector-at-a-time OnlineDetector.
+type StreamDetector struct {
+	pipe *stream.Pipeline
+	out  chan StreamVerdict
+	run  *Run
+}
+
+// NewStreamDetector trains one model per traffic measure on the run's
+// leading cfg.TrainBins bins and assembles the concurrent pipeline around
+// them.
+func (r *Run) NewStreamDetector(opts DetectOptions, cfg StreamConfig) (*StreamDetector, error) {
+	if opts.K == 0 {
+		opts = DefaultDetectOptions()
+	}
+	if cfg.BatchSize == 0 && cfg.RefitEvery == 0 && cfg.Window == 0 && cfg.TrainBins == 0 {
+		cfg = DefaultStreamConfig()
+	}
+	train := cfg.TrainBins
+	if train <= 0 || train > r.ds.Bins {
+		train = r.ds.Bins
+	}
+	dets := make([]*core.OnlineDetector, dataset.NumMeasures)
+	for m := dataset.Measure(0); m < dataset.NumMeasures; m++ {
+		det, err := core.NewOnlineDetector(headRows(r.ds.Matrix(m), train), core.Options{K: opts.K, Alpha: opts.Alpha})
+		if err != nil {
+			return nil, fmt.Errorf("netwide: stream train %v: %w", m, err)
+		}
+		dets[int(m)] = det
+	}
+	pipe, err := stream.New(dets, stream.Config{
+		BatchSize:  cfg.BatchSize,
+		RefitEvery: cfg.RefitEvery,
+		Window:     cfg.Window,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netwide: stream pipeline: %w", err)
+	}
+	d := &StreamDetector{pipe: pipe, out: make(chan StreamVerdict, 64), run: r}
+	go d.convert()
+	return d, nil
+}
+
+// convert relabels the internal verdict stream with the public types.
+func (d *StreamDetector) convert() {
+	for v := range d.pipe.Verdicts() {
+		sv := StreamVerdict{Bin: v.Bin}
+		for m := 0; m < int(dataset.NumMeasures); m++ {
+			pt := v.Points[m]
+			sv.Points[m] = OnlinePoint{
+				SPE: pt.SPE, T2: pt.T2,
+				SPEAlarm: pt.SPEAlarm, T2Alarm: pt.T2Alarm,
+				TopOD: odName(pt.TopResidualOD),
+			}
+			if pt.SPEAlarm || pt.T2Alarm {
+				sv.Measures += dataset.Measure(m).String()
+			}
+			sv.Generations[m] = v.Gens[m]
+		}
+		d.out <- sv
+	}
+	close(d.out)
+}
+
+// Submit feeds one 5-minute bin: the byte, packet and IP-flow vectors, each
+// of 121 per-OD values. Bins must be submitted in time order; verdicts come
+// back in the same order on Verdicts.
+func (d *StreamDetector) Submit(bin int, bytes, packets, flows []float64) error {
+	return d.pipe.Submit(stream.Sample{Bin: bin, Vecs: [][]float64{bytes, packets, flows}})
+}
+
+// Verdicts returns the ordered verdict stream; the channel closes after
+// Close once every submitted bin has been scored.
+func (d *StreamDetector) Verdicts() <-chan StreamVerdict { return d.out }
+
+// Close signals end of input.
+func (d *StreamDetector) Close() { d.pipe.Close() }
+
+// Wait blocks until every verdict has been emitted (the consumer must drain
+// Verdicts) and returns the first background refit error, if any.
+func (d *StreamDetector) Wait() error { return d.pipe.Wait() }
+
+// Generations returns the per-measure model generation: how many background
+// refits have completed and been swapped in.
+func (d *StreamDetector) Generations() [dataset.NumMeasures]uint64 {
+	var out [dataset.NumMeasures]uint64
+	copy(out[:], d.pipe.Generations())
+	return out
+}
+
+// Replay streams bins [from, to) of the detector's own run through the
+// pipeline and returns the collected verdicts. It consumes the detector:
+// the pipeline is closed when the replay ends.
+func (d *StreamDetector) Replay(from, to int) ([]StreamVerdict, error) {
+	if from < 0 || to > d.run.ds.Bins || from >= to {
+		return nil, fmt.Errorf("netwide: replay range [%d,%d) outside run of %d bins", from, to, d.run.ds.Bins)
+	}
+	mats := [dataset.NumMeasures]*mat.Matrix{}
+	for m := dataset.Measure(0); m < dataset.NumMeasures; m++ {
+		mats[m] = d.run.ds.Matrix(m)
+	}
+	done := make(chan []StreamVerdict)
+	go func() {
+		verdicts := make([]StreamVerdict, 0, to-from)
+		for v := range d.Verdicts() {
+			verdicts = append(verdicts, v)
+		}
+		done <- verdicts
+	}()
+	var submitErr error
+	for bin := from; bin < to; bin++ {
+		if err := d.Submit(bin, mats[0].RowView(bin), mats[1].RowView(bin), mats[2].RowView(bin)); err != nil {
+			submitErr = err
+			break
+		}
+	}
+	d.Close()
+	if err := d.Wait(); err != nil && submitErr == nil {
+		submitErr = err
+	}
+	verdicts := <-done
+	return verdicts, submitErr
+}
+
+// headRows returns the first n rows of m as a new matrix.
+func headRows(m *mat.Matrix, n int) *mat.Matrix {
+	out := mat.New(n, m.Cols())
+	for i := 0; i < n; i++ {
+		copy(out.RowView(i), m.RowView(i))
+	}
+	return out
+}
