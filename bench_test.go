@@ -1,7 +1,7 @@
 package netwide_test
 
 // The benchmark harness regenerates every evaluation artifact of the paper
-// (DESIGN.md experiment index E1..E9). Each benchmark covers the
+// (DESIGN.md experiment index E1..E11). Each benchmark covers the
 // computation behind one table or figure; BenchmarkSimulateWeek and
 // BenchmarkDetect cover the two pipeline stages everything else shares.
 //
@@ -45,12 +45,14 @@ func benchSetup(b *testing.B) *netwide.Run {
 	return benchRun
 }
 
-// BenchmarkSimulateWeek measures the full measurement pipeline: traffic
-// synthesis, anomaly injection, 1% sampling, NetFlow export/collect and OD
-// resolution for one week (2016 bins x 121 OD pairs x 3 measures).
-func BenchmarkSimulateWeek(b *testing.B) {
+// benchSimulateWeek is the full measurement pipeline: traffic synthesis,
+// anomaly injection, 1% sampling, NetFlow export/collect and OD resolution
+// for one week (2016 bins x 121 OD pairs x 3 measures), at the given number
+// of simulation goroutines.
+func benchSimulateWeek(b *testing.B, workers int) {
 	cfg := netwide.QuickConfig()
 	cfg.MeanRateBps = 4e5 // half volume keeps the per-iteration cost sane
+	cfg.Workers = workers
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
@@ -59,6 +61,16 @@ func BenchmarkSimulateWeek(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimulateWeek runs the pipeline at the default worker count (all
+// cores). Compare with BenchmarkSimulateWeekSerial for the parallel speedup;
+// both produce byte-identical datasets.
+func BenchmarkSimulateWeek(b *testing.B) { benchSimulateWeek(b, 0) }
+
+// BenchmarkSimulateWeekSerial pins the simulation to a single goroutine —
+// the scaling baseline, and the allocs/op reference for the scratch-reuse
+// diet in the per-cell path.
+func BenchmarkSimulateWeekSerial(b *testing.B) { benchSimulateWeek(b, 1) }
 
 // BenchmarkDetect measures the subspace method (PCA, thresholds, alarms,
 // identification, aggregation) over the three one-week matrices.

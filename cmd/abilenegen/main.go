@@ -20,12 +20,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("abilenegen: ")
 	var (
-		weeks = flag.Int("weeks", 4, "weeks of 5-minute bins to simulate")
-		seed  = flag.Uint64("seed", 2004, "random seed (same seed, same dataset)")
-		rate  = flag.Float64("rate", 2e6, "network-wide mean offered load in bytes/second")
-		smpl  = flag.Float64("sampling", 0.01, "packet sampling probability")
-		unres = flag.Float64("unresolved", 0.07, "fraction of flow records failing OD resolution")
-		out   = flag.String("out", "abilene.nwds", "output dataset file")
+		weeks   = flag.Int("weeks", 4, "weeks of 5-minute bins to simulate")
+		seed    = flag.Uint64("seed", 2004, "random seed (same seed, same dataset)")
+		rate    = flag.Float64("rate", 2e6, "network-wide mean offered load in bytes/second")
+		smpl    = flag.Float64("sampling", 0.01, "packet sampling probability")
+		unres   = flag.Float64("unresolved", 0.07, "fraction of flow records failing OD resolution")
+		workers = flag.Int("workers", 0, "simulation goroutines (0 = all cores; output identical either way)")
+		out     = flag.String("out", "abilene.nwds", "output dataset file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -40,6 +41,7 @@ func main() {
 		MeanRateBps:        *rate,
 		SamplingRate:       *smpl,
 		UnresolvedFraction: *unres,
+		Workers:            *workers,
 	}
 	run, err := netwide.Simulate(cfg)
 	if err != nil {

@@ -34,6 +34,7 @@ func main() {
 		rate    = flag.Float64("rate", 2e6, "mean offered load, bytes/second")
 		fig1csv = flag.String("fig1csv", "", "write Figure 1 series to this CSV file")
 		quick   = flag.Bool("quick", false, "1-week quick run (overrides -weeks)")
+		workers = flag.Int("workers", 0, "simulation goroutines (0 = all cores; output identical either way)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -48,6 +49,7 @@ func main() {
 		cfg = netwide.QuickConfig()
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 	fmt.Printf("simulating %d week(s), seed %d ...\n", cfg.Weeks, cfg.Seed)
 	run, err := netwide.Simulate(cfg)
 	if err != nil {

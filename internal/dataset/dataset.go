@@ -22,6 +22,9 @@ package dataset
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"netwide/internal/anomaly"
 	"netwide/internal/flow"
@@ -70,6 +73,12 @@ type Config struct {
 	// Schedule configures the injected anomaly population. A zero value
 	// (Weeks == 0) is replaced by anomaly.DefaultSchedule.
 	Schedule anomaly.ScheduleConfig
+	// Workers is the number of goroutines generating timebins; <= 0 means
+	// GOMAXPROCS. Every (OD, bin) cell draws from its own deterministic RNG
+	// stream and every bin owns its matrix rows, so the generated dataset is
+	// byte-identical for every worker count — Workers trades only wall-clock
+	// time, never output.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used throughout the experiments:
@@ -99,26 +108,83 @@ type Dataset struct {
 
 	sampler  sampling.Sampler
 	resolver *routing.Resolver
+	// sampInterval is the NetFlow header's 1-in-N sampling interval,
+	// precomputed from Cfg.SamplingRate.
+	sampInterval uint16
 	// binIndex[bin] lists injectors whose window covers the bin.
 	binIndex [][]anomaly.Injector
 	// RawRecords counts every flow record that reached the collector
-	// (resolved or not); used by the data-reduction experiment.
+	// (resolved or not) during Generate; used by the data-reduction
+	// experiment. Frozen after Generate: per-bin regeneration (attribute
+	// detail, record replay) never changes it.
 	RawRecords uint64
-	// UnresolvedRecords counts records dropped by failed OD resolution.
+	// UnresolvedRecords counts records dropped by failed OD resolution
+	// during Generate. Frozen after Generate, like RawRecords.
 	UnresolvedRecords uint64
 }
 
-// Generate runs the full pipeline.
+// Generate runs the full pipeline, fanning the timebins out across
+// min(cfg.Workers, number of bins) goroutines (GOMAXPROCS when Workers <= 0).
+//
+// Parallelism cannot change the output: each (OD, bin) cell consumes only
+// its own deterministic RNG stream, a bin is always processed whole by one
+// worker, and each bin owns its rows of the three matrices, so the per-row
+// accumulation order — and therefore every float — is identical for every
+// worker count.
 func Generate(cfg Config) (*Dataset, error) {
 	d, err := prepare(cfg)
 	if err != nil {
 		return nil, err
 	}
-	for bin := 0; bin < d.Bins; bin++ {
-		for i := 0; i < topology.NumODPairs; i++ {
-			od := topology.ODPairFromIndex(i)
-			d.accumulateBin(od, bin)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.Bins {
+		workers = d.Bins
+	}
+	if workers == 1 {
+		sc := getScratch()
+		defer putScratch(sc)
+		for bin := 0; bin < d.Bins; bin++ {
+			raw, unres := d.generateBin(bin, sc)
+			d.RawRecords += raw
+			d.UnresolvedRecords += unres
 		}
+		return d, nil
+	}
+	var (
+		wg      sync.WaitGroup
+		nextBin atomic.Int64
+		raws    = make([]uint64, workers)
+		unress  = make([]uint64, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := getScratch()
+			defer putScratch(sc)
+			var raw, unres uint64
+			// Bins are claimed dynamically: anomalous bins can be far more
+			// expensive than quiet ones, so static striping would leave
+			// workers idle at the tail.
+			for {
+				bin := int(nextBin.Add(1)) - 1
+				if bin >= d.Bins {
+					break
+				}
+				r, u := d.generateBin(bin, sc)
+				raw += r
+				unres += u
+			}
+			raws[w], unress[w] = raw, unres
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		d.RawRecords += raws[w]
+		d.UnresolvedRecords += unress[w]
 	}
 	return d, nil
 }
@@ -153,6 +219,7 @@ func prepare(cfg Config) (*Dataset, error) {
 	d := &Dataset{
 		Cfg: cfg, Top: top, BG: bg, Ledger: led,
 		Bins: bins, sampler: smp, resolver: res,
+		sampInterval: uint16(1 / cfg.SamplingRate),
 	}
 	for m := Measure(0); m < NumMeasures; m++ {
 		d.X[m] = mat.New(bins, topology.NumODPairs)
@@ -169,24 +236,47 @@ func prepare(cfg Config) (*Dataset, error) {
 	return d, nil
 }
 
-// classesFor returns all true-traffic flow classes of (od, bin): the
-// injector-scaled background plus injected classes. It must consume the rng
-// stream identically on every call with the same arguments.
-func (d *Dataset) classesFor(od topology.ODPair, bin int, rng *rand.Rand) []traffic.FlowClass {
+// scratch carries the reusable buffers of one generation worker: the flow
+// class and active-injector slices of classesFor plus an exporter/collector
+// pair whose internal arenas survive Reset. One scratch serves one (OD, bin)
+// cell at a time; pooling it takes the per-cell path from hundreds of
+// allocations down to a handful.
+type scratch struct {
+	classes []traffic.FlowClass
+	active  []anomaly.Injector
+	exp     *netflow.Exporter
+	coll    *netflow.Collector
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{
+		exp:  netflow.NewExporter(0, 0, nil),
+		coll: netflow.NewCollector(),
+	}
+}}
+
+func getScratch() *scratch   { return scratchPool.Get().(*scratch) }
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// classesFor appends all true-traffic flow classes of (od, bin) — the
+// injector-scaled background plus injected classes — into sc.classes and
+// returns it. It must consume the rng stream identically on every call with
+// the same arguments.
+func (d *Dataset) classesFor(od topology.ODPair, bin int, rng *rand.Rand, sc *scratch) []traffic.FlowClass {
 	scale := 1.0
-	var active []anomaly.Injector
+	sc.active = sc.active[:0]
 	for _, inj := range d.binIndex[bin] {
 		if inj.Spec().ActiveAt(od, bin) {
-			active = append(active, inj)
+			sc.active = append(sc.active, inj)
 			scale *= inj.VolumeScale(od, bin, d.BG)
 		}
 	}
 	vol := d.BG.TrueVolume(od, bin) * scale
-	classes := d.BG.ClassesForVolume(od, vol, rng)
-	for _, inj := range active {
-		classes = append(classes, inj.Classes(od, bin, rng)...)
+	sc.classes = d.BG.AppendClassesForVolume(sc.classes[:0], od, vol, rng)
+	for _, inj := range sc.active {
+		sc.classes = append(sc.classes, inj.Classes(od, bin, rng)...)
 	}
-	return classes
+	return sc.classes
 }
 
 // ForEachResolvedRecord regenerates the sampled, exported, collected and
@@ -194,53 +284,77 @@ func (d *Dataset) classesFor(od topology.ODPair, bin int, rng *rand.Rand) []traf
 // and the OD pair it resolved to. It consumes the bin's deterministic RNG
 // stream identically on every invocation, so the records are exactly those
 // that were (or will be) accumulated into the matrices for that cell.
+// Replaying a cell never alters the dataset — in particular the Generate-time
+// RawRecords/UnresolvedRecords counters stay frozen.
 //
 // The ingress PoP comes from the export engine (interface-based config
 // resolution); the egress PoP from a longest-prefix match on the anonymized
 // destination address.
 func (d *Dataset) ForEachResolvedRecord(od topology.ODPair, bin int, fn func(topology.ODPair, netflow.Record)) {
+	sc := getScratch()
+	defer putScratch(sc)
+	d.forEachResolvedRecord(od, bin, sc, fn)
+}
+
+// forEachResolvedRecord is ForEachResolvedRecord on an explicit scratch,
+// returning the cell's raw and unresolved record counts instead of touching
+// shared state — the generation workers accumulate the returns per worker,
+// which keeps the counters race-free and replay-invariant.
+func (d *Dataset) forEachResolvedRecord(od topology.ODPair, bin int, sc *scratch, fn func(topology.ODPair, netflow.Record)) (raw, unresolved uint64) {
 	rng := d.BG.BinRNG(od, bin)
-	classes := d.classesFor(od, bin, rng)
-	exp := netflow.NewExporter(uint8(od.Origin), uint16(1/d.Cfg.SamplingRate), nil)
+	classes := d.classesFor(od, bin, rng, sc)
+	exp := sc.exp
+	exp.Reset(uint8(od.Origin), d.sampInterval)
+	emit := func(r flow.Record) {
+		if err := exp.Add(netflow.Record{Key: r.Key, Packets: r.Packets, Bytes: r.Bytes}); err != nil {
+			panic(fmt.Sprintf("dataset: export failed: %v", err))
+		}
+	}
 	for _, c := range classes {
-		traffic.Measure(c, d.sampler, d.BG.Realm, rng, func(r flow.Record) {
-			if err := exp.Add(netflow.Record{Key: r.Key, Packets: r.Packets, Bytes: r.Bytes}); err != nil {
-				panic(fmt.Sprintf("dataset: export failed: %v", err))
-			}
-		})
+		traffic.Measure(c, d.sampler, d.BG.Realm, rng, emit)
 	}
 	if err := exp.Flush(); err != nil {
 		panic(fmt.Sprintf("dataset: flush failed: %v", err))
 	}
-	coll := netflow.NewCollector()
-	for _, pkt := range exp.Drain() {
-		if err := coll.Ingest(pkt); err != nil {
-			panic(fmt.Sprintf("dataset: collect failed: %v", err))
-		}
+	sc.coll.Reset()
+	if err := exp.ForEachPacket(sc.coll.Ingest); err != nil {
+		panic(fmt.Sprintf("dataset: collect failed: %v", err))
 	}
-	for _, rec := range coll.Records {
-		d.RawRecords++
+	for _, rec := range sc.coll.Records {
+		raw++
 		if d.Cfg.UnresolvedFraction > 0 && rng.Float64() < d.Cfg.UnresolvedFraction {
-			d.UnresolvedRecords++
+			unresolved++
 			continue
 		}
 		egress, ok := d.resolver.ResolveDst(rec.Key.Dst)
 		if !ok {
-			d.UnresolvedRecords++
+			unresolved++
 			continue
 		}
 		fn(topology.ODPair{Origin: od.Origin, Dest: egress}, rec)
 	}
+	return raw, unresolved
 }
 
-// accumulateBin folds one (od, bin) cell into the matrices.
-func (d *Dataset) accumulateBin(od topology.ODPair, bin int) {
-	d.ForEachResolvedRecord(od, bin, func(resolved topology.ODPair, rec netflow.Record) {
+// generateBin folds every (od, bin) cell of one timebin into the matrices.
+// The bin owns its matrix rows, so concurrent calls for distinct bins never
+// share a write target.
+func (d *Dataset) generateBin(bin int, sc *scratch) (raw, unresolved uint64) {
+	xb := d.X[Bytes].RowView(bin)
+	xp := d.X[Packets].RowView(bin)
+	xf := d.X[Flows].RowView(bin)
+	accum := func(resolved topology.ODPair, rec netflow.Record) {
 		col := resolved.Index()
-		d.X[Bytes].Set(bin, col, d.X[Bytes].At(bin, col)+float64(rec.Bytes))
-		d.X[Packets].Set(bin, col, d.X[Packets].At(bin, col)+float64(rec.Packets))
-		d.X[Flows].Set(bin, col, d.X[Flows].At(bin, col)+1)
-	})
+		xb[col] += float64(rec.Bytes)
+		xp[col] += float64(rec.Packets)
+		xf[col]++
+	}
+	for i := 0; i < topology.NumODPairs; i++ {
+		r, u := d.forEachResolvedRecord(topology.ODPairFromIndex(i), bin, sc, accum)
+		raw += r
+		unresolved += u
+	}
+	return raw, unresolved
 }
 
 // Matrix returns the n x 121 sampled-traffic matrix for the measure.

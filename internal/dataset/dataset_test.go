@@ -174,6 +174,76 @@ func TestRegenerationIsExact(t *testing.T) {
 	}
 }
 
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	// The parallel fan-out must be invisible in the output: 1 worker and 8
+	// workers produce byte-identical matrices and identical record counters
+	// for the same seed.
+	cfg := tinyConfig()
+	cfg.Workers = 1
+	d1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	d8, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.RawRecords != d8.RawRecords || d1.UnresolvedRecords != d8.UnresolvedRecords {
+		t.Fatalf("counters differ across workers: raw %d/%d unresolved %d/%d",
+			d1.RawRecords, d8.RawRecords, d1.UnresolvedRecords, d8.UnresolvedRecords)
+	}
+	for m := Measure(0); m < NumMeasures; m++ {
+		x1, x8 := d1.Matrix(m), d8.Matrix(m)
+		for bin := 0; bin < d1.Bins; bin++ {
+			for od := 0; od < topology.NumODPairs; od++ {
+				a, b := x1.At(bin, od), x8.At(bin, od)
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("measure %v differs at (%d,%d): %v (1 worker) vs %v (8 workers)",
+						m, bin, od, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCountersFrozenAfterGenerate(t *testing.T) {
+	// Regression for the pre-parallel bug where every per-bin regeneration
+	// (attribute detail, record replay) re-counted its records into
+	// RawRecords/UnresolvedRecords, inflating the data-reduction statistic.
+	d := quickDataset(t)
+	raw, unres := d.RawRecords, d.UnresolvedRecords
+	od := topology.ODPair{Origin: topology.ATLA, Dest: topology.NYCM}
+	d.ForEachResolvedRecord(od, 42, func(topology.ODPair, netflow.Record) {})
+	_ = d.BinAttributes(od, 42)
+	if d.RawRecords != raw || d.UnresolvedRecords != unres {
+		t.Fatalf("replay mutated frozen counters: raw %d->%d unresolved %d->%d",
+			raw, d.RawRecords, unres, d.UnresolvedRecords)
+	}
+}
+
+func TestPerCellAllocsBounded(t *testing.T) {
+	// The per-cell measurement path must stay allocation-lean: with a warm
+	// scratch the whole synthesize->sample->export->collect->resolve chain
+	// for one cell is a handful of allocations (the per-cell RNG and the
+	// accumulate closure), where it used to be hundreds. The bound is
+	// deliberately loose; it exists to catch the reintroduction of per-cell
+	// exporter/collector/packet construction.
+	d := quickDataset(t)
+	sc := getScratch()
+	defer putScratch(sc)
+	od := topology.ODPair{Origin: topology.CHIN, Dest: topology.LOSA}
+	bin := 0
+	nop := func(topology.ODPair, netflow.Record) {}
+	avg := testing.AllocsPerRun(50, func() {
+		d.forEachResolvedRecord(od, bin, sc, nop)
+		bin = (bin + 1) % d.Bins
+	})
+	if avg > 24 {
+		t.Fatalf("per-cell path allocates %.1f/op, want <= 24", avg)
+	}
+}
+
 func TestInjectedAlphaVisibleInMatrix(t *testing.T) {
 	// Build a dataset with exactly one huge ALPHA and check the B matrix
 	// spikes at its cell.

@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 
 	"netwide/internal/flow"
 	"netwide/internal/ipaddr"
@@ -72,11 +73,22 @@ type Record struct {
 
 // EncodePacket serializes a header and up to MaxRecordsPerPacket records.
 func EncodePacket(h Header, recs []Record) ([]byte, error) {
+	return AppendPacket(nil, h, recs)
+}
+
+// AppendPacket encodes the packet onto dst and returns the extended slice,
+// reusing dst's capacity. It is the allocation-free form of EncodePacket for
+// callers that batch many packets into one arena.
+func AppendPacket(dst []byte, h Header, recs []Record) ([]byte, error) {
 	if len(recs) > MaxRecordsPerPacket {
-		return nil, fmt.Errorf("netflow: %d records exceeds packet limit %d", len(recs), MaxRecordsPerPacket)
+		return dst, fmt.Errorf("netflow: %d records exceeds packet limit %d", len(recs), MaxRecordsPerPacket)
 	}
 	h.Count = uint16(len(recs))
-	buf := make([]byte, HeaderLen+RecordLen*len(recs))
+	base := len(dst)
+	dst = slices.Grow(dst, HeaderLen+RecordLen*len(recs))
+	dst = dst[:base+HeaderLen+RecordLen*len(recs)]
+	buf := dst[base:]
+	clear(buf) // unwritten fields (nextHop, padding) must be zero on the wire
 	be := binary.BigEndian
 	be.PutUint16(buf[0:], Version)
 	be.PutUint16(buf[2:], h.Count)
@@ -91,7 +103,7 @@ func EncodePacket(h Header, recs []Record) ([]byte, error) {
 	for i, r := range recs {
 		off := HeaderLen + i*RecordLen
 		if r.Packets > 0xFFFFFFFF || r.Bytes > 0xFFFFFFFF {
-			return nil, fmt.Errorf("netflow: record %d counters exceed 32 bits", i)
+			return dst[:base], fmt.Errorf("netflow: record %d counters exceed 32 bits", i)
 		}
 		be.PutUint32(buf[off+0:], uint32(r.Key.Src))
 		be.PutUint32(buf[off+4:], uint32(r.Key.Dst))
@@ -109,17 +121,18 @@ func EncodePacket(h Header, recs []Record) ([]byte, error) {
 		be.PutUint16(buf[off+40:], r.SrcAS)
 		be.PutUint16(buf[off+42:], r.DstAS)
 	}
-	return buf, nil
+	return dst, nil
 }
 
-// DecodePacket parses one export packet.
-func DecodePacket(buf []byte) (Header, []Record, error) {
+// decodeHeader parses and validates the header of one export packet,
+// including the count-vs-length consistency check.
+func decodeHeader(buf []byte) (Header, error) {
 	if len(buf) < HeaderLen {
-		return Header{}, nil, ErrTruncated
+		return Header{}, ErrTruncated
 	}
 	be := binary.BigEndian
 	if v := be.Uint16(buf[0:]); v != Version {
-		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return Header{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	h := Header{
 		Count:            be.Uint16(buf[2:]),
@@ -134,44 +147,65 @@ func DecodePacket(buf []byte) (Header, []Record, error) {
 	want := HeaderLen + int(h.Count)*RecordLen
 	if len(buf) != want {
 		if len(buf) < want {
-			return Header{}, nil, ErrTruncated
+			return Header{}, ErrTruncated
 		}
-		return Header{}, nil, ErrBadCount
+		return Header{}, ErrBadCount
+	}
+	return h, nil
+}
+
+// decodeRecord parses the RecordLen bytes at buf into a Record.
+func decodeRecord(buf []byte) Record {
+	be := binary.BigEndian
+	return Record{
+		Key: flow.Key{
+			Src:     ipaddr.Addr(be.Uint32(buf[0:])),
+			Dst:     ipaddr.Addr(be.Uint32(buf[4:])),
+			SrcPort: be.Uint16(buf[32:]),
+			DstPort: be.Uint16(buf[34:]),
+			Proto:   flow.Proto(buf[38]),
+		},
+		InputSNMP:  be.Uint16(buf[12:]),
+		OutputSNMP: be.Uint16(buf[14:]),
+		Packets:    uint64(be.Uint32(buf[16:])),
+		Bytes:      uint64(be.Uint32(buf[20:])),
+		First:      be.Uint32(buf[24:]),
+		Last:       be.Uint32(buf[28:]),
+		TCPFlags:   buf[37],
+		SrcAS:      be.Uint16(buf[40:]),
+		DstAS:      be.Uint16(buf[42:]),
+	}
+}
+
+// DecodePacket parses one export packet.
+func DecodePacket(buf []byte) (Header, []Record, error) {
+	h, err := decodeHeader(buf)
+	if err != nil {
+		return Header{}, nil, err
 	}
 	recs := make([]Record, h.Count)
 	for i := range recs {
-		off := HeaderLen + i*RecordLen
-		recs[i] = Record{
-			Key: flow.Key{
-				Src:     ipaddr.Addr(be.Uint32(buf[off+0:])),
-				Dst:     ipaddr.Addr(be.Uint32(buf[off+4:])),
-				SrcPort: be.Uint16(buf[off+32:]),
-				DstPort: be.Uint16(buf[off+34:]),
-				Proto:   flow.Proto(buf[off+38]),
-			},
-			InputSNMP:  be.Uint16(buf[off+12:]),
-			OutputSNMP: be.Uint16(buf[off+14:]),
-			Packets:    uint64(be.Uint32(buf[off+16:])),
-			Bytes:      uint64(be.Uint32(buf[off+20:])),
-			First:      be.Uint32(buf[off+24:]),
-			Last:       be.Uint32(buf[off+28:]),
-			TCPFlags:   buf[off+37],
-			SrcAS:      be.Uint16(buf[off+40:]),
-			DstAS:      be.Uint16(buf[off+42:]),
-		}
+		recs[i] = decodeRecord(buf[HeaderLen+i*RecordLen:])
 	}
 	return h, recs, nil
 }
 
 // Exporter batches flow records into export packets, maintaining the v5
 // flow sequence counter. One Exporter models one router's export engine.
+//
+// Encoded packets accumulate in a single contiguous arena whose capacity
+// survives Reset, so a hot loop that exports millions of records through one
+// Exporter settles into zero per-packet allocations.
 type Exporter struct {
 	EngineID         uint8
 	SamplingInterval uint16
 	seq              uint32
 	pending          []Record
-	packets          [][]byte
-	now              func() (sysUptime, unixSecs uint32)
+	// arena holds the encoded packets back to back; ends[i] is the offset
+	// one past packet i, so packet i spans arena[ends[i-1]:ends[i]].
+	arena []byte
+	ends  []int
+	now   func() (sysUptime, unixSecs uint32)
 }
 
 // NewExporter creates an exporter; clock supplies (sysUptime, unixSecs) for
@@ -205,21 +239,61 @@ func (e *Exporter) Flush() error {
 		EngineID:         e.EngineID,
 		SamplingInterval: e.SamplingInterval,
 	}
-	pkt, err := EncodePacket(h, e.pending)
+	arena, err := AppendPacket(e.arena, h, e.pending)
 	if err != nil {
 		return err
 	}
+	e.arena = arena
+	e.ends = append(e.ends, len(e.arena))
 	e.seq += uint32(len(e.pending))
 	e.pending = e.pending[:0]
-	e.packets = append(e.packets, pkt)
 	return nil
 }
 
-// Drain returns and clears the accumulated packets.
+// ForEachPacket visits every accumulated packet without copying or clearing
+// it. The slices alias the exporter's internal arena: they are valid until
+// the next Reset and must not be retained past it. This is the zero-copy
+// path a collector loop should prefer over Drain.
+func (e *Exporter) ForEachPacket(fn func(pkt []byte) error) error {
+	start := 0
+	for _, end := range e.ends {
+		if err := fn(e.arena[start:end:end]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// Drain returns and clears the accumulated packets. The returned slices own
+// the arena they alias: the exporter detaches it and allocates fresh on the
+// next Flush, so drained packets stay valid indefinitely.
 func (e *Exporter) Drain() [][]byte {
-	out := e.packets
-	e.packets = nil
+	if len(e.ends) == 0 {
+		return nil
+	}
+	out := make([][]byte, len(e.ends))
+	start := 0
+	for i, end := range e.ends {
+		out[i] = e.arena[start:end:end]
+		start = end
+	}
+	e.arena = nil
+	e.ends = e.ends[:0]
 	return out
+}
+
+// Reset reconfigures the exporter for a new engine and clears all batching
+// state (sequence counter, pending records, accumulated packets) while
+// keeping the allocated buffers for reuse. Packets previously obtained from
+// ForEachPacket are invalidated; packets obtained from Drain are not.
+func (e *Exporter) Reset(engineID uint8, samplingInterval uint16) {
+	e.EngineID = engineID
+	e.SamplingInterval = samplingInterval
+	e.seq = 0
+	e.pending = e.pending[:0]
+	e.arena = e.arena[:0]
+	e.ends = e.ends[:0]
 }
 
 // Collector parses export packets and tracks per-engine sequence numbers to
@@ -236,12 +310,24 @@ func NewCollector() *Collector {
 	return &Collector{nextSeq: map[uint8]uint32{}, seqStarted: map[uint8]bool{}}
 }
 
-// Ingest parses one packet, appending its records.
+// Reset clears the collected records, loss counter and per-engine sequence
+// state while keeping the allocated capacity, readying the collector for the
+// next batch of packets.
+func (c *Collector) Reset() {
+	c.Records = c.Records[:0]
+	c.Lost = 0
+	clear(c.nextSeq)
+	clear(c.seqStarted)
+}
+
+// Ingest parses one packet, appending its records. Records are decoded
+// directly into the collector's Records slice, reusing its capacity.
 func (c *Collector) Ingest(pkt []byte) error {
-	h, recs, err := DecodePacket(pkt)
+	h, err := decodeHeader(pkt)
 	if err != nil {
 		return err
 	}
+	n := int(h.Count)
 	if c.seqStarted[h.EngineID] {
 		if exp := c.nextSeq[h.EngineID]; h.FlowSequence != exp {
 			// Sequence gap: records were dropped between collector and
@@ -250,7 +336,10 @@ func (c *Collector) Ingest(pkt []byte) error {
 		}
 	}
 	c.seqStarted[h.EngineID] = true
-	c.nextSeq[h.EngineID] = h.FlowSequence + uint32(len(recs))
-	c.Records = append(c.Records, recs...)
+	c.nextSeq[h.EngineID] = h.FlowSequence + uint32(n)
+	c.Records = slices.Grow(c.Records, n)
+	for i := 0; i < n; i++ {
+		c.Records = append(c.Records, decodeRecord(pkt[HeaderLen+i*RecordLen:]))
+	}
 	return nil
 }

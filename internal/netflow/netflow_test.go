@@ -119,6 +119,116 @@ func TestExporterBatching(t *testing.T) {
 	}
 }
 
+func TestExporterResetReuse(t *testing.T) {
+	e := NewExporter(1, 100, nil)
+	c := NewCollector()
+	// Two back-to-back uses of the same exporter/collector pair, as the
+	// per-cell measurement loop does: results must match fresh instances,
+	// and sequence state must not leak across Reset (no phantom loss).
+	for round := 0; round < 2; round++ {
+		e.Reset(uint8(round+1), 64)
+		c.Reset()
+		for i := 0; i < 35; i++ {
+			if err := e.Add(mkRecord(i % 7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var visited int
+		if err := e.ForEachPacket(func(pkt []byte) error {
+			visited++
+			return c.Ingest(pkt)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if visited != 2 {
+			t.Fatalf("round %d: visited %d packets, want 2", round, visited)
+		}
+		if c.Lost != 0 {
+			t.Fatalf("round %d: lost=%d after reset, want 0", round, c.Lost)
+		}
+		if len(c.Records) != 35 {
+			t.Fatalf("round %d: records=%d, want 35", round, len(c.Records))
+		}
+		for i, rec := range c.Records {
+			if rec != mkRecord(i%7) {
+				t.Fatalf("round %d: record %d corrupted by buffer reuse", round, i)
+			}
+		}
+	}
+	// ForEachPacket does not clear: a second pass sees the same packets.
+	var again int
+	if err := e.ForEachPacket(func([]byte) error { again++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if again != 2 {
+		t.Fatalf("second visit saw %d packets, want 2", again)
+	}
+}
+
+func TestDrainSurvivesReset(t *testing.T) {
+	e := NewExporter(3, 100, nil)
+	want := mkRecord(4)
+	_ = e.Add(want)
+	_ = e.Flush()
+	pkts := e.Drain()
+	if len(pkts) != 1 {
+		t.Fatalf("packets=%d", len(pkts))
+	}
+	// Reset and refill with different records; the drained packet owns its
+	// bytes and must be unaffected.
+	e.Reset(3, 100)
+	for i := 0; i < 30; i++ {
+		_ = e.Add(mkRecord(9))
+	}
+	_ = e.Flush()
+	_, recs, err := DecodePacket(pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0] != want {
+		t.Fatalf("drained packet corrupted after reset: %+v", recs)
+	}
+}
+
+func TestAppendPacketSharesArena(t *testing.T) {
+	h := Header{EngineID: 2, SamplingInterval: 100}
+	arena, err := AppendPacket(nil, h, []Record{mkRecord(0), mkRecord(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := len(arena)
+	h.FlowSequence = 2
+	arena, err = AppendPacket(arena, h, []Record{mkRecord(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arena) != first+HeaderLen+RecordLen {
+		t.Fatalf("arena length %d", len(arena))
+	}
+	// Both packets decode independently and identically to EncodePacket.
+	if _, recs, err := DecodePacket(arena[:first]); err != nil || len(recs) != 2 || recs[1] != mkRecord(1) {
+		t.Fatalf("first packet: %v %+v", err, recs)
+	}
+	h.FlowSequence = 2
+	single, _ := EncodePacket(h, []Record{mkRecord(2)})
+	if !bytes.Equal(arena[first:], single) {
+		t.Fatal("appended packet differs from standalone encoding")
+	}
+	// An encode error leaves the arena exactly as it was.
+	bad := mkRecord(0)
+	bad.Bytes = 1 << 33
+	out, err := AppendPacket(arena, h, []Record{bad})
+	if err == nil {
+		t.Fatal("counter overflow accepted")
+	}
+	if len(out) != len(arena) {
+		t.Fatalf("failed append left %d bytes, want %d", len(out), len(arena))
+	}
+}
+
 func TestCollectorCountsLoss(t *testing.T) {
 	e := NewExporter(7, 100, nil)
 	for i := 0; i < 90; i++ {

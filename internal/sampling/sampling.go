@@ -43,7 +43,10 @@ func Binomial(n uint64, p float64, rng *rand.Rand) uint64 {
 		lq := math.Log1p(-p)
 		for {
 			u := rng.Float64()
-			skip := uint64(math.Floor(math.Log(1-u)/lq)) + 1
+			// Log1p(-u) keeps full precision as u -> 0 (where log(1-u)
+			// cancels catastrophically) and saves a subtraction in the
+			// hottest RNG loop of the simulator.
+			skip := uint64(math.Floor(math.Log1p(-u)/lq)) + 1
 			if trial+skip > n || trial+skip < trial { // overflow guard
 				return count
 			}

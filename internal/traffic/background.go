@@ -82,7 +82,14 @@ func (b *Background) Classes(od topology.ODPair, bin int, rng *rand.Rand) []Flow
 // injectors use it to scale the background up or down (outages, ingress
 // shifts) before the mix is expanded into classes.
 func (b *Background) ClassesForVolume(od topology.ODPair, vol float64, rng *rand.Rand) []FlowClass {
-	out := make([]FlowClass, 0, 16)
+	return b.AppendClassesForVolume(make([]FlowClass, 0, 16), od, vol, rng)
+}
+
+// AppendClassesForVolume appends the bin's classes to out and returns the
+// extended slice. It is the allocation-free form of ClassesForVolume: the
+// generation hot loop passes a per-worker scratch slice whose capacity is
+// reused across cells. The rng stream is consumed identically either way.
+func (b *Background) AppendClassesForVolume(out []FlowClass, od topology.ODPair, vol float64, rng *rand.Rand) []FlowClass {
 	for _, app := range b.Mix {
 		appBytes := vol * app.VolumeShare
 		for _, sc := range app.Sizes {

@@ -186,6 +186,52 @@ func TestReductionReported(t *testing.T) {
 	}
 }
 
+func TestReductionUnchangedByCharacterize(t *testing.T) {
+	// Regression: characterization regenerates the anomalous bins to compute
+	// attribute detail, which used to re-count those records into the
+	// data-reduction statistic. The counters are frozen at Simulate time.
+	run := quickRun(t)
+	before := run.Reduction()
+	if len(run.Characterize()) == 0 {
+		t.Fatal("no anomalies to characterize")
+	}
+	after := run.Reduction()
+	if before != after {
+		t.Fatalf("Characterize changed Reduction():\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+func TestSimulateWorkersIdenticalRuns(t *testing.T) {
+	// The public Workers knob must not alter results: serial and parallel
+	// runs produce identical matrices and data-reduction statistics.
+	cfg := netwide.QuickConfig()
+	cfg.MeanRateBps = 2e5
+	cfg.Workers = 1
+	r1, err := netwide.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	r4, err := netwide.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := dataset.Measure(0); m < dataset.NumMeasures; m++ {
+		x1, x4 := r1.Dataset().Matrix(m), r4.Dataset().Matrix(m)
+		for bin := 0; bin < r1.Bins(); bin++ {
+			row1, row4 := x1.RowView(bin), x4.RowView(bin)
+			for od := range row1 {
+				if row1[od] != row4[od] {
+					t.Fatalf("measure %v differs at (%d,%d)", m, bin, od)
+				}
+			}
+		}
+	}
+	if r1.Reduction() != r4.Reduction() {
+		t.Fatalf("reduction stats differ: %+v vs %+v", r1.Reduction(), r4.Reduction())
+	}
+}
+
 func TestGroundTruthAccessible(t *testing.T) {
 	run := quickRun(t)
 	gt := run.GroundTruth()

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and record the perf trajectory.
+#
+# Writes a JSON map of benchmark name -> {ns_op, bytes_op, allocs_op} so
+# successive PRs can diff machine-readable numbers instead of eyeballing
+# `go test -bench` output.
+#
+# Usage:
+#   scripts/bench.sh [out.json]          # default out: BENCH_PR2.json
+#   BENCH='SimulateWeek|Detect' scripts/bench.sh   # restrict the suite
+#   BENCHTIME=3x scripts/bench.sh        # more iterations per benchmark
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR2.json}"
+bench="${BENCH:-.}"
+benchtime="${BENCHTIME:-1x}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -bench="$bench" -benchtime="$benchtime" -benchmem ./... | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns     = $(i-1)
+        if ($i == "B/op")      bytes  = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  \"%s\": {\"ns_op\": %s", name, ns
+    if (bytes  != "") printf ", \"bytes_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_op\": %s", allocs
+    printf "}"
+}
+BEGIN { printf "{\n" }
+END   { printf "\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out ($(grep -c ns_op "$out") benchmarks)"
