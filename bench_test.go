@@ -47,12 +47,13 @@ func benchSetup(b *testing.B) *netwide.Run {
 
 // benchSimulateWeek is the full measurement pipeline: traffic synthesis,
 // anomaly injection, 1% sampling, NetFlow export/collect and OD resolution
-// for one week (2016 bins x 121 OD pairs x 3 measures), at the given number
-// of simulation goroutines.
-func benchSimulateWeek(b *testing.B, workers int) {
+// for one week of 5-minute bins across all OD pairs of the topology, at the
+// given number of simulation goroutines.
+func benchSimulateWeek(b *testing.B, topo string, workers int) {
 	cfg := netwide.QuickConfig()
 	cfg.MeanRateBps = 4e5 // half volume keeps the per-iteration cost sane
 	cfg.Workers = workers
+	cfg.Topology = topo
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
@@ -62,15 +63,44 @@ func benchSimulateWeek(b *testing.B, workers int) {
 	}
 }
 
-// BenchmarkSimulateWeek runs the pipeline at the default worker count (all
-// cores). Compare with BenchmarkSimulateWeekSerial for the parallel speedup;
-// both produce byte-identical datasets.
-func BenchmarkSimulateWeek(b *testing.B) { benchSimulateWeek(b, 0) }
+// BenchmarkSimulateWeek sweeps the pipeline across topology sizes at the
+// default worker count (all cores): the reference 11-PoP Abilene (121 OD
+// pairs), the 23-PoP Géant-like backbone (529), and deterministic synthetic
+// backbones of 50 and 100 PoPs (2 500 and 10 000 OD pairs). The sweep is
+// the scaling story of the measurement path: per-cell fixed costs dominate
+// as the OD matrix widens while total traffic volume stays constant.
+func BenchmarkSimulateWeek(b *testing.B) {
+	b.Run("abilene", func(b *testing.B) { benchSimulateWeek(b, "abilene", 0) })
+	b.Run("geant", func(b *testing.B) { benchSimulateWeek(b, "geant", 0) })
+	b.Run("synthetic50", func(b *testing.B) { benchSimulateWeek(b, "synthetic:50:7", 0) })
+	b.Run("synthetic100", func(b *testing.B) { benchSimulateWeek(b, "synthetic:100:7", 0) })
+}
 
-// BenchmarkSimulateWeekSerial pins the simulation to a single goroutine —
-// the scaling baseline, and the allocs/op reference for the scratch-reuse
-// diet in the per-cell path.
-func BenchmarkSimulateWeekSerial(b *testing.B) { benchSimulateWeek(b, 1) }
+// BenchmarkSimulateWeekSerial pins the Abilene simulation to a single
+// goroutine — the scaling baseline, and the allocs/op reference for the
+// scratch-reuse diet in the per-cell path.
+func BenchmarkSimulateWeekSerial(b *testing.B) { benchSimulateWeek(b, "abilene", 1) }
+
+// BenchmarkDetectGeant runs the subspace method on a Géant-sized run: at
+// 529 OD pairs the analysis crosses onto the partial-PCA path, so this
+// benchmark guards the large-p detection fit the synthetic scale sweep
+// depends on.
+func BenchmarkDetectGeant(b *testing.B) {
+	cfg := netwide.QuickConfig()
+	cfg.MeanRateBps = 4e5
+	cfg.Topology = "geant"
+	run, err := netwide.Simulate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run.Detect(netwide.DefaultDetectOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkDetect measures the subspace method (PCA, thresholds, alarms,
 // identification, aggregation) over the three one-week matrices.

@@ -1,10 +1,16 @@
-// Command abilenegen generates a synthetic Abilene-like OD-flow dataset —
-// the three sampled traffic matrices plus an injected ground-truth anomaly
-// population — and writes it to a file for the other tools.
+// Command abilenegen generates a synthetic OD-flow dataset — the three
+// sampled traffic matrices plus an injected ground-truth anomaly population
+// — and writes it to a file for the other tools. Despite the historical
+// name it generates any supported backbone: the reference Abilene network,
+// the bundled Géant-like one, or deterministic synthetic backbones up to
+// 200 PoPs.
 //
 // Usage:
 //
 //	abilenegen -weeks 4 -seed 2004 -rate 2e6 -out abilene.nwds
+//	abilenegen -topology geant -out geant.nwds
+//	abilenegen -topology synthetic:100 -weeks 1 -out synth100.nwds
+//	abilenegen -scenario ddos-day.json -out ddos.nwds
 package main
 
 import (
@@ -14,23 +20,37 @@ import (
 	"os"
 
 	"netwide"
+	"netwide/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("abilenegen: ")
 	var (
-		weeks   = flag.Int("weeks", 4, "weeks of 5-minute bins to simulate")
-		seed    = flag.Uint64("seed", 2004, "random seed (same seed, same dataset)")
-		rate    = flag.Float64("rate", 2e6, "network-wide mean offered load in bytes/second")
-		smpl    = flag.Float64("sampling", 0.01, "packet sampling probability")
-		unres   = flag.Float64("unresolved", 0.07, "fraction of flow records failing OD resolution")
-		workers = flag.Int("workers", 0, "simulation goroutines (0 = all cores; output identical either way)")
-		out     = flag.String("out", "abilene.nwds", "output dataset file")
+		weeks    = flag.Int("weeks", 4, "weeks of 5-minute bins to simulate")
+		seed     = flag.Uint64("seed", 2004, "random seed (same seed, same dataset)")
+		rate     = flag.Float64("rate", 2e6, "network-wide mean offered load in bytes/second")
+		smpl     = flag.Float64("sampling", 0.01, "packet sampling probability")
+		unres    = flag.Float64("unresolved", 0.07, "fraction of flow records failing OD resolution")
+		workers  = flag.Int("workers", 0, "simulation goroutines (0 = all cores; output identical either way)")
+		topo     = flag.String("topology", "abilene", "backbone topology: abilene, geant, or synthetic:N[:seed]")
+		scenFile = flag.String("scenario", "", "JSON scenario file scheduling the anomaly episodes (default: the paper's random schedule)")
+		out      = flag.String("out", "abilene.nwds", "output dataset file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"abilenegen: generate a synthetic Abilene-like OD-flow dataset.\n\nSimulates gravity-model backbone traffic with injected ground-truth anomalies,\nmeasures it through 1%% packet sampling, NetFlow export and OD resolution, and\nwrites the three B/P/F matrices plus the anomaly ledger to -out.\n\nFlags:\n")
+			"abilenegen: generate a synthetic OD-flow dataset.\n\n"+
+				"Simulates gravity-model backbone traffic with injected ground-truth anomalies,\n"+
+				"measures it through 1%% packet sampling, NetFlow export and OD resolution, and\n"+
+				"writes the three B/P/F matrices plus the anomaly ledger to -out.\n\n"+
+				"Examples:\n"+
+				"  abilenegen -weeks 4 -seed 2004 -out abilene.nwds\n"+
+				"  abilenegen -topology geant -out geant.nwds\n"+
+				"  abilenegen -topology synthetic:100:7 -weeks 1 -out synth100.nwds\n"+
+				"  abilenegen -scenario ddos-day.json -weeks 1 -out ddos.nwds\n\n"+
+				"Scenario files are JSON: {\"name\": ..., \"episodes\": [{\"type\": \"ddos\",\n"+
+				"\"start_bin\": 288, \"duration_bins\": 4, \"magnitude\": 9, \"dest\": \"LOSA\"}, ...]}.\n"+
+				"See README.md for the full episode reference.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,6 +62,14 @@ func main() {
 		SamplingRate:       *smpl,
 		UnresolvedFraction: *unres,
 		Workers:            *workers,
+		Topology:           *topo,
+	}
+	if *scenFile != "" {
+		s, err := scenario.LoadFile(*scenFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Scenario = s
 	}
 	run, err := netwide.Simulate(cfg)
 	if err != nil {
@@ -56,7 +84,8 @@ func main() {
 		log.Fatal(err)
 	}
 	red := run.Reduction()
-	fmt.Printf("wrote %s: %d bins x 121 OD pairs x 3 measures\n", *out, run.Bins())
+	fmt.Printf("wrote %s: %d bins x %d OD pairs x 3 measures (%s)\n",
+		*out, run.Bins(), run.Dataset().NumODPairs(), run.Dataset().Top.Name)
 	fmt.Printf("collected %d flow records (%d unresolved), injected %d ground-truth anomalies\n",
 		red.RawRecords, red.Unresolved, len(run.GroundTruth()))
 }

@@ -23,22 +23,30 @@ import (
 	"os"
 
 	"netwide"
+	"netwide/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paper: ")
 	var (
-		weeks   = flag.Int("weeks", 4, "weeks to simulate")
-		seed    = flag.Uint64("seed", 2004, "random seed")
-		rate    = flag.Float64("rate", 2e6, "mean offered load, bytes/second")
-		fig1csv = flag.String("fig1csv", "", "write Figure 1 series to this CSV file")
-		quick   = flag.Bool("quick", false, "1-week quick run (overrides -weeks)")
-		workers = flag.Int("workers", 0, "simulation goroutines (0 = all cores; output identical either way)")
+		weeks    = flag.Int("weeks", 4, "weeks to simulate")
+		seed     = flag.Uint64("seed", 2004, "random seed")
+		rate     = flag.Float64("rate", 2e6, "mean offered load, bytes/second")
+		fig1csv  = flag.String("fig1csv", "", "write Figure 1 series to this CSV file")
+		quick    = flag.Bool("quick", false, "1-week quick run (overrides -weeks)")
+		workers  = flag.Int("workers", 0, "simulation goroutines (0 = all cores; output identical either way)")
+		topo     = flag.String("topology", "abilene", "backbone topology: abilene, geant, or synthetic:N[:seed]")
+		scenFile = flag.String("scenario", "", "JSON scenario file scheduling the anomaly episodes")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"paper: regenerate every table and figure of the paper's evaluation section\nfrom a fresh simulation (the E1..E9 experiment index in DESIGN.md).\n\nFlags:\n")
+			"paper: regenerate every table and figure of the paper's evaluation section\n"+
+				"from a fresh simulation (the E1..E9 experiment index in DESIGN.md).\n\n"+
+				"Examples:\n"+
+				"  paper -quick\n"+
+				"  paper -topology geant -weeks 2\n"+
+				"  paper -topology synthetic:50 -quick -scenario episodes.json\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,6 +58,14 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	cfg.Topology = *topo
+	if *scenFile != "" {
+		s, err := scenario.LoadFile(*scenFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Scenario = s
+	}
 	fmt.Printf("simulating %d week(s), seed %d ...\n", cfg.Weeks, cfg.Seed)
 	run, err := netwide.Simulate(cfg)
 	if err != nil {

@@ -40,6 +40,7 @@ func main() {
 		refit   = flag.Int("refit", 288, "bins between background refits (0 = never)")
 		window  = flag.Int("window", 0, "rolling refit window in bins (0 = training length)")
 		workers = flag.Int("workers", 0, "linear-algebra worker goroutines (0 = GOMAXPROCS)")
+		topo    = flag.String("topology", "abilene", "backbone topology when simulating: abilene, geant, or synthetic:N[:seed]")
 		verbose = flag.Bool("v", false, "print every alarmed bin, not just the summary")
 	)
 	flag.Usage = func() {
@@ -64,6 +65,7 @@ func main() {
 	} else {
 		cfg := netwide.QuickConfig()
 		cfg.Weeks, cfg.Seed, cfg.MeanRateBps = *weeks, *seed, *rate
+		cfg.Topology = *topo
 		run, err = netwide.Simulate(cfg)
 	}
 	if err != nil {

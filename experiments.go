@@ -14,7 +14,6 @@ import (
 	"netwide/internal/identify"
 	"netwide/internal/routing"
 	"netwide/internal/stats"
-	"netwide/internal/topology"
 	"netwide/internal/traffic"
 )
 
@@ -220,7 +219,7 @@ func (r *Run) Table2Evidence() []string {
 	byType := map[string]classify.Verdict{}
 	for _, v := range r.Verdicts() {
 		specs := r.ds.Ledger.Specs()
-		if s, ok := matchTruth(v.Event, specs); ok {
+		if s, ok := r.matchTruth(v.Event, specs); ok {
 			key := s.Type.String()
 			if _, seen := byType[key]; !seen {
 				byType[key] = v
@@ -259,7 +258,7 @@ func (r *Run) Score() DetectionScore {
 	s := DetectionScore{InjectedTotal: len(specs), Events: len(r.evs)}
 	matched := map[int]bool{}
 	for _, ev := range r.evs {
-		if spec, ok := matchTruth(ev, specs); ok {
+		if spec, ok := r.matchTruth(ev, specs); ok {
 			s.EventsMatched++
 			matched[spec.ID] = true
 		}
@@ -346,7 +345,7 @@ func (r *Run) ablate(k int, alpha float64, useT2 bool) (AblationPoint, error) {
 	specs := r.ds.Ledger.Specs()
 	matched := map[int]bool{}
 	for _, ev := range evs {
-		if spec, ok := matchTruth(ev, specs); ok {
+		if spec, ok := r.matchTruth(ev, specs); ok {
 			matched[spec.ID] = true
 		}
 	}
@@ -368,7 +367,7 @@ type DataReduction struct {
 
 // Reduction reports the data-reduction achieved by OD aggregation.
 func (r *Run) Reduction() DataReduction {
-	cells := r.Bins() * topology.NumODPairs * int(dataset.NumMeasures)
+	cells := r.Bins() * r.ds.NumODPairs() * int(dataset.NumMeasures)
 	red := DataReduction{
 		RawRecords:  r.ds.RawRecords,
 		Unresolved:  r.ds.UnresolvedRecords,

@@ -119,7 +119,7 @@ func TestScanShapes(t *testing.T) {
 }
 
 func TestOutageCoversPoP(t *testing.T) {
-	o := NewOutage(1, topology.LOSA, 100, 12, 0.02)
+	o := NewOutage(1, topology.Abilene(), topology.LOSA, 100, 12, 0.02)
 	s := o.Spec()
 	if len(s.ODs) != 2*(topology.NumPoPs-1)+1 {
 		t.Fatalf("outage covers %d ODs", len(s.ODs))
@@ -146,7 +146,7 @@ func TestIngressShiftConservesVolume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh := NewIngressShift(1, topology.LOSA, topology.SNVA, 50, 10, 0.7)
+	sh := NewIngressShift(1, top, topology.LOSA, topology.SNVA, 50, 10, 0.7)
 	var before, after float64
 	for d := topology.PoP(0); d < topology.NumPoPs; d++ {
 		from := topology.ODPair{Origin: topology.LOSA, Dest: d}
@@ -173,7 +173,7 @@ func TestLedgerQueries(t *testing.T) {
 	led := &Ledger{}
 	led.Injectors = append(led.Injectors,
 		NewAlpha(1, testOD(), 10, 1, ipaddr.FromOctets(10, 0, 0, 1), ipaddr.FromOctets(10, 112, 0, 1), 5001, 1e7),
-		NewOutage(2, topology.LOSA, 5, 20, 0.02),
+		NewOutage(2, topology.Abilene(), topology.LOSA, 5, 20, 0.02),
 	)
 	if n := len(led.ActiveAt(testOD(), 10)); n != 1 {
 		t.Fatalf("ActiveAt found %d", n)

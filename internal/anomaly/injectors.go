@@ -285,10 +285,11 @@ type OutageInjector struct {
 	Residual float64
 }
 
-// NewOutage builds an outage of the given PoP.
-func NewOutage(id int, pop topology.PoP, startBin, durBins int, residual float64) *OutageInjector {
+// NewOutage builds an outage of the given PoP; the topology supplies the OD
+// pairs touching it.
+func NewOutage(id int, top *topology.Topology, pop topology.PoP, startBin, durBins int, residual float64) *OutageInjector {
 	var ods []topology.ODPair
-	for p := topology.PoP(0); p < topology.NumPoPs; p++ {
+	for p := topology.PoP(0); int(p) < top.NumPoPs(); p++ {
 		if p != pop {
 			ods = append(ods, topology.ODPair{Origin: pop, Dest: p})
 			ods = append(ods, topology.ODPair{Origin: p, Dest: pop})
@@ -299,7 +300,7 @@ func NewOutage(id int, pop topology.PoP, startBin, durBins int, residual float64
 		baseSpec: baseSpec{Spec{
 			ID: id, Type: Outage, StartBin: startBin, EndBin: startBin + durBins - 1,
 			ODs:  ods,
-			Note: fmt.Sprintf("outage at %s", pop),
+			Note: fmt.Sprintf("outage at %s", top.PoPName(pop)),
 		}},
 		Residual: residual,
 	}
@@ -327,10 +328,11 @@ type IngressShiftInjector struct {
 	Share float64
 }
 
-// NewIngressShift builds a shift of Share of From-origin traffic to To.
-func NewIngressShift(id int, from, to topology.PoP, startBin, durBins int, share float64) *IngressShiftInjector {
+// NewIngressShift builds a shift of Share of From-origin traffic to To; the
+// topology supplies the OD pairs originating at either PoP.
+func NewIngressShift(id int, top *topology.Topology, from, to topology.PoP, startBin, durBins int, share float64) *IngressShiftInjector {
 	var ods []topology.ODPair
-	for d := topology.PoP(0); d < topology.NumPoPs; d++ {
+	for d := topology.PoP(0); int(d) < top.NumPoPs(); d++ {
 		ods = append(ods, topology.ODPair{Origin: from, Dest: d})
 		ods = append(ods, topology.ODPair{Origin: to, Dest: d})
 	}
@@ -338,7 +340,7 @@ func NewIngressShift(id int, from, to topology.PoP, startBin, durBins int, share
 		baseSpec: baseSpec{Spec{
 			ID: id, Type: IngressShift, StartBin: startBin, EndBin: startBin + durBins - 1,
 			ODs:  ods,
-			Note: fmt.Sprintf("ingress shift %s -> %s (share %.2f)", from, to, share),
+			Note: fmt.Sprintf("ingress shift %s -> %s (share %.2f)", top.PoPName(from), top.PoPName(to), share),
 		}},
 		From: from, To: to, Share: share,
 	}

@@ -28,7 +28,7 @@ type ScheduleConfig struct {
 // DefaultSchedule sizes the population for a run of the given length over
 // the given background generator.
 func DefaultSchedule(bg *traffic.Background, weeks int, seed uint64) ScheduleConfig {
-	ref := bg.MeanRateBps * traffic.BinSeconds / float64(topology.NumODPairs)
+	ref := bg.MeanRateBps * traffic.BinSeconds / float64(bg.Top.NumODPairs())
 	return ScheduleConfig{
 		Weeks:  weeks,
 		Alphas: 150, DOSes: 36, DDOSes: 12, Flashes: 70, Scans: 60,
@@ -66,10 +66,11 @@ func Build(cfg ScheduleConfig, top *topology.Topology) (*Ledger, error) {
 	id := 0
 	nextID := func() int { id++; return id }
 
+	numPoPs := top.NumPoPs()
 	randomOD := func() topology.ODPair {
 		return topology.ODPair{
-			Origin: topology.PoP(rng.IntN(topology.NumPoPs)),
-			Dest:   topology.PoP(rng.IntN(topology.NumPoPs)),
+			Origin: topology.PoP(rng.IntN(numPoPs)),
+			Dest:   topology.PoP(rng.IntN(numPoPs)),
 		}
 	}
 	hostAt := func(p topology.PoP, salt uint64) ipaddr.Addr {
@@ -111,12 +112,15 @@ func Build(cfg ScheduleConfig, top *topology.Topology) (*Ledger, error) {
 
 	// DDOS: 2-4 origin PoPs, same victim.
 	for i := 0; i < cfg.scaled(cfg.DDOSes); i++ {
-		dst := topology.PoP(rng.IntN(topology.NumPoPs))
+		dst := topology.PoP(rng.IntN(numPoPs))
 		norigins := 2 + rng.IntN(3)
+		if norigins >= numPoPs {
+			norigins = numPoPs - 1
+		}
 		seen := map[topology.PoP]bool{dst: true}
 		var ods []topology.ODPair
 		for len(ods) < norigins {
-			o := topology.PoP(rng.IntN(topology.NumPoPs))
+			o := topology.PoP(rng.IntN(numPoPs))
 			if seen[o] {
 				continue
 			}
@@ -196,34 +200,27 @@ func Build(cfg ScheduleConfig, top *topology.Topology) (*Ledger, error) {
 
 	// Outages: scheduled maintenance / failures, lasting hours.
 	for i := 0; i < cfg.scaled(cfg.Outages); i++ {
-		pop := topology.PoP(rng.IntN(topology.NumPoPs))
+		pop := topology.PoP(rng.IntN(numPoPs))
 		dur := 24 + rng.IntN(48)
 		led.Injectors = append(led.Injectors, NewOutage(
-			nextID(), pop, randBin(dur), dur, 0.02+rng.Float64()*0.05))
+			nextID(), top, pop, randBin(dur), dur, 0.02+rng.Float64()*0.05))
 	}
 
 	// Ingress shifts: the CALREN-style multihomed reroute between the
 	// topology's multihomed customer homes.
-	mh := multihomed(top)
+	from, to, ok := top.Multihomed()
+	if !ok {
+		// No multihomed customer: model the shift between the first two PoPs.
+		from, to = 0, 1
+	}
 	for i := 0; i < cfg.scaled(cfg.IngressShifts); i++ {
-		from, to := mh[0], mh[1]
+		f, t := from, to
 		if rng.Float64() < 0.5 {
-			from, to = to, from
+			f, t = t, f
 		}
 		dur := 4 + rng.IntN(20)
 		led.Injectors = append(led.Injectors, NewIngressShift(
-			nextID(), from, to, randBin(dur), dur, 0.5+rng.Float64()*0.4))
+			nextID(), top, f, t, randBin(dur), dur, 0.5+rng.Float64()*0.4))
 	}
 	return led, nil
-}
-
-// multihomed returns the homes of the first multihomed customer, falling
-// back to (LOSA, SNVA).
-func multihomed(top *topology.Topology) [2]topology.PoP {
-	for _, c := range top.Customers {
-		if len(c.Homes) >= 2 {
-			return [2]topology.PoP{c.Homes[0], c.Homes[1]}
-		}
-	}
-	return [2]topology.PoP{topology.LOSA, topology.SNVA}
 }

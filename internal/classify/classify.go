@@ -20,7 +20,6 @@ import (
 	"netwide/internal/dataset"
 	"netwide/internal/events"
 	"netwide/internal/flow"
-	"netwide/internal/topology"
 )
 
 // Class is a classification outcome: one of the Table 2 anomaly types or
@@ -205,7 +204,7 @@ func (c *Classifier) attributes(ev events.Event) *dataset.AttributeSummary {
 				break
 			}
 			cells++
-			s := c.DS.BinAttributes(topology.ODPairFromIndex(od), bin)
+			s := c.DS.BinAttributes(c.DS.ODAt(od), bin)
 			if merged == nil {
 				merged = s
 			} else {

@@ -47,14 +47,15 @@ func (d *OnlineDetector) fit(train *mat.Matrix, opts Options) error {
 	if !(opts.Alpha > 0 && opts.Alpha < 1) {
 		return fmt.Errorf("core: online alpha=%v out of (0,1)", opts.Alpha)
 	}
-	if n <= p {
-		return fmt.Errorf("core: online training needs more bins than flows (n > p)")
+	if n <= opts.K {
+		return fmt.Errorf("core: online training needs more bins than the subspace dimension k")
 	}
-	pca, err := mat.FitPCA(train, true)
+	pca, err := fitSubspacePCA(train, opts.K)
 	if err != nil {
 		return err
 	}
-	qLimit, err := stats.QThreshold(pca.Eigenvalues, opts.K, opts.Alpha)
+	phi1, phi2, phi3 := pca.ResidualMoments(opts.K)
+	qLimit, err := stats.QThresholdFromMoments(phi1, phi2, phi3, opts.Alpha)
 	if err != nil {
 		return err
 	}
@@ -160,8 +161,8 @@ func (d *OnlineDetector) ScoreBatch(xs [][]float64, dst []Point) ([]Point, error
 			row[f] = v - d.pca.Mean[f]
 		}
 	}
-	scores := mat.Mul(xc, d.vk)      // m x k: coordinates in the normal subspace
-	proj := mat.Mul(scores, d.vkT)   // m x p: modeled part of each vector
+	scores := mat.Mul(xc, d.vk)    // m x k: coordinates in the normal subspace
+	proj := mat.Mul(scores, d.vkT) // m x p: modeled part of each vector
 	for i := 0; i < m; i++ {
 		var pt Point
 		srow := scores.RowView(i)

@@ -17,9 +17,12 @@ func TestOnlineValidation(t *testing.T) {
 	if _, err := NewOnlineDetector(train, Options{K: 4, Alpha: 2}); err == nil {
 		t.Fatal("alpha=2 accepted")
 	}
-	short := synthTraffic(rng, 6, 8, 1, nil)
-	if _, err := NewOnlineDetector(short, Options{K: 4, Alpha: 0.001}); err == nil {
-		t.Fatal("n<=p accepted")
+	if _, err := NewOnlineDetector(synthTraffic(rng, 4, 8, 1, nil), Options{K: 4, Alpha: 0.001}); err == nil {
+		t.Fatal("n<=k accepted")
+	}
+	// n <= p now trains through the partial-PCA path (wide OD matrices).
+	if _, err := NewOnlineDetector(synthTraffic(rng, 6, 8, 1, nil), Options{K: 4, Alpha: 0.001}); err != nil {
+		t.Fatalf("wide training matrix rejected: %v", err)
 	}
 }
 

@@ -98,8 +98,35 @@ type Result struct {
 	Alarms []Alarm
 }
 
+// maxFullPCAVars is the OD-matrix width beyond which Analyze abandons the
+// full O(p³) Jacobi eigendecomposition for the partial subspace-iteration
+// fit. 512 keeps the reference Abilene path (p = 121) and every similarly
+// sized topology on the exact full fit while making 100+-PoP synthetic
+// backbones (p = 10⁴⁺) tractable.
+const maxFullPCAVars = 512
+
+// fitSubspacePCA picks the PCA strategy for an n x p traffic matrix: the
+// exact full fit where it is affordable and statistically possible (p small
+// and n > p, the paper's regime), otherwise a partial fit of the top
+// 2k+8 axes — several times the k the method consumes, which pins down the
+// head of the residual spectrum; the flat-tail model in ResidualMoments
+// covers the rest of the Q-threshold inputs.
+func fitSubspacePCA(X *mat.Matrix, k int) (*mat.PCA, error) {
+	n, p := X.Rows(), X.Cols()
+	if p <= maxFullPCAVars && n > p {
+		return mat.FitPCA(X, true)
+	}
+	m := 2*k + 8
+	if m > p {
+		m = p
+	}
+	return mat.FitPCAPartial(X, m, true)
+}
+
 // Analyze runs the subspace method over X (rows = timebins, cols = OD
-// flows).
+// flows). Matrices wider than maxFullPCAVars (or with fewer timebins than
+// flows) are analyzed via the partial-PCA path, which the synthetic
+// scale-sweep topologies rely on.
 func Analyze(X *mat.Matrix, opts Options) (*Result, error) {
 	n, p := X.Rows(), X.Cols()
 	if opts.K <= 0 || opts.K >= p {
@@ -108,10 +135,10 @@ func Analyze(X *mat.Matrix, opts Options) (*Result, error) {
 	if !(opts.Alpha > 0 && opts.Alpha < 1) {
 		return nil, fmt.Errorf("core: alpha=%v out of (0,1)", opts.Alpha)
 	}
-	if n <= p {
-		return nil, errors.New("core: need more timebins than OD flows (n > p)")
+	if n <= opts.K {
+		return nil, errors.New("core: need more timebins than the subspace dimension k")
 	}
-	pca, err := mat.FitPCA(X, true)
+	pca, err := fitSubspacePCA(X, opts.K)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +173,8 @@ func Analyze(X *mat.Matrix, opts Options) (*Result, error) {
 		res.T2[j] = t2
 	}
 
-	res.QLimit, err = stats.QThreshold(pca.Eigenvalues, opts.K, opts.Alpha)
+	phi1, phi2, phi3 := pca.ResidualMoments(opts.K)
+	res.QLimit, err = stats.QThresholdFromMoments(phi1, phi2, phi3, opts.Alpha)
 	if err != nil {
 		return nil, fmt.Errorf("core: Q threshold: %w", err)
 	}

@@ -32,6 +32,7 @@ import (
 	"netwide/internal/netflow"
 	"netwide/internal/routing"
 	"netwide/internal/sampling"
+	"netwide/internal/scenario"
 	"netwide/internal/topology"
 	"netwide/internal/traffic"
 )
@@ -70,8 +71,16 @@ type Config struct {
 	// UnresolvedFraction of flow records cannot be mapped to an OD pair
 	// (paper: ~7% unresolved).
 	UnresolvedFraction float64
-	// Schedule configures the injected anomaly population. A zero value
-	// (Weeks == 0) is replaced by anomaly.DefaultSchedule.
+	// Topology selects the simulated backbone; the zero Ref means the
+	// reference Abilene network. The Ref (not the built topology) is what
+	// dataset files persist, so loads rebuild the topology
+	// deterministically.
+	Topology topology.Ref
+	// Scenario, when non-nil, replaces the random anomaly schedule with a
+	// declarative episode plan (see internal/scenario).
+	Scenario *scenario.Scenario
+	// Schedule configures the injected anomaly population when Scenario is
+	// nil. A zero value (Weeks == 0) is replaced by anomaly.DefaultSchedule.
 	Schedule anomaly.ScheduleConfig
 	// Workers is the number of goroutines generating timebins; <= 0 means
 	// GOMAXPROCS. Every (OD, bin) cell draws from its own deterministic RNG
@@ -103,7 +112,7 @@ type Dataset struct {
 
 	// Bins is the number of timebins (rows of the matrices).
 	Bins int
-	// X holds the three n x 121 matrices indexed by Measure.
+	// X holds the three bins x NumODPairs matrices indexed by Measure.
 	X [NumMeasures]*mat.Matrix
 
 	sampler  sampling.Sampler
@@ -194,16 +203,24 @@ func prepare(cfg Config) (*Dataset, error) {
 	if cfg.Weeks <= 0 {
 		return nil, fmt.Errorf("dataset: weeks %d must be positive", cfg.Weeks)
 	}
-	top := topology.Abilene()
+	top, err := cfg.Topology.Build()
+	if err != nil {
+		return nil, err
+	}
 	bg, err := traffic.NewBackground(top, cfg.MeanRateBps, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	sched := cfg.Schedule
-	if sched.Weeks == 0 {
-		sched = anomaly.DefaultSchedule(bg, cfg.Weeks, cfg.Seed)
+	var led *anomaly.Ledger
+	if cfg.Scenario != nil {
+		led, err = cfg.Scenario.Build(top, bg, cfg.Weeks)
+	} else {
+		sched := cfg.Schedule
+		if sched.Weeks == 0 {
+			sched = anomaly.DefaultSchedule(bg, cfg.Weeks, cfg.Seed)
+		}
+		led, err = anomaly.Build(sched, top)
 	}
-	led, err := anomaly.Build(sched, top)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +239,7 @@ func prepare(cfg Config) (*Dataset, error) {
 		sampInterval: uint16(1 / cfg.SamplingRate),
 	}
 	for m := Measure(0); m < NumMeasures; m++ {
-		d.X[m] = mat.New(bins, topology.NumODPairs)
+		d.X[m] = mat.New(bins, top.NumODPairs())
 	}
 	d.binIndex = make([][]anomaly.Injector, bins)
 	for _, inj := range led.Injectors {
@@ -344,18 +361,28 @@ func (d *Dataset) generateBin(bin int, sc *scratch) (raw, unresolved uint64) {
 	xp := d.X[Packets].RowView(bin)
 	xf := d.X[Flows].RowView(bin)
 	accum := func(resolved topology.ODPair, rec netflow.Record) {
-		col := resolved.Index()
+		col := d.Top.Index(resolved)
 		xb[col] += float64(rec.Bytes)
 		xp[col] += float64(rec.Packets)
 		xf[col]++
 	}
-	for i := 0; i < topology.NumODPairs; i++ {
-		r, u := d.forEachResolvedRecord(topology.ODPairFromIndex(i), bin, sc, accum)
+	for i := 0; i < d.Top.NumODPairs(); i++ {
+		r, u := d.forEachResolvedRecord(d.Top.ODAt(i), bin, sc, accum)
 		raw += r
 		unresolved += u
 	}
 	return raw, unresolved
 }
 
-// Matrix returns the n x 121 sampled-traffic matrix for the measure.
+// Matrix returns the bins x NumODPairs sampled-traffic matrix for the
+// measure.
 func (d *Dataset) Matrix(m Measure) *mat.Matrix { return d.X[m] }
+
+// NumODPairs returns the OD-matrix width of the dataset's topology.
+func (d *Dataset) NumODPairs() int { return d.Top.NumODPairs() }
+
+// ODAt maps a matrix column index back to its OD pair.
+func (d *Dataset) ODAt(i int) topology.ODPair { return d.Top.ODAt(i) }
+
+// ODName renders a matrix column index as "ORIG->DEST".
+func (d *Dataset) ODName(i int) string { return d.Top.ODName(d.Top.ODAt(i)) }

@@ -6,7 +6,6 @@ import (
 	"io"
 
 	"netwide/internal/mat"
-	"netwide/internal/topology"
 )
 
 // fileFormat is the on-disk representation. Only the matrices and the
@@ -69,8 +68,8 @@ func Load(r io.Reader) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: measure %v: %w", m, err)
 		}
-		if x.Cols() != topology.NumODPairs {
-			return nil, fmt.Errorf("dataset: measure %v has %d cols, want %d", m, x.Cols(), topology.NumODPairs)
+		if x.Cols() != d.Top.NumODPairs() {
+			return nil, fmt.Errorf("dataset: measure %v has %d cols, want %d", m, x.Cols(), d.Top.NumODPairs())
 		}
 		d.X[m] = x
 	}

@@ -18,7 +18,8 @@ import (
 // Model holds normalized OD demand fractions; Fraction sums to 1 over all
 // OD pairs (self-pairs included, scaled by SelfFactor).
 type Model struct {
-	frac [topology.NumODPairs]float64
+	n    int // PoP count of the topology the model was built from
+	frac []float64
 }
 
 // New builds a gravity model from the topology's PoP weights.
@@ -31,15 +32,16 @@ func New(top *topology.Topology, selfFactor float64) (*Model, error) {
 	if selfFactor < 0 || selfFactor > 1 {
 		return nil, fmt.Errorf("gravity: self factor %v out of [0,1]", selfFactor)
 	}
-	m := &Model{}
+	n := top.NumPoPs()
+	m := &Model{n: n, frac: make([]float64, top.NumODPairs())}
 	var total float64
-	for o := topology.PoP(0); o < topology.NumPoPs; o++ {
-		for d := topology.PoP(0); d < topology.NumPoPs; d++ {
+	for o := topology.PoP(0); int(o) < n; o++ {
+		for d := topology.PoP(0); int(d) < n; d++ {
 			v := top.PoPWeight(o) * top.PoPWeight(d)
 			if o == d {
 				v *= selfFactor
 			}
-			m.frac[topology.ODPair{Origin: o, Dest: d}.Index()] = v
+			m.frac[top.Index(topology.ODPair{Origin: o, Dest: d})] = v
 			total += v
 		}
 	}
@@ -55,13 +57,13 @@ func New(top *topology.Topology, selfFactor float64) (*Model, error) {
 // Fraction returns the share of total network demand carried by the OD
 // pair.
 func (m *Model) Fraction(od topology.ODPair) float64 {
-	return m.frac[od.Index()]
+	return m.frac[int(od.Origin)*m.n+int(od.Dest)]
 }
 
-// Demands returns the full demand vector (indexed by ODPair.Index) scaled
+// Demands returns the full demand vector (indexed by Topology.Index) scaled
 // to the given total volume.
 func (m *Model) Demands(totalVolume float64) []float64 {
-	out := make([]float64, topology.NumODPairs)
+	out := make([]float64, len(m.frac))
 	for i, f := range m.frac {
 		out[i] = f * totalVolume
 	}

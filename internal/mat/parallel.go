@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -131,6 +132,97 @@ func gramParallel(m *Matrix, w int) *Matrix {
 		}
 	}
 	mirrorUpper(out)
+	return out
+}
+
+// MulABt returns a * bᵀ without materializing the transpose: out[i][j] is
+// the dot product of row i of a and row j of b, so both operands stream
+// contiguous memory. It panics on dimension mismatch. Rows of the output
+// are split across Workers() goroutines; each element is accumulated by
+// exactly one goroutine in a fixed order, so the result is bit-identical
+// for every worker count.
+func MulABt(a, b *Matrix) *Matrix {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulABt dimension mismatch %dx%d * (%dx%d)T", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.rows)
+	kernel := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j := range orow {
+				orow[j] = Dot(arow, b.data[j*b.cols:(j+1)*b.cols])
+			}
+		}
+	}
+	w := Workers()
+	if w <= 1 || a.rows*a.cols*b.rows < parallelFlopThreshold {
+		kernel(0, a.rows)
+		return out
+	}
+	parallelRows(a.rows, w, kernel)
+	return out
+}
+
+// MulAtB returns aᵀ * b (a and b sharing their row dimension) without
+// materializing the transpose: the rows of a and b are streamed once,
+// accumulating rank-1 updates into the output. Large inputs are split into
+// row blocks with per-worker partial outputs reduced in block order — the
+// same scheme as the Gram kernel, so results are deterministic for a fixed
+// worker count.
+func MulAtB(a, b *Matrix) *Matrix {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MulAtB dimension mismatch (%dx%d)T * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	accumulate := func(out *Matrix, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			brow := b.data[i*b.cols : (i+1)*b.cols]
+			for j, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out.data[j*out.cols : (j+1)*out.cols]
+				for c, bv := range brow {
+					orow[c] += av * bv
+				}
+			}
+		}
+	}
+	w := Workers()
+	if w <= 1 || a.rows*a.cols*b.cols < parallelFlopThreshold {
+		out := New(a.cols, b.cols)
+		accumulate(out, 0, a.rows)
+		return out
+	}
+	if w > a.rows {
+		w = a.rows
+	}
+	partials := make([]*Matrix, w)
+	var wg sync.WaitGroup
+	chunk := (a.rows + w - 1) / w
+	slot := 0
+	for lo := 0; lo < a.rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.rows {
+			hi = a.rows
+		}
+		p := New(a.cols, b.cols)
+		partials[slot] = p
+		wg.Add(1)
+		go func(p *Matrix, lo, hi int) {
+			defer wg.Done()
+			accumulate(p, lo, hi)
+		}(p, lo, hi)
+		slot++
+	}
+	wg.Wait()
+	out := partials[0]
+	for _, p := range partials[1:slot] {
+		for i, v := range p.data {
+			out.data[i] += v
+		}
+	}
 	return out
 }
 

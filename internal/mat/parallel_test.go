@@ -15,8 +15,8 @@ func mulSerial(a, b *Matrix) *Matrix {
 func TestMulParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewPCG(11, 12))
 	shapes := [][3]int{
-		{1, 1, 1},     // degenerate
-		{7, 3, 5},     // below threshold
+		{1, 1, 1}, // degenerate
+		{7, 3, 5}, // below threshold
 		{200, 121, 121},
 		{2016, 121, 4}, // the streaming scores product
 		{333, 64, 97},  // odd sizes that don't divide evenly

@@ -9,15 +9,24 @@ import (
 // rows are observations (timebins) and whose columns are variables (OD
 // flows).
 //
-// Components are the principal axes v_i (columns of a p x p orthonormal
-// matrix), ordered by descending eigenvalue of the covariance. Eigenvalues
-// are the variances captured along each axis. Mean is the per-column mean
-// removed before analysis (all zeros when fitted with centering disabled).
+// Components are the principal axes v_i (columns of an orthonormal matrix),
+// ordered by descending eigenvalue of the covariance. Eigenvalues are the
+// variances captured along each axis. Mean is the per-column mean removed
+// before analysis (all zeros when fitted with centering disabled).
+//
+// A full fit (FitPCA) carries all p axes (Components p x p); a partial fit
+// (FitPCAPartial) carries only the top m (Components p x m, Eigenvalues of
+// length m), with the exact covariance trace retained in TotalVar so
+// residual-spectrum computations can account for the uncomputed tail.
 type PCA struct {
 	Mean        []float64
 	Eigenvalues []float64
-	Components  *Matrix // p x p; column i is the i-th principal axis.
-	n           int     // number of observations used in the fit
+	Components  *Matrix // p x m (m = p for a full fit); column i is axis i.
+	// TotalVar is the covariance trace: the total variance across all p
+	// variables, whether or not their axes were computed.
+	TotalVar float64
+	n        int // number of observations used in the fit
+	vars     int // number of variables p (columns of the fitted data)
 }
 
 // FitPCA computes the PCA of X. If center is true the column means are
@@ -45,19 +54,69 @@ func FitPCA(X *Matrix, center bool) (*PCA, error) {
 		return nil, err
 	}
 	// Clamp tiny negative eigenvalues caused by roundoff: covariance is PSD.
+	var total float64
 	for i, v := range vals {
 		if v < 0 {
 			vals[i] = 0
 		}
+		total += vals[i]
 	}
-	return &PCA{Mean: mean, Eigenvalues: vals, Components: vecs, n: X.Rows()}, nil
+	return &PCA{Mean: mean, Eigenvalues: vals, Components: vecs, TotalVar: total, n: X.Rows(), vars: X.Cols()}, nil
 }
 
 // N returns the number of observations the PCA was fitted on.
 func (p *PCA) N() int { return p.n }
 
 // P returns the number of variables (OD flows).
-func (p *PCA) P() int { return len(p.Eigenvalues) }
+func (p *PCA) P() int { return p.vars }
+
+// NumComputed returns the number of principal axes actually computed: p for
+// a full fit, m for a partial one.
+func (p *PCA) NumComputed() int { return len(p.Eigenvalues) }
+
+// ResidualMoments returns the first three moments of the residual spectrum,
+// phi_i = sum_{j>k} lambda_j^i — the inputs of the Jackson–Mudholkar Q
+// threshold.
+//
+// For a partial fit the spectrum beyond the computed m axes is unknown, but
+// its total variance is: the covariance trace minus the computed head. The
+// tail of a sampled-traffic covariance is a noise floor of many comparable
+// eigenvalues (not a continued fast decay), so the tail is modeled as flat —
+// tail variance spread evenly over the remaining min(n-1, p) - m covariance
+// directions. phi1 is exact either way; the flat model keeps phi2/phi3 from
+// being underestimated, which would depress the Q threshold and flood the
+// detector with false alarms on wide OD matrices.
+func (p *PCA) ResidualMoments(k int) (phi1, phi2, phi3 float64) {
+	if k < 0 || k > len(p.Eigenvalues) {
+		panic("mat: ResidualMoments k out of range")
+	}
+	for _, l := range p.Eigenvalues[k:] {
+		if l < 0 {
+			l = 0
+		}
+		phi1 += l
+		phi2 += l * l
+		phi3 += l * l * l
+	}
+	if m := len(p.Eigenvalues); m < p.vars {
+		var head float64
+		for _, l := range p.Eigenvalues {
+			head += l
+		}
+		rank := p.n - 1
+		if p.vars < rank {
+			rank = p.vars
+		}
+		if tail := p.TotalVar - head; tail > 0 && rank > m {
+			cnt := float64(rank - m)
+			avg := tail / cnt
+			phi1 += tail
+			phi2 += cnt * avg * avg
+			phi3 += cnt * avg * avg * avg
+		}
+	}
+	return phi1, phi2, phi3
+}
 
 // Center returns X with the fitted mean removed (a new matrix).
 func (p *PCA) Center(X *Matrix) *Matrix {
@@ -108,7 +167,7 @@ func (p *PCA) Eigenflows(X *Matrix) *Matrix {
 // TopComponents returns the p x k matrix V_k whose columns are the top-k
 // principal axes — the normal-subspace basis of the subspace method.
 func (p *PCA) TopComponents(k int) *Matrix {
-	if k < 0 || k > p.P() {
+	if k < 0 || k > p.NumComputed() {
 		panic("mat: TopComponents k out of range")
 	}
 	vk := New(p.P(), k)
@@ -127,7 +186,7 @@ func (p *PCA) TopComponents(k int) *Matrix {
 // state and residual vectors (as the subspace method does) use them
 // directly.
 func (p *PCA) ProjectionSplit(X *Matrix, k int) (modeled, residual *Matrix) {
-	if k < 0 || k > p.P() {
+	if k < 0 || k > p.NumComputed() {
 		panic("mat: ProjectionSplit k out of range")
 	}
 	xc := p.Center(X)
@@ -140,11 +199,15 @@ func (p *PCA) ProjectionSplit(X *Matrix, k int) (modeled, residual *Matrix) {
 }
 
 // VarianceExplained returns the cumulative fraction of total variance
-// captured by the top-k components, for k = 1..p.
+// captured by the top-k components, for k = 1..NumComputed. The denominator
+// is the full covariance trace, so partial fits report fractions of the
+// true total, not of the computed head.
 func (p *PCA) VarianceExplained() []float64 {
-	total := 0.0
-	for _, v := range p.Eigenvalues {
-		total += v
+	total := p.TotalVar
+	if total == 0 {
+		for _, v := range p.Eigenvalues {
+			total += v
+		}
 	}
 	out := make([]float64, len(p.Eigenvalues))
 	run := 0.0

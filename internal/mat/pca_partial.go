@@ -1,0 +1,187 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// FitPCAPartial computes the top-m principal components of X without ever
+// forming the p x p covariance — the large-p path of the subspace method.
+//
+// The full FitPCA runs a Jacobi eigendecomposition of the covariance, which
+// is O(p³) per sweep: fine at Abilene's p = 121, hopeless at the p = 10⁴⁺
+// OD-matrix widths of the synthetic scale-sweep topologies. The subspace
+// method only ever consumes the top k ≈ 4 axes plus the residual spectrum
+// moments, so for large p this fit runs deterministic block subspace
+// iteration directly on the centered data matrix:
+//
+//	Y = Xc Q        (n x b, two cache-friendly kernels per iteration)
+//	Z = Xcᵀ Y       (p x b — this is (n-1)·C·Q without materializing C)
+//	Q = orth(Z)
+//
+// followed by a Rayleigh–Ritz projection onto the converged basis. Every
+// iterate costs O(n·p·b) instead of O(p³), and the iteration inherits the
+// fast spectral decay of gravity-model traffic (a handful of sweeps).
+//
+// The returned PCA has Components p x m and Eigenvalues of length m, plus
+// the exact covariance trace in TotalVar so threshold computations can
+// account for the uncomputed tail variance. The iteration start point is a
+// fixed-seed PCG draw, so the fit is reproducible for a given (n, p, m).
+func FitPCAPartial(X *Matrix, m int, center bool) (*PCA, error) {
+	n, p := X.Rows(), X.Cols()
+	if n < 2 {
+		return nil, errors.New("mat: FitPCAPartial needs at least 2 rows")
+	}
+	if m < 1 || m > p {
+		return nil, fmt.Errorf("mat: FitPCAPartial m=%d out of [1,%d]", m, p)
+	}
+	if m > n-1 {
+		// Beyond n-1 the covariance has no more nonzero directions.
+		m = n - 1
+	}
+	work := X.Clone()
+	var mean []float64
+	if center {
+		mean = work.CenterColumns()
+	} else {
+		mean = make([]float64, p)
+	}
+	inv := 1 / float64(n-1)
+	var total float64
+	for _, v := range work.data {
+		total += v * v
+	}
+	total *= inv
+
+	// Oversampled block: a few spare directions speed convergence of the
+	// trailing wanted eigenpairs.
+	b := m + 8
+	if b > p {
+		b = p
+	}
+	if b > n-1 {
+		b = n - 1
+	}
+	if b < m {
+		m = b
+	}
+
+	// Qt holds the basis row-wise (b x p) so orthonormalization and the
+	// product kernels stream contiguous memory.
+	rng := rand.New(rand.NewPCG(0x5CA1AB1E, uint64(p)<<20^uint64(n)))
+	qt := New(b, p)
+	for i := range qt.data {
+		qt.data[i] = rng.NormFloat64()
+	}
+	orthonormalizeRows(qt, rng)
+
+	// The thresholds consuming these eigenvalues are statistical control
+	// limits, not spectral decompositions for their own sake: 7 significant
+	// digits on the eigenvalues moves the Q limit by far less than one
+	// timebin of sampling noise, while a tighter tolerance can triple the
+	// iteration count on slowly separating trailing eigenpairs.
+	const (
+		maxIter = 80
+		relTol  = 1e-7
+	)
+	var prev []float64
+	var vals []float64
+	for iter := 0; ; iter++ {
+		y := MulABt(work, qt) // n x b
+		// Rayleigh–Ritz estimates on the current basis: B = YᵀY/(n-1).
+		ritz := Scale(inv, MulAtB(y, y))
+		var w *Matrix
+		var err error
+		vals, w, err = SymEigen(ritz)
+		if err != nil {
+			return nil, fmt.Errorf("mat: FitPCAPartial projection eigen: %w", err)
+		}
+		if converged(vals, prev, m, relTol) || iter == maxIter-1 {
+			// Rotate the basis to the Ritz vectors and finish.
+			qt = MulAtB(w, qt) // b x p: row i = i-th Ritz vector
+			break
+		}
+		prev = append(prev[:0], vals...)
+		zt := MulAtB(y, work) // b x p: ((n-1)·C·Q)ᵀ
+		orthonormalizeRows(zt, rng)
+		qt = zt
+	}
+
+	comps := New(p, m)
+	eig := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if v := vals[i]; v > 0 {
+			eig[i] = v
+		}
+		row := qt.data[i*p : (i+1)*p]
+		for j, v := range row {
+			comps.data[j*m+i] = v
+		}
+	}
+	return &PCA{
+		Mean:        mean,
+		Eigenvalues: eig,
+		Components:  comps,
+		TotalVar:    total,
+		n:           n,
+		vars:        p,
+	}, nil
+}
+
+// converged reports whether the top-m eigenvalue estimates have settled:
+// the aggregate movement since the previous iterate is below relTol of the
+// captured variance. An aggregate test lets sub-dominant eigenpairs (whose
+// individual convergence is slow when gaps are small) stop the iteration
+// once their wiggle no longer matters to the statistics built on them.
+func converged(vals, prev []float64, m int, relTol float64) bool {
+	if prev == nil || len(vals) < m || len(prev) < m {
+		return false
+	}
+	var moved, total float64
+	for i := 0; i < m; i++ {
+		moved += math.Abs(vals[i] - prev[i])
+		total += math.Abs(vals[i])
+	}
+	return moved <= relTol*(total+1e-300)
+}
+
+// orthonormalizeRows runs modified Gram–Schmidt over the rows of q. Rows
+// that collapse to (near) zero — rank deficiency in the iterate — are
+// refilled from the deterministic rng and re-orthogonalized, keeping the
+// basis full-rank without breaking reproducibility.
+func orthonormalizeRows(q *Matrix, rng *rand.Rand) {
+	rows, cols := q.rows, q.cols
+	for i := 0; i < rows; i++ {
+		ri := q.data[i*cols : (i+1)*cols]
+		for attempt := 0; ; attempt++ {
+			for j := 0; j < i; j++ {
+				rj := q.data[j*cols : (j+1)*cols]
+				d := Dot(ri, rj)
+				for c := range ri {
+					ri[c] -= d * rj[c]
+				}
+			}
+			norm := Norm2(ri)
+			if norm > 1e-12 {
+				s := 1 / norm
+				for c := range ri {
+					ri[c] *= s
+				}
+				break
+			}
+			if attempt > 4 {
+				// Degenerate data (e.g. fewer independent directions than
+				// rows); leave the row zero rather than loop forever.
+				for c := range ri {
+					ri[c] = 0
+				}
+				break
+			}
+			for c := range ri {
+				ri[c] = rng.NormFloat64()
+			}
+		}
+	}
+}

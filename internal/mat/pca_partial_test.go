@@ -1,0 +1,175 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomLowRankish builds an n x p matrix with a few strong common factors
+// plus noise — the shape of OD traffic matrices.
+func randomLowRankish(rng *rand.Rand, n, p, factors int) *Matrix {
+	basis := New(factors, p)
+	for i := range basis.data {
+		basis.data[i] = rng.NormFloat64()
+	}
+	x := New(n, p)
+	for i := 0; i < n; i++ {
+		row := x.RowView(i)
+		for f := 0; f < factors; f++ {
+			w := rng.NormFloat64() * float64(10*(factors-f))
+			brow := basis.RowView(f)
+			for j := range row {
+				row[j] += w * brow[j]
+			}
+		}
+		for j := range row {
+			row[j] += rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+func TestMulKernelsMatchMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	a := New(17, 13)
+	b := New(29, 13) // for MulABt: a * bT -> 17x29
+	c := New(17, 7)  // for MulAtB: aT * c -> 13x7
+	for i := range a.data {
+		a.data[i] = rng.NormFloat64()
+	}
+	for i := range b.data {
+		b.data[i] = rng.NormFloat64()
+	}
+	for i := range c.data {
+		c.data[i] = rng.NormFloat64()
+	}
+	if d := MaxAbsDiff(MulABt(a, b), Mul(a, b.T())); d > 1e-12 {
+		t.Fatalf("MulABt differs from reference by %v", d)
+	}
+	if d := MaxAbsDiff(MulAtB(a, c), Mul(a.T(), c)); d > 1e-12 {
+		t.Fatalf("MulAtB differs from reference by %v", d)
+	}
+}
+
+func TestMulABtDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := New(301, 97)
+	b := New(211, 97)
+	for i := range a.data {
+		a.data[i] = rng.NormFloat64()
+	}
+	for i := range b.data {
+		b.data[i] = rng.NormFloat64()
+	}
+	prev := SetWorkers(1)
+	one := MulABt(a, b)
+	SetWorkers(7)
+	many := MulABt(a, b)
+	SetWorkers(prev)
+	for i := range one.data {
+		if one.data[i] != many.data[i] {
+			t.Fatalf("MulABt element %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestFitPCAPartialMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	x := randomLowRankish(rng, 400, 60, 5)
+	full, err := FitPCA(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 12
+	part, err := FitPCAPartial(x, m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.P() != 60 || part.NumComputed() != m {
+		t.Fatalf("partial shape P=%d m=%d", part.P(), part.NumComputed())
+	}
+	for i := 0; i < m; i++ {
+		f, p := full.Eigenvalues[i], part.Eigenvalues[i]
+		// The 5 strong factors must match tightly; the trailing noise-floor
+		// eigenvalues are nearly degenerate, so the iteration legitimately
+		// stops while they are only loosely resolved.
+		tol := 1e-5
+		if i >= 5 {
+			tol = 0.02
+		}
+		if rel := math.Abs(f-p) / (f + 1); rel > tol {
+			t.Fatalf("eigenvalue %d: full %g partial %g (rel %g)", i, f, p, rel)
+		}
+	}
+	// Axes agree up to sign.
+	for i := 0; i < 5; i++ { // the strong factors; trailing noise axes can rotate
+		var dot float64
+		for j := 0; j < 60; j++ {
+			dot += full.Components.At(j, i) * part.Components.At(j, i)
+		}
+		if math.Abs(dot) < 0.999 {
+			t.Fatalf("axis %d misaligned: |dot| = %v", i, math.Abs(dot))
+		}
+	}
+	// TotalVar must equal the full trace.
+	if rel := math.Abs(full.TotalVar-part.TotalVar) / full.TotalVar; rel > 1e-12 {
+		t.Fatalf("TotalVar drifted: full %g partial %g", full.TotalVar, part.TotalVar)
+	}
+	// Residual moments: phi1 exact, phi2/phi3 within the flat-tail model's
+	// ballpark of the true values.
+	k := 4
+	f1, f2, f3 := full.ResidualMoments(k)
+	p1, p2, p3 := part.ResidualMoments(k)
+	if rel := math.Abs(f1-p1) / f1; rel > 1e-9 {
+		t.Fatalf("phi1: full %g partial %g", f1, p1)
+	}
+	if p2 < 0.5*f2 || p2 > 2*f2 {
+		t.Fatalf("phi2 off: full %g partial %g", f2, p2)
+	}
+	if p3 < 0.1*f3 || p3 > 10*f3 {
+		t.Fatalf("phi3 off: full %g partial %g", f3, p3)
+	}
+}
+
+func TestFitPCAPartialDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	x := randomLowRankish(rng, 120, 300, 4) // wide: p > n
+	a, err := FitPCAPartial(x, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitPCAPartial(x, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Eigenvalues {
+		if a.Eigenvalues[i] != b.Eigenvalues[i] {
+			t.Fatalf("eigenvalue %d differs between identical fits", i)
+		}
+	}
+	for i := range a.Components.data {
+		if a.Components.data[i] != b.Components.data[i] {
+			t.Fatal("components differ between identical fits")
+		}
+	}
+}
+
+func TestFitPCAPartialWideValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	x := randomLowRankish(rng, 50, 200, 3)
+	if _, err := FitPCAPartial(x, 0, true); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := FitPCAPartial(x, 201, true); err == nil {
+		t.Fatal("m>p accepted")
+	}
+	// m is clamped to n-1 in the wide regime.
+	pca, err := FitPCAPartial(x, 120, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pca.NumComputed() != 49 {
+		t.Fatalf("m clamp gave %d, want 49", pca.NumComputed())
+	}
+}

@@ -9,11 +9,13 @@ import (
 )
 
 // SPF holds the all-pairs shortest-path state computed from the backbone
-// IGP weights: distance and next hop for every (source, destination) PoP
-// pair, plus per-directed-link indexes used for link-load accounting.
+// IGP weights of an arbitrary topology: distance and next hop for every
+// (source, destination) PoP pair, plus per-directed-link indexes used for
+// link-load accounting. The n x n tables are stored flat (row = source).
 type SPF struct {
-	dist    [topology.NumPoPs][topology.NumPoPs]float64
-	nextHop [topology.NumPoPs][topology.NumPoPs]topology.PoP
+	n       int
+	dist    []float64      // n*n, dist[src*n+dst]
+	nextHop []topology.PoP // n*n
 	// linkIndex maps a directed PoP adjacency to a dense index in [0, 2L).
 	linkIndex map[[2]topology.PoP]int
 	links     [][2]topology.PoP
@@ -46,7 +48,13 @@ func ComputeSPF(top *topology.Topology) (*SPF, error) {
 	if err := top.Validate(); err != nil {
 		return nil, fmt.Errorf("routing: invalid topology: %w", err)
 	}
-	s := &SPF{linkIndex: map[[2]topology.PoP]int{}}
+	n := top.NumPoPs()
+	s := &SPF{
+		n:         n,
+		dist:      make([]float64, n*n),
+		nextHop:   make([]topology.PoP, n*n),
+		linkIndex: map[[2]topology.PoP]int{},
+	}
 	for _, l := range top.Links {
 		s.linkIndex[[2]topology.PoP{l.A, l.B}] = len(s.links)
 		s.links = append(s.links, [2]topology.PoP{l.A, l.B})
@@ -58,22 +66,23 @@ func ComputeSPF(top *topology.Topology) (*SPF, error) {
 		to topology.PoP
 		w  float64
 	}
-	adj := make([][]edge, topology.NumPoPs)
+	adj := make([][]edge, n)
 	for _, l := range top.Links {
 		adj[l.A] = append(adj[l.A], edge{l.B, l.Weight})
 		adj[l.B] = append(adj[l.B], edge{l.A, l.Weight})
 	}
 
-	for src := topology.PoP(0); src < topology.NumPoPs; src++ {
-		var dist [topology.NumPoPs]float64
-		var prev [topology.NumPoPs]topology.PoP
+	dist := make([]float64, n)
+	prev := make([]topology.PoP, n)
+	done := make([]bool, n)
+	for src := topology.PoP(0); int(src) < n; src++ {
 		for i := range dist {
 			dist[i] = math.Inf(1)
 			prev[i] = -1
+			done[i] = false
 		}
 		dist[src] = 0
 		q := &pq{{src, 0}}
-		done := [topology.NumPoPs]bool{}
 		for q.Len() > 0 {
 			it := heap.Pop(q).(pqItem)
 			u := it.pop
@@ -92,10 +101,10 @@ func ComputeSPF(top *topology.Topology) (*SPF, error) {
 				}
 			}
 		}
-		for dst := topology.PoP(0); dst < topology.NumPoPs; dst++ {
-			s.dist[src][dst] = dist[dst]
+		for dst := topology.PoP(0); int(dst) < n; dst++ {
+			s.dist[int(src)*n+int(dst)] = dist[dst]
 			if dst == src {
-				s.nextHop[src][dst] = src
+				s.nextHop[int(src)*n+int(dst)] = src
 				continue
 			}
 			// Walk back from dst to find the first hop out of src.
@@ -103,28 +112,33 @@ func ComputeSPF(top *topology.Topology) (*SPF, error) {
 			for prev[hop] != src {
 				hop = prev[hop]
 				if hop < 0 {
-					return nil, fmt.Errorf("routing: no path %s -> %s", src, dst)
+					return nil, fmt.Errorf("routing: no path %s -> %s", top.PoPName(src), top.PoPName(dst))
 				}
 			}
-			s.nextHop[src][dst] = hop
+			s.nextHop[int(src)*n+int(dst)] = hop
 		}
 	}
 	return s, nil
 }
 
+// NumPoPs returns the PoP count of the topology the SPF was computed from.
+func (s *SPF) NumPoPs() int { return s.n }
+
 // Dist returns the IGP distance between two PoPs.
-func (s *SPF) Dist(a, b topology.PoP) float64 { return s.dist[a][b] }
+func (s *SPF) Dist(a, b topology.PoP) float64 { return s.dist[int(a)*s.n+int(b)] }
 
 // NextHop returns the first hop on the shortest path from src toward dst.
-func (s *SPF) NextHop(src, dst topology.PoP) topology.PoP { return s.nextHop[src][dst] }
+func (s *SPF) NextHop(src, dst topology.PoP) topology.PoP {
+	return s.nextHop[int(src)*s.n+int(dst)]
+}
 
 // Path returns the full PoP sequence from src to dst inclusive.
 func (s *SPF) Path(src, dst topology.PoP) []topology.PoP {
 	path := []topology.PoP{src}
 	for src != dst {
-		src = s.nextHop[src][dst]
+		src = s.NextHop(src, dst)
 		path = append(path, src)
-		if len(path) > topology.NumPoPs {
+		if len(path) > s.n {
 			panic("routing: path longer than PoP count (loop)")
 		}
 	}
@@ -140,27 +154,27 @@ func (s *SPF) DirectedLink(i int) (from, to topology.PoP) {
 	return s.links[i][0], s.links[i][1]
 }
 
-// LinkLoads routes a per-OD demand vector (indexed by ODPair.Index) over the
-// shortest paths and returns the resulting per-directed-link loads. Demand
-// on self-pairs (origin == destination) never touches the backbone. This is
-// the projection from the OD-flow view to the link view of the authors'
-// earlier SIGCOMM work, used by the single-link baseline detectors.
+// LinkLoads routes a per-OD demand vector (indexed by Topology.Index) over
+// the shortest paths and returns the resulting per-directed-link loads.
+// Demand on self-pairs (origin == destination) never touches the backbone.
+// This is the projection from the OD-flow view to the link view of the
+// authors' earlier SIGCOMM work, used by the single-link baseline detectors.
 func (s *SPF) LinkLoads(demand []float64) ([]float64, error) {
-	if len(demand) != topology.NumODPairs {
-		return nil, fmt.Errorf("routing: demand length %d, want %d", len(demand), topology.NumODPairs)
+	if len(demand) != s.n*s.n {
+		return nil, fmt.Errorf("routing: demand length %d, want %d", len(demand), s.n*s.n)
 	}
 	loads := make([]float64, len(s.links))
 	for i, d := range demand {
 		if d == 0 {
 			continue
 		}
-		od := topology.ODPairFromIndex(i)
-		if od.Origin == od.Dest {
+		origin, dest := topology.PoP(i/s.n), topology.PoP(i%s.n)
+		if origin == dest {
 			continue
 		}
-		cur := od.Origin
-		for cur != od.Dest {
-			next := s.nextHop[cur][od.Dest]
+		cur := origin
+		for cur != dest {
+			next := s.NextHop(cur, dest)
 			loads[s.linkIndex[[2]topology.PoP{cur, next}]] += d
 			cur = next
 		}

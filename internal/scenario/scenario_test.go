@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"netwide/internal/anomaly"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+func testBG(t *testing.T, top *topology.Topology) *traffic.Background {
+	t.Helper()
+	bg, err := traffic.NewBackground(top, 8e5, 2004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bg
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := &Scenario{
+		Name: "mixed",
+		Seed: 42,
+		Episodes: []Episode{
+			{Type: "ddos", StartBin: 288, DurationBins: 4, Magnitude: 9, Dest: "LOSA", Origins: 3},
+			{Type: "scan", StartBin: -1, Count: 5},
+			{Type: "outage", StartBin: 100, DurationBins: 30, Origin: "CHIN", Magnitude: 0.05},
+		},
+	}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip drifted:\n%+v\n%+v", s, back)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	body := `{
+  "name": "one-ddos",
+  "episodes": [
+    {"type": "ddos", "start_bin": 500, "duration_bins": 3, "magnitude": 8, "dest": "NYCM"}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Episodes) != 1 || s.Episodes[0].Dest != "NYCM" {
+		t.Fatalf("loaded %+v", s)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFromJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"name":"x","episodes":[{"type":"scan","start_bin":-1,"magnitud":3}]}`,
+		"unknown type":     `{"name":"x","episodes":[{"type":"meteor","start_bin":0}]}`,
+		"no episodes":      `{"name":"x","episodes":[]}`,
+		"negative count":   `{"name":"x","episodes":[{"type":"scan","start_bin":0,"count":-1}]}`,
+		"bad start":        `{"name":"x","episodes":[{"type":"scan","start_bin":-2}]}`,
+		"outage magnitude": `{"name":"x","episodes":[{"type":"outage","start_bin":0,"magnitude":2}]}`,
+		"trailing content": `{"name":"x","episodes":[{"type":"scan","start_bin":-1}]} stray`,
+	}
+	for name, body := range cases {
+		if _, err := FromJSON([]byte(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBuildCompilesEveryType(t *testing.T) {
+	top := topology.Abilene()
+	bg := testBG(t, top)
+	types := []string{"alpha", "dos", "ddos", "flash", "scan", "portscan", "worm", "ptmult", "outage", "ingress-shift"}
+	s := &Scenario{Name: "all", Seed: 7}
+	for _, typ := range types {
+		s.Episodes = append(s.Episodes, Episode{Type: typ, StartBin: -1})
+	}
+	led, err := s.Build(top, bg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(led.Injectors) != len(types) {
+		t.Fatalf("built %d injectors, want %d", len(led.Injectors), len(types))
+	}
+	want := map[anomaly.Type]int{
+		anomaly.Alpha: 1, anomaly.DOS: 1, anomaly.DDOS: 1, anomaly.FlashCrowd: 1,
+		anomaly.Scan: 2, anomaly.Worm: 1, anomaly.PointMultipoint: 1,
+		anomaly.Outage: 1, anomaly.IngressShift: 1,
+	}
+	if got := led.CountByType(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("type counts %v, want %v", got, want)
+	}
+	for _, spec := range led.Specs() {
+		if spec.StartBin < 0 || spec.EndBin >= traffic.BinsPerWeek {
+			t.Fatalf("%v scheduled outside the run: [%d,%d]", spec.Type, spec.StartBin, spec.EndBin)
+		}
+	}
+}
+
+func TestBuildHonorsPinning(t *testing.T) {
+	top := topology.Abilene()
+	bg := testBG(t, top)
+	s := &Scenario{
+		Name: "pinned",
+		Episodes: []Episode{{
+			Type: "ddos", StartBin: 300, DurationBins: 4, Magnitude: 9,
+			Dest: "LOSA", Origins: 3,
+		}},
+	}
+	led, err := s.Build(top, bg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := led.Specs()[0]
+	if spec.StartBin != 300 || spec.EndBin != 303 {
+		t.Fatalf("window [%d,%d], want [300,303]", spec.StartBin, spec.EndBin)
+	}
+	if len(spec.ODs) != 3 {
+		t.Fatalf("%d origin ODs, want 3", len(spec.ODs))
+	}
+	losa, _ := top.PoPByName("LOSA")
+	for _, od := range spec.ODs {
+		if od.Dest != losa {
+			t.Fatalf("OD %v does not target LOSA", od)
+		}
+		if od.Origin == losa {
+			t.Fatal("DDOS origin equals the victim PoP")
+		}
+	}
+}
+
+func TestBuildCountAndDeterminism(t *testing.T) {
+	top := topology.Geant()
+	bg := testBG(t, top)
+	s := &Scenario{
+		Name:     "count",
+		Seed:     11,
+		Episodes: []Episode{{Type: "scan", StartBin: -1, Count: 6}},
+	}
+	a, err := s.Build(top, bg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Injectors) != 6 {
+		t.Fatalf("count gave %d injectors", len(a.Injectors))
+	}
+	b, err := s.Build(top, bg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Specs(), b.Specs()) {
+		t.Fatal("same seed built different ledgers")
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	top := topology.Abilene()
+	bg := testBG(t, top)
+	cases := []Episode{
+		{Type: "ddos", StartBin: -1, Dest: "NOWHERE"},
+		{Type: "alpha", StartBin: -1, Origin: "XXXX"},
+		{Type: "outage", StartBin: 0, DurationBins: 3000},                  // longer than the run
+		{Type: "scan", StartBin: traffic.BinsPerWeek + 5},                  // starts past the end
+		{Type: "ddos", StartBin: traffic.BinsPerWeek - 2, DurationBins: 4}, // window overruns the run
+		{Type: "ingress-shift", StartBin: -1, Origin: "LOSA", Dest: "LOSA"},
+	}
+	for i, e := range cases {
+		s := &Scenario{Name: "bad", Episodes: []Episode{e}}
+		if _, err := s.Build(top, bg, 1); err == nil {
+			t.Errorf("case %d (%s): accepted", i, e.Type)
+		}
+	}
+}

@@ -39,6 +39,17 @@ func QThreshold(eigenvalues []float64, k int, alpha float64) (float64, error) {
 		phi2 += l * l
 		phi3 += l * l * l
 	}
+	return QThresholdFromMoments(phi1, phi2, phi3, alpha)
+}
+
+// QThresholdFromMoments is QThreshold on precomputed residual-spectrum
+// moments phi_i = sum_{j>k} lambda_j^i. The partial-PCA path of the large-p
+// analyses computes the moments from a truncated spectrum plus the exact
+// covariance trace, where the full eigenvalue slice never exists.
+func QThresholdFromMoments(phi1, phi2, phi3, alpha float64) (float64, error) {
+	if !(alpha > 0 && alpha < 1) {
+		return 0, fmt.Errorf("stats: QThreshold alpha=%v out of (0,1)", alpha)
+	}
 	if phi1 <= 0 {
 		// No residual variance at all: any nonzero residual is anomalous.
 		return 0, nil

@@ -1,0 +1,196 @@
+package topology
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"netwide/internal/ipaddr"
+)
+
+// abileneFingerprint hashes everything downstream layers consume from the
+// topology: link endpoints, capacities and float-exact weights, customer
+// names/homes/prefixes/weights, and the cached gravity PoP weights.
+func topologyFingerprint(t *Topology) string {
+	h := sha256.New()
+	for _, l := range t.Links {
+		fmt.Fprintf(h, "%d-%d cap=%x w=%x;", l.A, l.B, math.Float64bits(l.CapacityBps), math.Float64bits(l.Weight))
+	}
+	for _, c := range t.Customers {
+		fmt.Fprintf(h, "%s homes=%v w=%x", c.Name, c.Homes, math.Float64bits(c.Weight))
+		for _, p := range c.Prefixes {
+			fmt.Fprintf(h, " %s", p)
+		}
+		fmt.Fprint(h, ";")
+	}
+	for p := 0; p < t.NumPoPs(); p++ {
+		fmt.Fprintf(h, "pw%d=%x;", p, math.Float64bits(t.PoPWeight(PoP(p))))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestAbileneByteIdentical pins the Spec-driven constructor to the exact
+// output of the pre-refactor hardcoded Abilene: same link weights to the
+// last float bit, same customers, same gravity weights. The golden hash was
+// captured from the original implementation.
+func TestAbileneByteIdentical(t *testing.T) {
+	const golden = "6bed1de162ce3a0e9a5cd6c2fb4f63cb8196b5ab4b1462a35b6ce6f63c0b8b3d"
+	if got := topologyFingerprint(Abilene()); got != golden {
+		t.Fatalf("Abilene fingerprint drifted:\n got  %s\n want %s", got, golden)
+	}
+}
+
+func TestGeant(t *testing.T) {
+	top := Geant()
+	if top.NumPoPs() != 23 {
+		t.Fatalf("geant has %d PoPs, want 23", top.NumPoPs())
+	}
+	if top.NumODPairs() != 23*23 {
+		t.Fatalf("geant OD width %d", top.NumODPairs())
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := top.Multihomed(); !ok {
+		t.Fatal("geant must have a multihomed customer for ingress shifts")
+	}
+	p, err := top.PoPByName("AMS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.PoPName(p) != "AMS" {
+		t.Fatalf("PoPName round trip gave %q", top.PoPName(p))
+	}
+	if got := top.ODName(ODPair{Origin: p, Dest: p + 1}); !strings.HasPrefix(got, "AMS->") {
+		t.Fatalf("ODName %q", got)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := topologyFingerprint(a), topologyFingerprint(b); fa != fb {
+		t.Fatal("Synthetic(40, 7) is not deterministic")
+	}
+	c, err := Synthetic(40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topologyFingerprint(a) == topologyFingerprint(c) {
+		t.Fatal("different seeds produced identical topologies")
+	}
+	if a.NumPoPs() != 40 {
+		t.Fatalf("NumPoPs %d", a.NumPoPs())
+	}
+	if _, _, ok := a.Multihomed(); !ok {
+		t.Fatal("synthetic topologies must keep a multihomed customer")
+	}
+}
+
+func TestSyntheticBounds(t *testing.T) {
+	if _, err := Synthetic(1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Synthetic(SyntheticMaxPoPs+1, 1); err == nil {
+		t.Fatal("oversized synthetic accepted")
+	}
+	top, err := Synthetic(SyntheticMaxPoPs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewValidates covers the bugfix that constructors must run Validate:
+// malformed specs are rejected with errors instead of being accepted
+// silently.
+func TestNewValidates(t *testing.T) {
+	pfx := func(b byte) ipaddr.Prefix {
+		p, err := ipaddr.NewPrefix(ipaddr.FromOctets(10, b, 0, 0), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := Spec{
+		Name:  "t",
+		Nodes: []Node{{Name: "A"}, {Name: "B"}},
+		Links: []LinkSpec{{A: "A", B: "B", CapacityBps: 1e9, Weight: 10}},
+		Customers: []CustomerSpec{
+			{Name: "c0", Homes: []string{"A"}, Prefixes: []ipaddr.Prefix{pfx(0)}, Weight: 1},
+			{Name: "c1", Homes: []string{"B"}, Prefixes: []ipaddr.Prefix{pfx(1)}, Weight: 1},
+		},
+	}
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"unknown link node", func(s *Spec) { s.Links[0].B = "Z" }},
+		{"duplicate node", func(s *Spec) { s.Nodes = append(s.Nodes, Node{Name: "A"}) }},
+		{"self link", func(s *Spec) { s.Links[0].B = "A" }},
+		{"negative weight link", func(s *Spec) { s.Links[0].Weight = -1 }},
+		{"disconnected", func(s *Spec) {
+			s.Nodes = append(s.Nodes, Node{Name: "C"})
+		}},
+		{"customer without prefixes", func(s *Spec) { s.Customers[0].Prefixes = nil }},
+		{"customer without homes", func(s *Spec) { s.Customers[0].Homes = nil }},
+		{"overlapping prefixes", func(s *Spec) { s.Customers[1].Prefixes = []ipaddr.Prefix{pfx(0)} }},
+		{"no customers", func(s *Spec) { s.Customers = nil }},
+		{"no nodes", func(s *Spec) { s.Nodes = nil }},
+	}
+	for _, tc := range cases {
+		spec := Spec{
+			Name:  base.Name,
+			Nodes: append([]Node(nil), base.Nodes...),
+			Links: append([]LinkSpec(nil), base.Links...),
+			Customers: []CustomerSpec{
+				{Name: "c0", Homes: []string{"A"}, Prefixes: []ipaddr.Prefix{pfx(0)}, Weight: 1},
+				{Name: "c1", Homes: []string{"B"}, Prefixes: []ipaddr.Prefix{pfx(1)}, Weight: 1},
+			},
+		}
+		tc.mutate(&spec)
+		if _, err := New(spec); err == nil {
+			t.Errorf("%s: malformed spec accepted", tc.name)
+		}
+	}
+}
+
+func TestRefParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"abilene", "geant", "synthetic:50", "synthetic:50:9"} {
+		ref, err := ParseRef(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if ref.String() != s {
+			t.Fatalf("round trip %q -> %q", s, ref.String())
+		}
+		if _, err := ref.Build(); err != nil {
+			t.Fatalf("build %s: %v", s, err)
+		}
+	}
+	if ref, err := ParseRef(""); err != nil || ref.Kind != "abilene" {
+		t.Fatalf("empty ref: %v %v", ref, err)
+	}
+	for _, s := range []string{"atlantis", "synthetic:", "synthetic:x", "synthetic:10:x", "synthetic:1:2:3"} {
+		if _, err := ParseRef(s); err == nil {
+			t.Fatalf("%q accepted", s)
+		}
+	}
+	if _, err := (Ref{Kind: "synthetic", N: 0}).Build(); err == nil {
+		t.Fatal("synthetic:0 built")
+	}
+}

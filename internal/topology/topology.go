@@ -1,7 +1,19 @@
-// Package topology models the Abilene Internet2 backbone as it stood during
-// the paper's measurement period (April and December 2003): 11 points of
-// presence spanning the continental US, the 14 OC-192 backbone links between
-// them, and the customer networks attached at each PoP.
+// Package topology models PoP-level backbone networks: points of presence,
+// the backbone links between them, and the customer networks attached at
+// each PoP.
+//
+// The package is data-driven: a Spec (nodes, links with capacities and IGP
+// metrics, customer attachments) is compiled by New into a validated
+// Topology. Three constructors cover the built-in scenarios:
+//
+//   - Abilene: the 11-PoP Internet2 backbone as it stood during the paper's
+//     measurement period (April and December 2003) — the reference topology
+//     whose generated datasets are kept byte-identical across refactors;
+//   - Geant: a 23-PoP European research backbone in the style of GÉANT,
+//     for cross-topology validation of detection quality;
+//   - Synthetic: deterministic random backbones of 2..200 PoPs (up to
+//     40 000 OD pairs) for scale sweeps of the measurement and detection
+//     pipelines.
 //
 // The topology is the substrate every other layer builds on: routing derives
 // IS-IS weights from the link distances; the traffic generator derives OD
@@ -12,12 +24,15 @@ package topology
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
+	"strconv"
+	"strings"
 
 	"netwide/internal/ipaddr"
 )
 
-// PoP identifies an Abilene point of presence. Values are dense indexes so
-// OD pairs can be addressed as PoP*NumPoPs+PoP.
+// PoP identifies a point of presence by dense index, so OD pairs can be
+// addressed as Origin*n+Dest within an n-PoP topology.
 type PoP int
 
 // The 11 Abilene PoPs (2003). The three-to-four-letter codes are the ones
@@ -36,20 +51,29 @@ const (
 	STTL            // Seattle
 	WASH            // Washington DC
 
-	// NumPoPs is the number of PoPs; the OD matrix is NumPoPs^2 = 121 wide.
+	// NumPoPs is the PoP count of the reference Abilene topology; its OD
+	// matrix is NumPoPs^2 = 121 wide. Arbitrary topologies report their own
+	// size via Topology.NumPoPs.
 	NumPoPs = 11
 )
 
-// NumODPairs is the number of origin-destination pairs (including the
-// self-pairs PoP->same PoP, which carry locally exchanged customer traffic,
-// exactly as in the paper's p = 121).
+// NumODPairs is the number of origin-destination pairs of the reference
+// Abilene topology (including the self-pairs PoP->same PoP, which carry
+// locally exchanged customer traffic, exactly as in the paper's p = 121).
 const NumODPairs = NumPoPs * NumPoPs
+
+// MaxPoPs bounds the PoP count of any topology. The NetFlow export layer
+// encodes the origin PoP in a uint8 engine ID, and Synthetic stops well
+// short of that at 200.
+const MaxPoPs = 250
 
 var popNames = [NumPoPs]string{
 	"ATLA", "CHIN", "DNVR", "HSTN", "IPLS", "KSCY", "LOSA", "NYCM", "SNVA", "STTL", "WASH",
 }
 
-// String returns the NOC code of the PoP.
+// String returns the Abilene NOC code for reference-topology indexes and a
+// generic "PoP(i)" otherwise. Arbitrary topologies name their PoPs via
+// Topology.PoPName.
 func (p PoP) String() string {
 	if p < 0 || p >= NumPoPs {
 		return fmt.Sprintf("PoP(%d)", int(p))
@@ -57,10 +81,12 @@ func (p PoP) String() string {
 	return popNames[p]
 }
 
-// Valid reports whether p is a real PoP index.
+// Valid reports whether p is a real PoP index of the reference Abilene
+// topology. Size-aware checks against an arbitrary topology use
+// Topology.ContainsPoP.
 func (p PoP) Valid() bool { return p >= 0 && p < NumPoPs }
 
-// ParsePoP resolves a NOC code (e.g. "LOSA") to a PoP.
+// ParsePoP resolves an Abilene NOC code (e.g. "LOSA") to a PoP.
 func ParsePoP(code string) (PoP, error) {
 	for i, n := range popNames {
 		if n == code {
@@ -106,15 +132,17 @@ type ODPair struct {
 	Origin, Dest PoP
 }
 
-// Index returns the dense index of the pair in [0, NumODPairs).
+// Index returns the dense index of the pair within the reference 11-PoP
+// Abilene topology. For arbitrary topologies use Topology.Index.
 func (od ODPair) Index() int { return int(od.Origin)*NumPoPs + int(od.Dest) }
 
-// ODPairFromIndex inverts Index.
+// ODPairFromIndex inverts Index (reference Abilene indexing).
 func ODPairFromIndex(i int) ODPair {
 	return ODPair{Origin: PoP(i / NumPoPs), Dest: PoP(i % NumPoPs)}
 }
 
-// String renders "LOSA->NYCM".
+// String renders "LOSA->NYCM" using reference Abilene PoP codes; arbitrary
+// topologies render OD pairs via Topology.ODName.
 func (od ODPair) String() string { return od.Origin.String() + "->" + od.Dest.String() }
 
 // Customer is a network attached to the backbone at one or more PoPs (a
@@ -131,13 +159,92 @@ type Customer struct {
 	Weight float64
 }
 
+// Node is one point of presence of a Spec: a name plus the geographic
+// coordinates its distance-derived link metrics come from.
+type Node struct {
+	Name     string
+	Lat, Lon float64
+}
+
+// LinkSpec is an undirected link between two named nodes. Weight 0 derives
+// the IGP metric from the great-circle distance between the node
+// coordinates, which is how both Abilene and the bundled Géant-like spec
+// weight their links.
+type LinkSpec struct {
+	A, B        string
+	CapacityBps float64
+	Weight      float64
+}
+
+// CustomerSpec attaches a customer network to one or more named nodes.
+type CustomerSpec struct {
+	Name     string
+	Homes    []string // attachment nodes, primary first
+	Prefixes []ipaddr.Prefix
+	Weight   float64
+}
+
+// Spec is the declarative form of a topology: everything New needs to build
+// and validate a Topology.
+type Spec struct {
+	Name      string
+	Nodes     []Node
+	Links     []LinkSpec
+	Customers []CustomerSpec
+}
+
 // Topology is the full network model.
 type Topology struct {
+	// Name identifies the topology ("abilene", "geant", "synthetic-100", ...).
+	Name      string
 	Links     []Link
 	Customers []Customer
+	nodes     []Node
 	// popWeight caches the summed customer weight per PoP for the gravity
 	// model.
-	popWeight [NumPoPs]float64
+	popWeight []float64
+}
+
+// NumPoPs returns the number of PoPs.
+func (t *Topology) NumPoPs() int { return len(t.nodes) }
+
+// NumODPairs returns the width of the OD matrix: NumPoPs squared, self-pairs
+// included.
+func (t *Topology) NumODPairs() int { return len(t.nodes) * len(t.nodes) }
+
+// ContainsPoP reports whether p is a PoP index of this topology.
+func (t *Topology) ContainsPoP(p PoP) bool { return p >= 0 && int(p) < len(t.nodes) }
+
+// PoPName returns the node name of p.
+func (t *Topology) PoPName(p PoP) string {
+	if !t.ContainsPoP(p) {
+		return fmt.Sprintf("PoP(%d)", int(p))
+	}
+	return t.nodes[p].Name
+}
+
+// PoPByName resolves a node name to its PoP index.
+func (t *Topology) PoPByName(name string) (PoP, error) {
+	for i := range t.nodes {
+		if t.nodes[i].Name == name {
+			return PoP(i), nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown PoP %q in %s", name, t.Name)
+}
+
+// Index returns the dense index of od in [0, NumODPairs()).
+func (t *Topology) Index(od ODPair) int { return int(od.Origin)*len(t.nodes) + int(od.Dest) }
+
+// ODAt inverts Index.
+func (t *Topology) ODAt(i int) ODPair {
+	n := len(t.nodes)
+	return ODPair{Origin: PoP(i / n), Dest: PoP(i % n)}
+}
+
+// ODName renders od as "ORIG->DEST" using this topology's node names.
+func (t *Topology) ODName(od ODPair) string {
+	return t.PoPName(od.Origin) + "->" + t.PoPName(od.Dest)
 }
 
 // haversineKm returns the great-circle distance between two coordinates.
@@ -149,6 +256,87 @@ func haversineKm(a, b coord) float64 {
 	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
 		math.Cos(a.lat*rad)*math.Cos(b.lat*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
 	return 2 * earthRadiusKm * math.Asin(math.Sqrt(s))
+}
+
+// New compiles a Spec into a Topology, deriving distance-based link weights
+// where the spec leaves Weight zero, and validates the result. It is the
+// single construction path: every built-in constructor goes through it, so
+// no malformed topology can escape Validate.
+func New(spec Spec) (*Topology, error) {
+	if len(spec.Nodes) == 0 {
+		return nil, fmt.Errorf("topology: spec %q has no nodes", spec.Name)
+	}
+	if len(spec.Nodes) > MaxPoPs {
+		return nil, fmt.Errorf("topology: spec %q has %d nodes, max %d", spec.Name, len(spec.Nodes), MaxPoPs)
+	}
+	t := &Topology{
+		Name:      spec.Name,
+		nodes:     append([]Node(nil), spec.Nodes...),
+		popWeight: make([]float64, len(spec.Nodes)),
+	}
+	index := make(map[string]PoP, len(spec.Nodes))
+	for i, nd := range spec.Nodes {
+		if nd.Name == "" {
+			return nil, fmt.Errorf("topology: spec %q node %d unnamed", spec.Name, i)
+		}
+		if _, dup := index[nd.Name]; dup {
+			return nil, fmt.Errorf("topology: spec %q duplicate node %q", spec.Name, nd.Name)
+		}
+		index[nd.Name] = PoP(i)
+	}
+	resolve := func(name string) (PoP, error) {
+		p, ok := index[name]
+		if !ok {
+			return 0, fmt.Errorf("topology: spec %q references unknown node %q", spec.Name, name)
+		}
+		return p, nil
+	}
+	for _, ls := range spec.Links {
+		a, err := resolve(ls.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := resolve(ls.B)
+		if err != nil {
+			return nil, err
+		}
+		w := ls.Weight
+		if w == 0 {
+			w = haversineKm(coord{t.nodes[a].Lat, t.nodes[a].Lon}, coord{t.nodes[b].Lat, t.nodes[b].Lon})
+		}
+		t.Links = append(t.Links, Link{A: a, B: b, CapacityBps: ls.CapacityBps, Weight: w})
+	}
+	for _, cs := range spec.Customers {
+		c := Customer{Name: cs.Name, Prefixes: cs.Prefixes, Weight: cs.Weight}
+		for _, h := range cs.Homes {
+			p, err := resolve(h)
+			if err != nil {
+				return nil, err
+			}
+			c.Homes = append(c.Homes, p)
+		}
+		t.Customers = append(t.Customers, c)
+	}
+	for _, c := range t.Customers {
+		if len(c.Homes) == 0 {
+			return nil, fmt.Errorf("topology: customer %s has no homes", c.Name)
+		}
+		t.popWeight[c.Homes[0]] += c.Weight
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// mustNew builds a compiled-in spec; a failure is a bug in the spec table,
+// not a runtime condition, so it panics.
+func mustNew(spec Spec) *Topology {
+	t, err := New(spec)
+	if err != nil {
+		panic(fmt.Sprintf("topology: built-in spec %q invalid: %v", spec.Name, err))
+	}
+	return t
 }
 
 // abileneAdjacency is the 14-link Abilene backbone of 2003.
@@ -165,18 +353,20 @@ var abileneAdjacency = [][2]PoP{
 	{NYCM, WASH},
 }
 
-// Abilene constructs the reference topology: the 2003 backbone plus a
-// synthetic-but-structured customer population. Each PoP hosts several
-// single-homed customers with deterministic address space carved from
-// 10.0.0.0/8; LOSA and SNVA share one multihomed customer ("CALREN", the
-// customer whose ingress shift around the 4/17 LOSA outage the paper
-// describes).
-func Abilene() *Topology {
-	t := &Topology{}
+// AbileneSpec returns the declarative form of the reference topology: the
+// 2003 backbone plus a synthetic-but-structured customer population. Each
+// PoP hosts several single-homed customers with deterministic address space
+// carved from 10.0.0.0/8; LOSA and SNVA share one multihomed customer
+// ("CALREN", the customer whose ingress shift around the 4/17 LOSA outage
+// the paper describes).
+func AbileneSpec() Spec {
+	spec := Spec{Name: "abilene"}
+	for p := PoP(0); p < NumPoPs; p++ {
+		spec.Nodes = append(spec.Nodes, Node{Name: popNames[p], Lat: popCoords[p].lat, Lon: popCoords[p].lon})
+	}
 	const oc192 = 10e9
 	for _, adj := range abileneAdjacency {
-		d := haversineKm(popCoords[adj[0]], popCoords[adj[1]])
-		t.Links = append(t.Links, Link{A: adj[0], B: adj[1], CapacityBps: oc192, Weight: d})
+		spec.Links = append(spec.Links, LinkSpec{A: popNames[adj[0]], B: popNames[adj[1]], CapacityBps: oc192})
 	}
 
 	// Customer address plan: PoP i owns 10.(16*i).0.0/12; customer c at
@@ -202,9 +392,9 @@ func Abilene() *Topology {
 			// Within a PoP, customer sizes decay geometrically so a few
 			// large customers dominate, as in real aggregation networks.
 			w := popScale[p] * math.Pow(0.65, float64(c))
-			t.Customers = append(t.Customers, Customer{
+			spec.Customers = append(spec.Customers, CustomerSpec{
 				Name:     fmt.Sprintf("%s-CUST%d", p, c),
-				Homes:    []PoP{p},
+				Homes:    []string{popNames[p]},
 				Prefixes: []ipaddr.Prefix{pfx},
 				Weight:   w,
 			})
@@ -215,17 +405,289 @@ func Abilene() *Topology {
 	if err != nil {
 		panic(err)
 	}
-	t.Customers = append(t.Customers, Customer{
+	spec.Customers = append(spec.Customers, CustomerSpec{
 		Name:     "CALREN",
-		Homes:    []PoP{LOSA, SNVA},
+		Homes:    []string{popNames[LOSA], popNames[SNVA]},
 		Prefixes: []ipaddr.Prefix{calren},
 		Weight:   1.2,
 	})
+	return spec
+}
 
-	for _, c := range t.Customers {
-		t.popWeight[c.Homes[0]] += c.Weight
+// Abilene constructs the reference topology. Its output — links, weights,
+// customers, gravity weights — is byte-identical to the pre-Spec
+// implementation; the golden-hash regression test in the dataset package
+// holds the whole generation pipeline to that contract.
+func Abilene() *Topology { return mustNew(AbileneSpec()) }
+
+// geantNodes is a 23-PoP European research backbone in the style of the
+// GÉANT network (city PoPs, distance-weighted links). The customer counts
+// and scales are structured like Abilene's: a few large NRENs dominate.
+var geantNodes = []struct {
+	name     string
+	lat, lon float64
+	custs    int
+	scale    float64
+}{
+	{"LON", 51.51, -0.13, 6, 1.8}, // London
+	{"PAR", 48.86, 2.35, 6, 1.7},  // Paris
+	{"FRA", 50.11, 8.68, 7, 1.9},  // Frankfurt
+	{"AMS", 52.37, 4.90, 5, 1.5},  // Amsterdam
+	{"GEN", 46.20, 6.14, 4, 1.2},  // Geneva
+	{"MIL", 45.46, 9.19, 4, 1.1},  // Milan
+	{"MAD", 40.42, -3.70, 4, 1.0}, // Madrid
+	{"LIS", 38.72, -9.14, 2, 0.5}, // Lisbon
+	{"BRU", 50.85, 4.35, 3, 0.7},  // Brussels
+	{"LUX", 49.61, 6.13, 2, 0.4},  // Luxembourg
+	{"CPH", 55.68, 12.57, 3, 0.9}, // Copenhagen
+	{"STO", 59.33, 18.07, 4, 1.0}, // Stockholm
+	{"HEL", 60.17, 24.94, 2, 0.6}, // Helsinki
+	{"OSL", 59.91, 10.75, 2, 0.6}, // Oslo
+	{"WAR", 52.23, 21.01, 3, 0.8}, // Warsaw
+	{"PRA", 50.08, 14.44, 3, 0.7}, // Prague
+	{"VIE", 48.21, 16.37, 4, 1.0}, // Vienna
+	{"BUD", 47.50, 19.04, 2, 0.5}, // Budapest
+	{"ZAG", 45.81, 15.98, 2, 0.4}, // Zagreb
+	{"BUC", 44.43, 26.10, 2, 0.5}, // Bucharest
+	{"SOF", 42.70, 23.32, 2, 0.4}, // Sofia
+	{"ATH", 37.98, 23.73, 2, 0.5}, // Athens
+	{"DUB", 53.35, -6.26, 2, 0.6}, // Dublin
+}
+
+// geantAdjacency mirrors the mesh-plus-ring structure of the GÉANT core:
+// a dense western mesh and an eastern ring.
+var geantAdjacency = [][2]string{
+	{"LON", "PAR"}, {"LON", "AMS"}, {"LON", "DUB"}, {"LON", "FRA"},
+	{"PAR", "GEN"}, {"PAR", "MAD"}, {"PAR", "BRU"}, {"PAR", "LUX"},
+	{"FRA", "AMS"}, {"FRA", "GEN"}, {"FRA", "PRA"}, {"FRA", "CPH"}, {"FRA", "LUX"},
+	{"AMS", "BRU"}, {"AMS", "CPH"},
+	{"GEN", "MIL"}, {"GEN", "MAD"},
+	{"MIL", "VIE"}, {"MIL", "ZAG"},
+	{"MAD", "LIS"},
+	{"CPH", "STO"}, {"CPH", "OSL"},
+	{"STO", "HEL"}, {"STO", "OSL"}, {"STO", "WAR"},
+	{"HEL", "WAR"},
+	{"WAR", "PRA"}, {"WAR", "BUD"},
+	{"PRA", "VIE"},
+	{"VIE", "BUD"}, {"VIE", "ZAG"},
+	{"BUD", "BUC"},
+	{"ZAG", "SOF"},
+	{"BUC", "SOF"},
+	{"SOF", "ATH"},
+	{"MIL", "ATH"},
+	{"DUB", "AMS"},
+}
+
+// GeantSpec returns the bundled 23-PoP Géant-like spec. The address plan
+// allocates one /16 from 10.0.0.0/8 per customer in construction order
+// (10.0/16, 10.1/16, ...), with the multihomed NREN ("SURFNET-MH", primary
+// AMS, backup FRA) taking the next /14-aligned block after them.
+func GeantSpec() Spec {
+	spec := Spec{Name: "geant"}
+	for _, nd := range geantNodes {
+		spec.Nodes = append(spec.Nodes, Node{Name: nd.name, Lat: nd.lat, Lon: nd.lon})
 	}
-	return t
+	const capacity = 10e9
+	for _, adj := range geantAdjacency {
+		spec.Links = append(spec.Links, LinkSpec{A: adj[0], B: adj[1], CapacityBps: capacity})
+	}
+	next := 0
+	for _, nd := range geantNodes {
+		for c := 0; c < nd.custs; c++ {
+			pfx, err := ipaddr.NewPrefix(ipaddr.FromOctets(10, byte(next), 0, 0), 16)
+			if err != nil {
+				panic(err)
+			}
+			next++
+			spec.Customers = append(spec.Customers, CustomerSpec{
+				Name:     fmt.Sprintf("%s-NREN%d", nd.name, c),
+				Homes:    []string{nd.name},
+				Prefixes: []ipaddr.Prefix{pfx},
+				Weight:   nd.scale * math.Pow(0.65, float64(c)),
+			})
+		}
+	}
+	mh, err := ipaddr.NewPrefix(ipaddr.FromOctets(10, 200, 0, 0), 14)
+	if err != nil {
+		panic(err)
+	}
+	spec.Customers = append(spec.Customers, CustomerSpec{
+		Name:     "SURFNET-MH",
+		Homes:    []string{"AMS", "FRA"},
+		Prefixes: []ipaddr.Prefix{mh},
+		Weight:   1.1,
+	})
+	return spec
+}
+
+// Geant constructs the bundled 23-PoP Géant-like topology.
+func Geant() *Topology { return mustNew(GeantSpec()) }
+
+// SyntheticMaxPoPs caps Synthetic backbones; 200 PoPs is a 40 000-wide OD
+// matrix, already far beyond any research backbone.
+const SyntheticMaxPoPs = 200
+
+// Synthetic builds a deterministic random backbone of n PoPs (2 <= n <=
+// SyntheticMaxPoPs): nodes scattered over a continental-scale coordinate
+// box, a random spanning tree plus ~n/2 chords (so the graph is connected
+// with realistic redundancy), distance-derived link weights, 2-4 customers
+// per PoP with geometrically decaying weights, and one multihomed customer
+// homed at PoPs 0 and 1. The same (n, seed) always yields the same
+// topology, so scale-sweep experiments are reproducible.
+//
+// The address plan carves sequential /20s from 10.0.0.0/8 (4096 available;
+// at most 200*4+1 are used), keeping every prefix resolvable under the
+// 11-bit destination anonymization.
+func Synthetic(n int, seed uint64) (*Topology, error) {
+	if n < 2 || n > SyntheticMaxPoPs {
+		return nil, fmt.Errorf("topology: synthetic size %d out of [2,%d]", n, SyntheticMaxPoPs)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x70B0))
+	spec := Spec{Name: fmt.Sprintf("synthetic-%d", n)}
+	for i := 0; i < n; i++ {
+		spec.Nodes = append(spec.Nodes, Node{
+			Name: fmt.Sprintf("P%03d", i),
+			Lat:  25 + rng.Float64()*25,   // 25..50 N
+			Lon:  -125 + rng.Float64()*60, // 125..65 W
+		})
+	}
+	const capacity = 10e9
+	type edge struct{ a, b int }
+	seen := map[edge]bool{}
+	addLink := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if b < a {
+			a, b = b, a
+		}
+		if seen[edge{a, b}] {
+			return false
+		}
+		seen[edge{a, b}] = true
+		spec.Links = append(spec.Links, LinkSpec{
+			A: spec.Nodes[a].Name, B: spec.Nodes[b].Name, CapacityBps: capacity,
+		})
+		return true
+	}
+	// Random spanning tree: connect each node to a uniformly chosen earlier
+	// node, guaranteeing connectivity.
+	for i := 1; i < n; i++ {
+		addLink(i, rng.IntN(i))
+	}
+	// Redundancy chords.
+	for extra := n / 2; extra > 0; {
+		if addLink(rng.IntN(n), rng.IntN(n)) {
+			extra--
+		}
+	}
+	nextPfx := 0
+	alloc := func() ipaddr.Prefix {
+		// Sequential /20s: 10.x.y.0/20 with (x, y) from the running index.
+		pfx, err := ipaddr.NewPrefix(ipaddr.FromOctets(10, byte(nextPfx>>4), byte((nextPfx&0xF)<<4), 0), 20)
+		if err != nil {
+			panic(err)
+		}
+		nextPfx++
+		return pfx
+	}
+	for i := 0; i < n; i++ {
+		custs := 2 + rng.IntN(3)
+		scale := 0.5 + rng.Float64()*1.5
+		for c := 0; c < custs; c++ {
+			spec.Customers = append(spec.Customers, CustomerSpec{
+				Name:     fmt.Sprintf("%s-CUST%d", spec.Nodes[i].Name, c),
+				Homes:    []string{spec.Nodes[i].Name},
+				Prefixes: []ipaddr.Prefix{alloc()},
+				Weight:   scale * math.Pow(0.65, float64(c)),
+			})
+		}
+	}
+	// One multihomed customer so ingress-shift anomalies stay expressible.
+	spec.Customers = append(spec.Customers, CustomerSpec{
+		Name:     "MULTI-0",
+		Homes:    []string{spec.Nodes[0].Name, spec.Nodes[1].Name},
+		Prefixes: []ipaddr.Prefix{alloc()},
+		Weight:   1.0,
+	})
+	return New(spec)
+}
+
+// Ref is a serializable reference to a deterministically constructible
+// topology: dataset files store a Ref instead of the whole topology and
+// rebuild it on load. The zero Ref means Abilene.
+type Ref struct {
+	// Kind is "abilene" (or ""), "geant" or "synthetic".
+	Kind string
+	// N is the PoP count of a synthetic topology.
+	N int
+	// Seed drives synthetic construction (0 means 1).
+	Seed uint64
+}
+
+// ParseRef parses "abilene", "geant", "synthetic:N" or "synthetic:N:seed".
+func ParseRef(s string) (Ref, error) {
+	switch {
+	case s == "" || s == "abilene":
+		return Ref{Kind: "abilene"}, nil
+	case s == "geant":
+		return Ref{Kind: "geant"}, nil
+	case strings.HasPrefix(s, "synthetic:"):
+		parts := strings.Split(s[len("synthetic:"):], ":")
+		if len(parts) < 1 || len(parts) > 2 {
+			return Ref{}, fmt.Errorf("topology: ref %q, want synthetic:N or synthetic:N:seed", s)
+		}
+		n, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return Ref{}, fmt.Errorf("topology: ref %q: bad PoP count: %w", s, err)
+		}
+		r := Ref{Kind: "synthetic", N: n}
+		if len(parts) == 2 {
+			seed, err := strconv.ParseUint(parts[1], 10, 64)
+			if err != nil {
+				return Ref{}, fmt.Errorf("topology: ref %q: bad seed: %w", s, err)
+			}
+			r.Seed = seed
+		}
+		return r, nil
+	default:
+		return Ref{}, fmt.Errorf("topology: unknown ref %q (want abilene, geant or synthetic:N[:seed])", s)
+	}
+}
+
+// String renders the ref in the form ParseRef accepts.
+func (r Ref) String() string {
+	switch r.Kind {
+	case "", "abilene":
+		return "abilene"
+	case "geant":
+		return "geant"
+	case "synthetic":
+		if r.Seed != 0 {
+			return fmt.Sprintf("synthetic:%d:%d", r.N, r.Seed)
+		}
+		return fmt.Sprintf("synthetic:%d", r.N)
+	default:
+		return r.Kind
+	}
+}
+
+// Build constructs the referenced topology.
+func (r Ref) Build() (*Topology, error) {
+	switch r.Kind {
+	case "", "abilene":
+		return Abilene(), nil
+	case "geant":
+		return Geant(), nil
+	case "synthetic":
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return Synthetic(r.N, seed)
+	default:
+		return nil, fmt.Errorf("topology: unknown ref kind %q", r.Kind)
+	}
 }
 
 // PoPWeight returns the gravity-model weight of PoP p (sum of primary-homed
@@ -289,35 +751,53 @@ func (t *Topology) CustomersAt(p PoP) []*Customer {
 	return out
 }
 
+// Multihomed returns the primary and secondary homes of the first
+// multihomed customer, or ok=false when the topology has none.
+func (t *Topology) Multihomed() (from, to PoP, ok bool) {
+	for _, c := range t.Customers {
+		if len(c.Homes) >= 2 {
+			return c.Homes[0], c.Homes[1], true
+		}
+	}
+	return 0, 0, false
+}
+
 // Validate checks structural invariants: PoP indexes in range, no self
 // links, no duplicate links, connected backbone, customers non-empty with
-// valid homes and non-overlapping prefixes.
+// valid homes and non-overlapping prefixes. Every constructor (New, and
+// through it Abilene, Geant and Synthetic) calls Validate, so a topology in
+// circulation is always structurally sound.
 func (t *Topology) Validate() error {
+	n := len(t.nodes)
+	if n == 0 {
+		return fmt.Errorf("topology: %s has no nodes", t.Name)
+	}
+	inRange := func(p PoP) bool { return p >= 0 && int(p) < n }
 	seen := map[[2]PoP]bool{}
-	adj := make([][]PoP, NumPoPs)
+	adj := make([][]PoP, n)
 	for _, l := range t.Links {
-		if !l.A.Valid() || !l.B.Valid() {
+		if !inRange(l.A) || !inRange(l.B) {
 			return fmt.Errorf("topology: link %v has invalid PoP", l)
 		}
 		if l.A == l.B {
-			return fmt.Errorf("topology: self link at %s", l.A)
+			return fmt.Errorf("topology: self link at %s", t.PoPName(l.A))
 		}
 		key := [2]PoP{l.A, l.B}
 		if l.B < l.A {
 			key = [2]PoP{l.B, l.A}
 		}
 		if seen[key] {
-			return fmt.Errorf("topology: duplicate link %s-%s", l.A, l.B)
+			return fmt.Errorf("topology: duplicate link %s-%s", t.PoPName(l.A), t.PoPName(l.B))
 		}
 		seen[key] = true
 		if l.Weight <= 0 || l.CapacityBps <= 0 {
-			return fmt.Errorf("topology: non-positive weight/capacity on %s-%s", l.A, l.B)
+			return fmt.Errorf("topology: non-positive weight/capacity on %s-%s", t.PoPName(l.A), t.PoPName(l.B))
 		}
 		adj[l.A] = append(adj[l.A], l.B)
 		adj[l.B] = append(adj[l.B], l.A)
 	}
 	// Connectivity (BFS from PoP 0).
-	visited := make([]bool, NumPoPs)
+	visited := make([]bool, n)
 	queue := []PoP{0}
 	visited[0] = true
 	for len(queue) > 0 {
@@ -332,7 +812,7 @@ func (t *Topology) Validate() error {
 	}
 	for p, v := range visited {
 		if !v {
-			return fmt.Errorf("topology: PoP %s unreachable", PoP(p))
+			return fmt.Errorf("topology: PoP %s unreachable", t.PoPName(PoP(p)))
 		}
 	}
 	if len(t.Customers) == 0 {
@@ -344,7 +824,7 @@ func (t *Topology) Validate() error {
 			return fmt.Errorf("topology: customer %s has no homes", c.Name)
 		}
 		for _, h := range c.Homes {
-			if !h.Valid() {
+			if !inRange(h) {
 				return fmt.Errorf("topology: customer %s home invalid", c.Name)
 			}
 		}

@@ -59,7 +59,7 @@ func NewBackground(top *topology.Topology, meanRateBps float64, seed uint64) (*B
 // that add randomness to a bin must draw from this stream (or from
 // LognormalNoise) so that regeneration is exact.
 func (b *Background) BinRNG(od topology.ODPair, bin int) *rand.Rand {
-	s1 := b.Seed ^ (uint64(od.Index())+1)*0x9E3779B97F4A7C15
+	s1 := b.Seed ^ (uint64(b.Top.Index(od))+1)*0x9E3779B97F4A7C15
 	s2 := (uint64(bin) + 1) * 0xBF58476D1CE4E5B9
 	return rand.New(rand.NewPCG(s1, s2))
 }
@@ -68,7 +68,7 @@ func (b *Background) BinRNG(od topology.ODPair, bin int) *rand.Rand {
 // by the OD pair during the bin.
 func (b *Background) TrueVolume(od topology.ODPair, bin int) float64 {
 	mean := b.MeanRateBps * BinSeconds * b.Gravity.Fraction(od)
-	return mean * b.Profile.At(bin) * LognormalNoise(b.Seed, od.Index(), bin, b.NoiseSigma)
+	return mean * b.Profile.At(bin) * LognormalNoise(b.Seed, b.Top.Index(od), bin, b.NoiseSigma)
 }
 
 // Classes returns the background flow classes for (od, bin), scaling the

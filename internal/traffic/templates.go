@@ -104,7 +104,7 @@ func (c FlowClass) TrueBytes() float64 {
 // Realm carries the address-space context needed to instantiate templates:
 // for each PoP, the weighted customer prefixes homed there.
 type Realm struct {
-	spaces [topology.NumPoPs]weightedPrefixes
+	spaces []weightedPrefixes
 }
 
 type weightedPrefixes struct {
@@ -117,7 +117,7 @@ type weightedPrefixes struct {
 // customers contribute their address space at their primary home (address
 // space does not move during ingress shifts; only routing does).
 func NewRealm(top *topology.Topology) *Realm {
-	r := &Realm{}
+	r := &Realm{spaces: make([]weightedPrefixes, top.NumPoPs())}
 	for i := range top.Customers {
 		c := &top.Customers[i]
 		sp := &r.spaces[c.Homes[0]]

@@ -38,6 +38,7 @@ import (
 	"netwide/internal/dataset"
 	"netwide/internal/events"
 	"netwide/internal/identify"
+	"netwide/internal/scenario"
 	"netwide/internal/topology"
 	"netwide/internal/traffic"
 )
@@ -59,6 +60,15 @@ type Config struct {
 	// every core (GOMAXPROCS). The simulated dataset is byte-identical for
 	// every worker count — the knob trades only wall-clock time.
 	Workers int
+	// Topology selects the simulated backbone: "" or "abilene" (the
+	// reference 11-PoP network), "geant" (a bundled 23-PoP European
+	// backbone), or "synthetic:N[:seed]" (a deterministic random backbone
+	// of N PoPs, N up to 200).
+	Topology string
+	// Scenario, when non-nil, replaces the default random anomaly schedule
+	// with a declarative episode plan (see internal/scenario; JSON files
+	// load via scenario.LoadFile).
+	Scenario *scenario.Scenario
 }
 
 // DefaultConfig mirrors the paper's setup: 4 weeks at 1% sampling with 7%
@@ -83,7 +93,11 @@ func QuickConfig() Config {
 	return c
 }
 
-func (c Config) toDataset() dataset.Config {
+func (c Config) toDataset() (dataset.Config, error) {
+	ref, err := topology.ParseRef(c.Topology)
+	if err != nil {
+		return dataset.Config{}, err
+	}
 	return dataset.Config{
 		Weeks:              c.Weeks,
 		Seed:               c.Seed,
@@ -91,7 +105,9 @@ func (c Config) toDataset() dataset.Config {
 		SamplingRate:       c.SamplingRate,
 		UnresolvedFraction: c.UnresolvedFraction,
 		Workers:            c.Workers,
-	}
+		Topology:           ref,
+		Scenario:           c.Scenario,
+	}, nil
 }
 
 // DetectOptions configures the subspace method.
@@ -123,7 +139,11 @@ type Run struct {
 // cfg.Workers goroutines (all cores when zero); the output is byte-identical
 // for every worker count.
 func Simulate(cfg Config) (*Run, error) {
-	ds, err := dataset.Generate(cfg.toDataset())
+	dcfg, err := cfg.toDataset()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := dataset.Generate(dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -226,9 +246,9 @@ func (r *Run) Characterize() []Anomaly {
 			Why:      v.Why,
 		}
 		for _, od := range v.Event.ODs {
-			a.ODs = append(a.ODs, topology.ODPairFromIndex(od).String())
+			a.ODs = append(a.ODs, r.ds.ODName(od))
 		}
-		if spec, ok := matchTruth(v.Event, specs); ok {
+		if spec, ok := r.matchTruth(v.Event, specs); ok {
 			a.Truth = spec.Note
 			a.TruthType = spec.Type.String()
 		}
@@ -246,13 +266,13 @@ func (r *Run) Verdicts() []classify.Verdict {
 
 // matchTruth finds an injected spec overlapping the event in time (±1 bin)
 // and space.
-func matchTruth(ev events.Event, specs []anomaly.Spec) (anomaly.Spec, bool) {
+func (r *Run) matchTruth(ev events.Event, specs []anomaly.Spec) (anomaly.Spec, bool) {
 	for _, s := range specs {
 		if ev.EndBin < s.StartBin-1 || ev.StartBin > s.EndBin+1 {
 			continue
 		}
 		for _, od := range ev.ODs {
-			pair := topology.ODPairFromIndex(od)
+			pair := r.ds.ODAt(od)
 			for _, sod := range s.ODs {
 				if pair == sod {
 					return s, true
@@ -279,7 +299,7 @@ func (r *Run) GroundTruth() []Truth {
 	for i, s := range specs {
 		t := Truth{ID: s.ID, Type: s.Type.String(), StartBin: s.StartBin, EndBin: s.EndBin, Note: s.Note}
 		for _, od := range s.ODs {
-			t.ODs = append(t.ODs, od.String())
+			t.ODs = append(t.ODs, r.ds.Top.ODName(od))
 		}
 		out[i] = t
 	}

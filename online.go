@@ -5,7 +5,6 @@ import (
 
 	"netwide/internal/core"
 	"netwide/internal/dataset"
-	"netwide/internal/topology"
 )
 
 // OnlineDetector scores live traffic vectors against a model trained on a
@@ -18,6 +17,7 @@ import (
 type OnlineDetector struct {
 	inner   *core.OnlineDetector
 	measure dataset.Measure
+	ds      *dataset.Dataset // names OD columns in verdicts
 }
 
 // parseMeasure maps the paper's single-letter traffic-type codes to the
@@ -60,10 +60,10 @@ func (r *Run) NewOnlineDetector(measure string, opts DetectOptions) (*OnlineDete
 	if err != nil {
 		return nil, err
 	}
-	return &OnlineDetector{inner: inner, measure: m}, nil
+	return &OnlineDetector{inner: inner, measure: m, ds: r.ds}, nil
 }
 
-// Score evaluates one traffic vector of 121 per-OD values.
+// Score evaluates one traffic vector of NumODPairs per-OD values.
 func (d *OnlineDetector) Score(x []float64) (OnlinePoint, error) {
 	pt, err := d.inner.Score(x)
 	if err != nil {
@@ -72,10 +72,6 @@ func (d *OnlineDetector) Score(x []float64) (OnlinePoint, error) {
 	return OnlinePoint{
 		SPE: pt.SPE, T2: pt.T2,
 		SPEAlarm: pt.SPEAlarm, T2Alarm: pt.T2Alarm,
-		TopOD: odName(pt.TopResidualOD),
+		TopOD: d.ds.ODName(pt.TopResidualOD),
 	}, nil
-}
-
-func odName(i int) string {
-	return topology.ODPairFromIndex(i).String()
 }

@@ -1,23 +1,55 @@
 #!/usr/bin/env bash
-# bench.sh — run the benchmark suite and record the perf trajectory.
+# bench.sh — run the benchmark suite, record the perf trajectory, and
+# optionally gate against a committed baseline.
 #
-# Writes a JSON map of benchmark name -> {ns_op, bytes_op, allocs_op} so
-# successive PRs can diff machine-readable numbers instead of eyeballing
-# `go test -bench` output.
+# Record mode writes a JSON map of benchmark name -> {ns_op, bytes_op,
+# allocs_op} so successive PRs can diff machine-readable numbers instead of
+# eyeballing `go test -bench` output.
+#
+# Check mode (--check BASELINE.json) re-runs the suite and FAILS (exit 1)
+# when any benchmark present in both runs regresses by more than
+# MAX_REGRESSION (default 20%) in ns/op or allocs/op. Benchmarks whose
+# baseline ns/op is below NS_FLOOR are exempt from the time gate (sub-100µs
+# timings are timer noise at -benchtime=1x); allocs are deterministic, so
+# the alloc gate applies from ALLOC_FLOOR up. This is the CI perf gate: a
+# hot-path regression fails the build instead of silently shipping.
+#
+# Hardware caveat: allocs/op is machine-independent and gates exactly;
+# ns/op is only directly comparable on hardware similar to where the
+# baseline was recorded. On a faster machine the time gate loses
+# sensitivity (it still catches catastrophic slowdowns); refresh the
+# baseline (record mode) when the reference hardware changes.
 #
 # Usage:
-#   scripts/bench.sh [out.json]          # default out: BENCH_PR2.json
-#   BENCH='SimulateWeek|Detect' scripts/bench.sh   # restrict the suite
-#   BENCHTIME=3x scripts/bench.sh        # more iterations per benchmark
+#   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR3.json)
+#   scripts/bench.sh --check BENCH_PR3.json      # gate against the committed baseline
+#   BENCH='SimulateWeek|Detect' scripts/bench.sh # restrict the suite
+#   BENCHTIME=3x scripts/bench.sh                # more iterations per benchmark
+#   MAX_REGRESSION=50 scripts/bench.sh --check BENCH_PR3.json  # looser gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR2.json}"
+
+baseline=""
+if [[ "${1:-}" == "--check" ]]; then
+    baseline="${2:?--check needs a baseline JSON path}"
+    [[ -f "$baseline" ]] || { echo "bench.sh: baseline $baseline not found" >&2; exit 2; }
+    shift 2
+fi
+out="${1:-BENCH_PR3.json}"
 bench="${BENCH:-.}"
 benchtime="${BENCHTIME:-1x}"
+max_regression="${MAX_REGRESSION:-20}"
+ns_floor="${NS_FLOOR:-100000}"
+alloc_floor="${ALLOC_FLOOR:-8}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
+
+if [[ -n "$baseline" ]]; then
+    out="$(mktemp)"
+    trap 'rm -f "$tmp" "$out"' EXIT
+fi
 
 go test -run='^$' -bench="$bench" -benchtime="$benchtime" -benchmem ./... | tee "$tmp"
 
@@ -43,3 +75,42 @@ END   { printf "\n}\n" }
 ' "$tmp" > "$out"
 
 echo "wrote $out ($(grep -c ns_op "$out") benchmarks)"
+
+if [[ -z "$baseline" ]]; then
+    exit 0
+fi
+
+python3 - "$baseline" "$out" "$max_regression" "$ns_floor" "$alloc_floor" <<'PY'
+import json, sys
+
+base_path, cur_path, max_reg, ns_floor, alloc_floor = sys.argv[1:6]
+base = json.load(open(base_path))
+cur = json.load(open(cur_path))
+limit = 1 + float(max_reg) / 100
+ns_floor = float(ns_floor)
+alloc_floor = float(alloc_floor)
+
+regressions = []
+compared = 0
+for name, b in sorted(base.items()):
+    c = cur.get(name)
+    if c is None:
+        print(f"  note: {name} missing from current run (renamed or removed?)")
+        continue
+    compared += 1
+    bns, cns = float(b.get("ns_op", 0)), float(c.get("ns_op", 0))
+    if bns >= ns_floor and cns > bns * limit:
+        regressions.append(f"{name}: ns/op {bns:.0f} -> {cns:.0f} (+{100*(cns/bns-1):.1f}%)")
+    ba, ca = float(b.get("allocs_op", 0)), float(c.get("allocs_op", 0))
+    if ba >= alloc_floor and ca > ba * limit:
+        regressions.append(f"{name}: allocs/op {ba:.0f} -> {ca:.0f} (+{100*(ca/ba-1):.1f}%)")
+
+print(f"perf gate: compared {compared} benchmarks against {base_path} "
+      f"(threshold +{max_reg}%, ns floor {ns_floor:.0f})")
+if regressions:
+    print("PERF GATE FAILED — regressions over threshold:")
+    for r in regressions:
+        print("  " + r)
+    sys.exit(1)
+print("perf gate passed")
+PY

@@ -12,7 +12,7 @@ import (
 // StreamConfig tunes the concurrent streaming detector.
 type StreamConfig struct {
 	// TrainBins is how many leading bins of the run train the per-measure
-	// models (0 = all bins). Must exceed the 121 OD flows.
+	// models (0 = all bins).
 	TrainBins int
 	// BatchSize is the number of vectors scored per model application.
 	BatchSize int
@@ -34,9 +34,9 @@ func SetMathWorkers(n int) int { return mat.SetWorkers(n) }
 // and refits nightly on a rolling one-week window.
 func DefaultStreamConfig() StreamConfig {
 	return StreamConfig{
-		TrainBins:  7 * 288,  // one week of 5-minute bins
+		TrainBins:  7 * 288, // one week of 5-minute bins
 		BatchSize:  16,
-		RefitEvery: 288,      // daily
+		RefitEvery: 288, // daily
 		Window:     7 * 288,
 	}
 }
@@ -117,7 +117,7 @@ func (d *StreamDetector) convert() {
 			sv.Points[m] = OnlinePoint{
 				SPE: pt.SPE, T2: pt.T2,
 				SPEAlarm: pt.SPEAlarm, T2Alarm: pt.T2Alarm,
-				TopOD: odName(pt.TopResidualOD),
+				TopOD: d.run.ds.ODName(pt.TopResidualOD),
 			}
 			if pt.SPEAlarm || pt.T2Alarm {
 				sv.Measures += dataset.Measure(m).String()
@@ -130,8 +130,8 @@ func (d *StreamDetector) convert() {
 }
 
 // Submit feeds one 5-minute bin: the byte, packet and IP-flow vectors, each
-// of 121 per-OD values. Bins must be submitted in time order; verdicts come
-// back in the same order on Verdicts.
+// of NumODPairs per-OD values. Bins must be submitted in time order;
+// verdicts come back in the same order on Verdicts.
 func (d *StreamDetector) Submit(bin int, bytes, packets, flows []float64) error {
 	return d.pipe.Submit(stream.Sample{Bin: bin, Vecs: [][]float64{bytes, packets, flows}})
 }
