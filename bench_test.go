@@ -9,6 +9,7 @@ package netwide_test
 
 import (
 	"io"
+	"math"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"netwide"
 	"netwide/internal/core"
 	"netwide/internal/dataset"
+	"netwide/internal/engine"
 	"netwide/internal/mat"
 )
 
@@ -363,6 +365,97 @@ func BenchmarkStreamDetectRefit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamCharacterize replays the 3-measure week through the full
+// streaming characterization chain (E13): batched scoring, live OD
+// attribution of every alarm against the scoring model generation,
+// incremental cross-measure event aggregation, and classification at event
+// close. The delta over BenchmarkStreamDetect is the price of turning raw
+// alarms into classified, ground-truth-matched anomalies at streaming
+// time.
+func BenchmarkStreamCharacterize(b *testing.B) {
+	run := benchSetup(b)
+	opts := netwide.DefaultDetectOptions()
+	cfg := netwide.StreamConfig{TrainBins: run.Bins(), BatchSize: 32}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		det, err := run.NewStreamDetector(opts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		verdicts, err := det.Replay(0, run.Bins())
+		if err != nil {
+			b.Fatal(err)
+		}
+		anoms := 0
+		for _, v := range verdicts {
+			anoms += len(v.Anomalies)
+		}
+		if anoms == 0 {
+			b.Fatal("no anomalies characterized")
+		}
+	}
+}
+
+// benchRefit times one model refit at a given scale, warm-started from the
+// previous generation's basis or cold from scratch. The window drifts
+// slightly between generations — the nightly-refit regime the warm start
+// is built for. Widths beyond engine.MaxFullPCAVars exercise the partial
+// subspace iteration, where the warm start pays.
+func benchRefit(b *testing.B, n, p int, warmStart bool) {
+	rng := rand.New(rand.NewPCG(uint64(n), uint64(p)))
+	win := mat.New(n, p)
+	loads := make([]float64, p)
+	for j := range loads {
+		loads[j] = 1 + rng.Float64()*3
+	}
+	for i := 0; i < n; i++ {
+		daily := math.Sin(2 * math.Pi * float64(i) / 288)
+		row := win.RowView(i)
+		for j := range row {
+			row[j] = 100 + 40*daily*loads[j] + 2*rng.NormFloat64()
+		}
+	}
+	prev, err := engine.Fit(win, engine.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	next := win.Clone()
+	for i := 0; i < n; i++ {
+		row := next.RowView(i)
+		for j := range row {
+			row[j] *= 1 + 0.02*math.Sin(float64(i+j))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if warmStart {
+			_, err = prev.Refit(next)
+		} else {
+			_, err = engine.Fit(next, engine.DefaultOptions())
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefitWarmVsCold compares warm-started and cold refits at the
+// partial-PCA scales: the 23-PoP Géant backbone (529 OD pairs) and a
+// 50-PoP synthetic backbone (2500 OD pairs). Warm must beat cold — the
+// whole point of seeding the subspace iteration from the previous
+// generation.
+func BenchmarkRefitWarmVsCold(b *testing.B) {
+	b.Run("geant/warm", func(b *testing.B) { benchRefit(b, 1008, 529, true) })
+	b.Run("geant/cold", func(b *testing.B) { benchRefit(b, 1008, 529, false) })
+	b.Run("synthetic50/warm", func(b *testing.B) { benchRefit(b, 672, 2500, true) })
+	b.Run("synthetic50/cold", func(b *testing.B) { benchRefit(b, 672, 2500, false) })
 }
 
 // benchMatPair builds the product shape of the streaming hot path: a week

@@ -1,190 +1,76 @@
 package core
 
 import (
-	"fmt"
-
+	"netwide/internal/engine"
 	"netwide/internal/mat"
-	"netwide/internal/stats"
 )
 
 // OnlineDetector is the streaming form of the subspace method — the
 // "practical, online diagnosis of network-wide anomalies" the paper's
 // conclusion points to as future work.
 //
-// It is fitted once on a training window of traffic (typically the
-// preceding week) and then scores each new traffic vector in O(k·p) time,
-// flagging SPE and T² exceedances immediately instead of in batch. The
-// thresholds are those of the training window; refitting on a rolling
-// window (Refit) tracks slow drift in the traffic mix.
+// It is a serial adapter over one engine.Model: fitted once on a training
+// window of traffic (typically the preceding week), it scores each new
+// traffic vector in O(k·p) time, flagging SPE and T² exceedances
+// immediately instead of in batch. The thresholds are those of the
+// training window; refitting on a rolling window (Refit) tracks slow drift
+// in the traffic mix — warm-started from the previous generation's basis
+// on the partial-PCA path.
 type OnlineDetector struct {
-	opts    Options
-	pca     *mat.PCA
-	qLimit  float64
-	t2Limit float64
-	// vk (p x k) holds the normal-subspace axes extracted once at fit time;
-	// vkT is its transpose. Batch scoring applies them as two dense products
-	// instead of per-element Components.At lookups.
-	vk, vkT *mat.Matrix
+	model *engine.Model
 }
+
+// Point is the verdict for one streamed traffic vector (engine.Point
+// re-exported).
+type Point = engine.Point
 
 // NewOnlineDetector fits the detector on a training matrix (rows =
 // timebins, cols = OD flows), which should be anomaly-light; as in the
 // batch method, moderate contamination only inflates the thresholds
 // slightly.
 func NewOnlineDetector(train *mat.Matrix, opts Options) (*OnlineDetector, error) {
-	d := &OnlineDetector{}
-	if err := d.fit(train, opts); err != nil {
+	model, err := engine.Fit(train, opts)
+	if err != nil {
 		return nil, err
 	}
-	return d, nil
+	// The serial detector never reads the window back; don't pin it.
+	model.ReleaseTrain()
+	return &OnlineDetector{model: model}, nil
 }
 
-func (d *OnlineDetector) fit(train *mat.Matrix, opts Options) error {
-	n, p := train.Rows(), train.Cols()
-	if opts.K <= 0 || opts.K >= p {
-		return fmt.Errorf("core: online k=%d out of range (0,%d)", opts.K, p)
-	}
-	if !(opts.Alpha > 0 && opts.Alpha < 1) {
-		return fmt.Errorf("core: online alpha=%v out of (0,1)", opts.Alpha)
-	}
-	if n <= opts.K {
-		return fmt.Errorf("core: online training needs more bins than the subspace dimension k")
-	}
-	pca, err := fitSubspacePCA(train, opts.K)
+// Model exposes the current engine model generation.
+func (d *OnlineDetector) Model() *engine.Model { return d.model }
+
+// P returns the number of OD flows (vector length) the detector scores.
+func (d *OnlineDetector) P() int { return d.model.P() }
+
+// Opts returns the options the detector was fitted with.
+func (d *OnlineDetector) Opts() Options { return d.model.Opts() }
+
+// Refit replaces the model with the next generation, fitted on a new
+// training window with the detector's options and warm-started from the
+// current basis. Refit mutates the receiver and must not run concurrently
+// with Score or ScoreBatch; the stream package instead refits engine
+// models in the background and swaps them in atomically.
+func (d *OnlineDetector) Refit(train *mat.Matrix) error {
+	next, err := d.model.Refit(train)
 	if err != nil {
 		return err
 	}
-	phi1, phi2, phi3 := pca.ResidualMoments(opts.K)
-	qLimit, err := stats.QThresholdFromMoments(phi1, phi2, phi3, opts.Alpha)
-	if err != nil {
-		return err
-	}
-	t2Limit, err := stats.T2Threshold(opts.K, n, opts.Alpha)
-	if err != nil {
-		return err
-	}
-	vk := pca.TopComponents(opts.K)
-	d.opts, d.pca, d.qLimit, d.t2Limit = opts, pca, qLimit, t2Limit
-	d.vk, d.vkT = vk, vk.T()
+	d.model = next
 	return nil
 }
 
-// P returns the number of OD flows (vector length) the detector scores.
-func (d *OnlineDetector) P() int { return d.pca.P() }
-
-// Opts returns the options the detector was fitted with.
-func (d *OnlineDetector) Opts() Options { return d.opts }
-
-// Refit replaces the model with one fitted on a new training window,
-// keeping the detector's options. Refit mutates the receiver and must not
-// run concurrently with Score or ScoreBatch; the stream package instead
-// fits a fresh detector in the background and swaps it in atomically.
-func (d *OnlineDetector) Refit(train *mat.Matrix) error {
-	return d.fit(train, d.opts)
-}
-
 // Limits returns the current (Q, T²) thresholds.
-func (d *OnlineDetector) Limits() (qLimit, t2Limit float64) { return d.qLimit, d.t2Limit }
-
-// Point is the verdict for one streamed traffic vector.
-type Point struct {
-	SPE      float64
-	T2       float64
-	SPEAlarm bool
-	T2Alarm  bool
-	// TopResidualOD is the OD (column) with the largest squared residual —
-	// the first flow an operator should look at when either alarm fires.
-	TopResidualOD int
-}
+func (d *OnlineDetector) Limits() (qLimit, t2Limit float64) { return d.model.Limits() }
 
 // Score evaluates one traffic vector x (length = number of OD flows).
-func (d *OnlineDetector) Score(x []float64) (Point, error) {
-	p := d.pca.P()
-	if len(x) != p {
-		return Point{}, fmt.Errorf("core: online vector length %d, want %d", len(x), p)
-	}
-	// Center.
-	xc := make([]float64, p)
-	for i, v := range x {
-		xc[i] = v - d.pca.Mean[i]
-	}
-	// Scores on the top-k axes and T².
-	var pt Point
-	proj := make([]float64, p) // modeled part accumulated across axes
-	for i := 0; i < d.opts.K; i++ {
-		var s float64
-		for f := 0; f < p; f++ {
-			s += xc[f] * d.pca.Components.At(f, i)
-		}
-		if l := d.pca.Eigenvalues[i]; l > 0 {
-			pt.T2 += s * s / l
-		}
-		for f := 0; f < p; f++ {
-			proj[f] += s * d.pca.Components.At(f, i)
-		}
-	}
-	best, bestSq := 0, 0.0
-	for f := 0; f < p; f++ {
-		r := xc[f] - proj[f]
-		sq := r * r
-		pt.SPE += sq
-		if sq > bestSq {
-			best, bestSq = f, sq
-		}
-	}
-	pt.TopResidualOD = best
-	pt.SPEAlarm = pt.SPE > d.qLimit
-	pt.T2Alarm = pt.T2 > d.t2Limit
-	return pt, nil
-}
+func (d *OnlineDetector) Score(x []float64) (Point, error) { return d.model.Score(x) }
 
 // ScoreBatch evaluates a batch of traffic vectors in one pass, appending
-// the verdicts to dst (which may be nil) and returning it. The batch is
-// staged as an m x p matrix so the subspace projection becomes two dense
-// matrix products on the cached normal-subspace basis — tight slice loops
-// instead of Score's per-element accessor arithmetic, and parallel across
-// mat.Workers() goroutines when the batch is large enough. Results are in
-// input order and numerically identical to scoring each vector alone.
+// the verdicts to dst (which may be nil) and returning it. Results are in
+// input order and numerically identical to scoring each vector alone; see
+// engine.Model.ScoreBatch.
 func (d *OnlineDetector) ScoreBatch(xs [][]float64, dst []Point) ([]Point, error) {
-	m := len(xs)
-	if m == 0 {
-		return dst, nil
-	}
-	p, k := d.pca.P(), d.opts.K
-	xc := mat.New(m, p)
-	for i, x := range xs {
-		if len(x) != p {
-			return dst, fmt.Errorf("core: batch vector %d length %d, want %d", i, len(x), p)
-		}
-		row := xc.RowView(i)
-		for f, v := range x {
-			row[f] = v - d.pca.Mean[f]
-		}
-	}
-	scores := mat.Mul(xc, d.vk)    // m x k: coordinates in the normal subspace
-	proj := mat.Mul(scores, d.vkT) // m x p: modeled part of each vector
-	for i := 0; i < m; i++ {
-		var pt Point
-		srow := scores.RowView(i)
-		for j := 0; j < k; j++ {
-			if l := d.pca.Eigenvalues[j]; l > 0 {
-				pt.T2 += srow[j] * srow[j] / l
-			}
-		}
-		xrow, prow := xc.RowView(i), proj.RowView(i)
-		best, bestSq := 0, 0.0
-		for f, v := range xrow {
-			r := v - prow[f]
-			sq := r * r
-			pt.SPE += sq
-			if sq > bestSq {
-				best, bestSq = f, sq
-			}
-		}
-		pt.TopResidualOD = best
-		pt.SPEAlarm = pt.SPE > d.qLimit
-		pt.T2Alarm = pt.T2 > d.t2Limit
-		dst = append(dst, pt)
-	}
-	return dst, nil
+	return d.model.ScoreBatch(xs, dst)
 }

@@ -23,56 +23,36 @@
 // That control limit applies to the variance-normalized statistic
 // Σ score²_{ij}/λ_i = n·Σ u²_{ij} of the statistical process control
 // literature, so this implementation computes the normalized form.
+//
+// The model itself — fit strategy, thresholds, scoring, refit policy — is
+// implemented once in internal/engine; this package is the batch adapter
+// (Analyze) and the serial online adapter (OnlineDetector) over it, and it
+// re-exports the engine's option and verdict types under their historical
+// names.
 package core
 
 import (
-	"errors"
-	"fmt"
-
+	"netwide/internal/engine"
 	"netwide/internal/mat"
-	"netwide/internal/stats"
 )
 
-// Options configures the subspace analysis.
-type Options struct {
-	// K is the dimension of the normal subspace. The paper uses 4.
-	K int
-	// Alpha is the false-alarm rate of both thresholds; the paper computes
-	// thresholds at the 99.9% confidence level (alpha = 0.001).
-	Alpha float64
-}
+// Options configures the subspace analysis (engine.Options re-exported).
+type Options = engine.Options
 
 // DefaultOptions returns the paper's parameters (k = 4, 99.9% confidence).
-func DefaultOptions() Options { return Options{K: 4, Alpha: 0.001} }
+func DefaultOptions() Options { return engine.DefaultOptions() }
 
 // StatKind identifies which statistic raised an alarm.
-type StatKind int
+type StatKind = engine.StatKind
 
 // The two detection statistics.
 const (
-	StatSPE StatKind = iota // squared prediction error (Q-statistic)
-	StatT2                  // Hotelling T² in the normal subspace
+	StatSPE = engine.StatSPE // squared prediction error (Q-statistic)
+	StatT2  = engine.StatT2  // Hotelling T² in the normal subspace
 )
 
-// String names the statistic.
-func (s StatKind) String() string {
-	switch s {
-	case StatSPE:
-		return "SPE"
-	case StatT2:
-		return "T2"
-	default:
-		return fmt.Sprintf("StatKind(%d)", int(s))
-	}
-}
-
 // Alarm is one timebin flagged by one statistic.
-type Alarm struct {
-	Bin   int
-	Stat  StatKind
-	Value float64 // the statistic's value at the bin
-	Limit float64 // the threshold it exceeded
-}
+type Alarm = engine.Alarm
 
 // Result is the full output of a subspace analysis of one traffic type.
 type Result struct {
@@ -98,50 +78,22 @@ type Result struct {
 	Alarms []Alarm
 }
 
-// maxFullPCAVars is the OD-matrix width beyond which Analyze abandons the
-// full O(p³) Jacobi eigendecomposition for the partial subspace-iteration
-// fit. 512 keeps the reference Abilene path (p = 121) and every similarly
-// sized topology on the exact full fit while making 100+-PoP synthetic
-// backbones (p = 10⁴⁺) tractable.
-const maxFullPCAVars = 512
-
-// fitSubspacePCA picks the PCA strategy for an n x p traffic matrix: the
-// exact full fit where it is affordable and statistically possible (p small
-// and n > p, the paper's regime), otherwise a partial fit of the top
-// 2k+8 axes — several times the k the method consumes, which pins down the
-// head of the residual spectrum; the flat-tail model in ResidualMoments
-// covers the rest of the Q-threshold inputs.
-func fitSubspacePCA(X *mat.Matrix, k int) (*mat.PCA, error) {
-	n, p := X.Rows(), X.Cols()
-	if p <= maxFullPCAVars && n > p {
-		return mat.FitPCA(X, true)
-	}
-	m := 2*k + 8
-	if m > p {
-		m = p
-	}
-	return mat.FitPCAPartial(X, m, true)
-}
-
 // Analyze runs the subspace method over X (rows = timebins, cols = OD
-// flows). Matrices wider than maxFullPCAVars (or with fewer timebins than
+// flows): one engine fit, then the whole matrix scored against it.
+// Matrices wider than engine.MaxFullPCAVars (or with fewer timebins than
 // flows) are analyzed via the partial-PCA path, which the synthetic
 // scale-sweep topologies rely on.
 func Analyze(X *mat.Matrix, opts Options) (*Result, error) {
-	n, p := X.Rows(), X.Cols()
-	if opts.K <= 0 || opts.K >= p {
-		return nil, fmt.Errorf("core: k=%d out of range (0,%d)", opts.K, p)
-	}
-	if !(opts.Alpha > 0 && opts.Alpha < 1) {
-		return nil, fmt.Errorf("core: alpha=%v out of (0,1)", opts.Alpha)
-	}
-	if n <= opts.K {
-		return nil, errors.New("core: need more timebins than the subspace dimension k")
-	}
-	pca, err := fitSubspacePCA(X, opts.K)
+	model, err := engine.Fit(X, opts)
 	if err != nil {
+		// Engine errors are self-describing; no second prefix (matches
+		// NewOnlineDetector's error surface).
 		return nil, err
 	}
+	n := X.Rows()
+	// The batch analysis keeps its own reference to X; the model need not.
+	model.ReleaseTrain()
+	pca := model.PCA()
 	modeled, residual := pca.ProjectionSplit(X, opts.K)
 
 	res := &Result{
@@ -152,6 +104,7 @@ func Analyze(X *mat.Matrix, opts Options) (*Result, error) {
 		Residual: residual,
 		Modeled:  modeled,
 	}
+	res.QLimit, res.T2Limit = model.Limits()
 	for j := 0; j < n; j++ {
 		res.State[j] = mat.Dot(X.RowView(j), X.RowView(j))
 		rj := residual.RowView(j)
@@ -171,16 +124,6 @@ func Analyze(X *mat.Matrix, opts Options) (*Result, error) {
 			t2 += s * s / l
 		}
 		res.T2[j] = t2
-	}
-
-	phi1, phi2, phi3 := pca.ResidualMoments(opts.K)
-	res.QLimit, err = stats.QThresholdFromMoments(phi1, phi2, phi3, opts.Alpha)
-	if err != nil {
-		return nil, fmt.Errorf("core: Q threshold: %w", err)
-	}
-	res.T2Limit, err = stats.T2Threshold(opts.K, n, opts.Alpha)
-	if err != nil {
-		return nil, fmt.Errorf("core: T2 threshold: %w", err)
 	}
 
 	for j := 0; j < n; j++ {

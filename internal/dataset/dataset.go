@@ -58,6 +58,18 @@ func (m Measure) String() string {
 	return measureNames[m]
 }
 
+// ParseMeasure maps the paper's single-letter traffic-type codes back to
+// measure indices — the inverse of String, shared by every surface that
+// accepts a measure name.
+func ParseMeasure(s string) (Measure, error) {
+	for m := Measure(0); m < NumMeasures; m++ {
+		if s == measureNames[m] {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown measure %q (want B, P or F)", s)
+}
+
 // Config fully determines a synthetic dataset (same Config, same bytes).
 type Config struct {
 	// Weeks of 5-minute bins to generate.

@@ -193,22 +193,182 @@ func Aggregate(dets []Detection) []Event {
 		open[gk.set] = live
 	}
 
-	// Finalize OD lists.
-	final := make([]Event, len(out))
-	for i, ev := range out {
-		for od := range ev.ODResidual {
-			ev.ODs = append(ev.ODs, od)
-		}
-		sort.Ints(ev.ODs)
-		final[i] = *ev
+	return finalize(out)
+}
+
+// Aggregator is the incremental form of Aggregate for streaming
+// detection: detections are fed one bin at a time (bins non-decreasing),
+// and events are returned as soon as they can no longer extend — an event
+// with EndBin e closes once a bin beyond e+1 has been observed, since
+// temporal merging requires consecutive bins.
+//
+// Fed the same detections in bin order, Aggregator produces exactly the
+// events of Aggregate (ordering aside: Aggregate sorts globally, the
+// Aggregator emits in close order). The streaming characterization parity
+// test pins this equivalence on a full scenario run.
+type Aggregator struct {
+	// open holds events that might still extend, in creation order (the
+	// order Aggregate's merge loop scans, so merge ties resolve the same).
+	open []*Event
+	// curBin's detections are buffered in curDets until a later bin (or
+	// Flush) proves the bin complete: cell-level measure-set merging needs
+	// every detection of a bin together, so repeated Adds of one bin must
+	// accumulate rather than open duplicate events.
+	curBin  int
+	curDets []Detection
+	started bool
+}
+
+// NewAggregator returns an empty incremental aggregator.
+func NewAggregator() *Aggregator { return &Aggregator{} }
+
+// Add ingests detections of one bin and returns the events that closed,
+// sorted by (StartBin, Measures). dets may be empty: clean bins still
+// advance time and close stale events. Bins must be fed in non-decreasing
+// order (Add panics on a decreasing bin); repeated Adds of the same bin
+// accumulate into that bin, exactly as if their detections had arrived in
+// one call. The aggregator retains dets until the bin completes.
+func (a *Aggregator) Add(bin int, dets []Detection) []Event {
+	if a.started && bin < a.curBin {
+		panic(fmt.Sprintf("events: Aggregator.Add bin %d after bin %d", bin, a.curBin))
 	}
-	sort.Slice(final, func(i, j int) bool {
-		if final[i].StartBin != final[j].StartBin {
-			return final[i].StartBin < final[j].StartBin
+	if a.started && bin == a.curBin {
+		a.curDets = append(a.curDets, dets...)
+		return nil
+	}
+	var closed []Event
+	if a.started {
+		a.ingest()
+		closed = a.closeBefore(bin)
+	}
+	a.started = true
+	a.curBin = bin
+	a.curDets = append(a.curDets[:0], dets...)
+	return closed
+}
+
+// Flush completes the buffered bin and closes every remaining open event —
+// end of stream — returning them sorted by (StartBin, Measures).
+func (a *Aggregator) Flush() []Event {
+	if a.started {
+		a.ingest()
+		a.started = false
+	}
+	out := finalize(a.open)
+	a.open = nil
+	return out
+}
+
+// ingest runs the aggregation steps over the buffered bin's detections.
+func (a *Aggregator) ingest() {
+	bin, dets := a.curBin, a.curDets
+	a.curDets = a.curDets[:0]
+	if len(dets) == 0 {
+		return
+	}
+
+	// Steps 1+2 of Aggregate, restricted to one bin: measure set and
+	// summed residual per OD.
+	type cell struct {
+		set MeasureSet
+		res float64
+	}
+	cells := map[int]*cell{}
+	for _, d := range dets {
+		for i, od := range d.ODs {
+			c := cells[od]
+			if c == nil {
+				c = &cell{}
+				cells[od] = c
+			}
+			c.set = c.set.With(d.Measure)
+			if i < len(d.Residuals) {
+				c.res += d.Residuals[i]
+			}
 		}
-		return final[i].Measures < final[j].Measures
+	}
+
+	// Step 3 (space): group the bin's cells by measure set.
+	groups := map[MeasureSet]map[int]float64{}
+	for od, c := range cells {
+		g := groups[c.set]
+		if g == nil {
+			g = map[int]float64{}
+			groups[c.set] = g
+		}
+		g[od] += c.res
+	}
+	sets := make([]MeasureSet, 0, len(groups))
+	for set := range groups {
+		sets = append(sets, set)
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+
+	// Step 4 (time): merge each group into the first open event with the
+	// same measure set, adjacent bins and overlapping ODs, else open a new
+	// event — the same scan Aggregate runs over its (bin, set)-sorted
+	// groups.
+	for _, set := range sets {
+		g := groups[set]
+		merged := false
+		for _, ev := range a.open {
+			if ev.Measures == set && bin == ev.EndBin+1 && overlaps(ev.ODResidual, g) {
+				ev.EndBin = bin
+				for od, r := range g {
+					ev.ODResidual[od] += r
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			odr := make(map[int]float64, len(g))
+			for od, r := range g {
+				odr[od] = r
+			}
+			a.open = append(a.open, &Event{Measures: set, StartBin: bin, EndBin: bin, ODResidual: odr})
+		}
+	}
+}
+
+// closeBefore finalizes open events that can no longer extend at bin.
+func (a *Aggregator) closeBefore(bin int) []Event {
+	var done []*Event
+	live := a.open[:0]
+	for _, ev := range a.open {
+		if ev.EndBin < bin-1 {
+			done = append(done, ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	a.open = live
+	return finalize(done)
+}
+
+// finalize fills the sorted OD list of each event and orders the batch by
+// (StartBin, Measures), matching Aggregate's output order.
+func finalize(evs []*Event) []Event {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]Event, len(evs))
+	for i, ev := range evs {
+		if ev.ODs == nil {
+			for od := range ev.ODResidual {
+				ev.ODs = append(ev.ODs, od)
+			}
+			sort.Ints(ev.ODs)
+		}
+		out[i] = *ev
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartBin != out[j].StartBin {
+			return out[i].StartBin < out[j].StartBin
+		}
+		return out[i].Measures < out[j].Measures
 	})
-	return final
+	return out
 }
 
 func overlaps(a, b map[int]float64) bool {

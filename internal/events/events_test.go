@@ -1,6 +1,9 @@
 package events
 
 import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
 	"testing"
 
 	"netwide/internal/dataset"
@@ -162,4 +165,143 @@ func TestEventString(t *testing.T) {
 	if e.String() != "[BP] bins 3-5, 2 OD flows" {
 		t.Fatalf("String=%q", e.String())
 	}
+}
+
+// randomDetections builds a reproducible detection stream with temporal
+// runs, composite measure sets, gaps and overlapping OD sets — the shapes
+// the aggregation steps have to disambiguate.
+func randomDetections(seed uint64, bins int) []Detection {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B9))
+	var dets []Detection
+	for bin := 0; bin < bins; bin++ {
+		if rng.Float64() < 0.55 {
+			continue // clean bin
+		}
+		for m := dataset.Measure(0); m < dataset.NumMeasures; m++ {
+			if rng.Float64() < 0.4 {
+				continue
+			}
+			n := 1 + rng.IntN(3)
+			ods := make([]int, 0, n)
+			res := make([]float64, 0, n)
+			base := rng.IntN(6)
+			for i := 0; i < n; i++ {
+				ods = append(ods, base+i*rng.IntN(3))
+				res = append(res, float64(rng.IntN(200)-80))
+			}
+			dets = append(dets, Detection{Measure: m, Bin: bin, ODs: ods, Residuals: res})
+		}
+	}
+	return dets
+}
+
+func eventKey(e Event) string {
+	return fmt.Sprintf("%v|%d-%d|%v", e.Measures, e.StartBin, e.EndBin, e.ODs)
+}
+
+// TestAggregatorMatchesAggregate drives random detection streams through
+// the incremental Aggregator bin by bin (clean bins included, as a
+// streaming verdict feed delivers them) and requires the exact event set
+// of the batch Aggregate.
+func TestAggregatorMatchesAggregate(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		const bins = 120
+		dets := randomDetections(seed, bins)
+		want := Aggregate(dets)
+
+		byBin := map[int][]Detection{}
+		for _, d := range dets {
+			byBin[d.Bin] = append(byBin[d.Bin], d)
+		}
+		agg := NewAggregator()
+		var got []Event
+		for bin := 0; bin < bins; bin++ {
+			got = append(got, agg.Add(bin, byBin[bin])...)
+		}
+		got = append(got, agg.Flush()...)
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: incremental %d events, batch %d", seed, len(got), len(want))
+		}
+		sort.Slice(got, func(i, j int) bool {
+			if got[i].StartBin != got[j].StartBin {
+				return got[i].StartBin < got[j].StartBin
+			}
+			return got[i].Measures < got[j].Measures
+		})
+		for i := range want {
+			if eventKey(got[i]) != eventKey(want[i]) {
+				t.Fatalf("seed %d event %d:\n incremental %s\n batch       %s", seed, i, eventKey(got[i]), eventKey(want[i]))
+			}
+			for od, r := range want[i].ODResidual {
+				if got[i].ODResidual[od] != r {
+					t.Fatalf("seed %d event %d od %d: residual %v vs %v", seed, i, od, got[i].ODResidual[od], r)
+				}
+			}
+		}
+	}
+}
+
+// TestAggregatorClosesOnlyWhenUnextendable pins the close timing: an event
+// ending at bin e must close exactly when bin e+2 is observed (e+1 could
+// still have merged), and Flush closes the rest.
+func TestAggregatorClosesOnlyWhenUnextendable(t *testing.T) {
+	agg := NewAggregator()
+	d := []Detection{{Measure: dataset.Bytes, Bin: 4, ODs: []int{1}, Residuals: []float64{10}}}
+	if closed := agg.Add(4, d); len(closed) != 0 {
+		t.Fatalf("event closed at its own bin: %v", closed)
+	}
+	if closed := agg.Add(5, nil); len(closed) != 0 {
+		t.Fatalf("event closed while still extendable: %v", closed)
+	}
+	closed := agg.Add(6, nil)
+	if len(closed) != 1 || closed[0].StartBin != 4 || closed[0].EndBin != 4 {
+		t.Fatalf("close at first unextendable bin: %v", closed)
+	}
+	agg.Add(9, []Detection{{Measure: dataset.Flows, Bin: 9, ODs: []int{2}, Residuals: []float64{-3}}})
+	if fl := agg.Flush(); len(fl) != 1 || fl[0].Measures != SetF {
+		t.Fatalf("flush: %v", fl)
+	}
+	if fl := agg.Flush(); len(fl) != 0 {
+		t.Fatalf("second flush not empty: %v", fl)
+	}
+}
+
+// TestAggregatorAccumulatesSameBin: detections of one bin split across
+// several Add calls must aggregate exactly as one call would — cell-level
+// measure merging happens when the bin completes, not per call.
+func TestAggregatorAccumulatesSameBin(t *testing.T) {
+	dets := []Detection{
+		{Measure: dataset.Bytes, Bin: 10, ODs: []int{5}, Residuals: []float64{100}},
+		{Measure: dataset.Packets, Bin: 10, ODs: []int{5}, Residuals: []float64{50}},
+	}
+	want := Aggregate(dets)
+
+	agg := NewAggregator()
+	if closed := agg.Add(10, dets[:1]); len(closed) != 0 {
+		t.Fatalf("premature close: %v", closed)
+	}
+	if closed := agg.Add(10, dets[1:]); len(closed) != 0 {
+		t.Fatalf("same-bin Add closed events: %v", closed)
+	}
+	got := agg.Flush()
+	if len(got) != 1 || len(want) != 1 {
+		t.Fatalf("got %d events, want 1 (batch %d)", len(got), len(want))
+	}
+	if eventKey(got[0]) != eventKey(want[0]) {
+		t.Fatalf("split-bin event %s, batch %s", eventKey(got[0]), eventKey(want[0]))
+	}
+	if got[0].Measures.String() != "BP" || got[0].ODResidual[5] != 150 {
+		t.Fatalf("cells not merged across Adds: %+v", got[0])
+	}
+
+	// Decreasing bins are a programming error.
+	agg2 := NewAggregator()
+	agg2.Add(7, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decreasing bin did not panic")
+		}
+	}()
+	agg2.Add(6, nil)
 }

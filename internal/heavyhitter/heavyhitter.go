@@ -55,14 +55,24 @@ func (s *Sketch) Add(key uint64, w float64) {
 		return
 	}
 	// Evict the minimum-count entry, inheriting its count as error bound.
+	min := s.minEntry()
+	delete(s.counts, min.key)
+	s.counts[key] = &entry{key: key, count: min.count + w, errOff: min.count}
+}
+
+// minEntry returns the minimum-count entry, ties broken by smallest key so
+// eviction — and through it the sketch contents — is deterministic and
+// independent of map iteration order. Two independent summarizations of
+// the same stream (the batch and streaming characterization paths) must
+// agree exactly.
+func (s *Sketch) minEntry() *entry {
 	var min *entry
 	for _, e := range s.counts {
-		if min == nil || e.count < min.count {
+		if min == nil || e.count < min.count || (e.count == min.count && e.key < min.key) {
 			min = e
 		}
 	}
-	delete(s.counts, min.key)
-	s.counts[key] = &entry{key: key, count: min.count + w, errOff: min.count}
+	return min
 }
 
 // Total returns the total weight added.
@@ -129,8 +139,15 @@ func (s *Sketch) Dominant(frac float64) (uint64, bool) {
 // 5-minute bins). Merging keeps the error bounds conservative: counts and
 // error offsets add.
 func (s *Sketch) Merge(other *Sketch) {
-	for _, e := range other.counts {
-		s.total += 0 // totals are handled below to keep Add semantics intact
+	// Fold in ascending key order: with eviction deterministic (minEntry),
+	// the merged sketch is a pure function of the two operands.
+	keys := make([]uint64, 0, len(other.counts))
+	for k := range other.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		e := other.counts[k]
 		if mine, ok := s.counts[e.key]; ok {
 			mine.count += e.count
 			mine.errOff += e.errOff
@@ -140,12 +157,7 @@ func (s *Sketch) Merge(other *Sketch) {
 			s.counts[e.key] = &entry{key: e.key, count: e.count, errOff: e.errOff}
 			continue
 		}
-		var min *entry
-		for _, x := range s.counts {
-			if min == nil || x.count < min.count {
-				min = x
-			}
-		}
+		min := s.minEntry()
 		if e.count <= min.count {
 			// Dropped entry: its mass still counts toward the total, and
 			// every surviving minimum absorbs the uncertainty.

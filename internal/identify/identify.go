@@ -7,12 +7,18 @@
 // practice, a greedy largest-contribution-first removal is used, which is
 // exact whenever one flow dominates the statistic (the common case) and
 // near-minimal otherwise.
+//
+// Two entry points share one greedy core: Attribute walks the alarms of a
+// batch analysis (core.Result), and AttributeLive attributes a single
+// streamed vector against the engine model generation that scored it —
+// the identification step of the streaming characterization chain.
 package identify
 
 import (
 	"sort"
 
 	"netwide/internal/core"
+	"netwide/internal/engine"
 	"netwide/internal/mat"
 )
 
@@ -51,10 +57,50 @@ func Attribute(r *core.Result) []Attribution {
 	return out
 }
 
+// AttributeLive attributes one streamed, already-scored traffic vector
+// against the model generation that scored it, returning one Attribution
+// per alarmed statistic (nil when the vector is clean). The vector is
+// decomposed with engine.Model.Split, whose residual is bit-identical to
+// the batch analysis residual under the same model, so live attributions
+// match Attribute on a replayed run.
+func AttributeLive(m *engine.Model, bin int, x []float64, pt engine.Point) ([]Attribution, error) {
+	if !pt.SPEAlarm && !pt.T2Alarm {
+		return nil, nil
+	}
+	modeled, residual, err := m.Split(x)
+	if err != nil {
+		return nil, err
+	}
+	qLimit, t2Limit := m.Limits()
+	var out []Attribution
+	if pt.SPEAlarm {
+		a := core.Alarm{Bin: bin, Stat: core.StatSPE, Value: pt.SPE, Limit: qLimit}
+		ods, res := speFlows(residual, pt.SPE, qLimit)
+		out = append(out, Attribution{Alarm: a, ODs: ods, Residuals: res})
+	}
+	if pt.T2Alarm {
+		a := core.Alarm{Bin: bin, Stat: core.StatT2, Value: pt.T2, Limit: t2Limit}
+		// Centered traffic = modeled + residual, summed in the same order
+		// as the batch path so greedy tie-breaks agree.
+		xc := make([]float64, len(modeled))
+		for i := range xc {
+			xc[i] = modeled[i] + residual[i]
+		}
+		ods, res := t2Flows(m.PCA(), m.Opts().K, xc, t2Limit)
+		out = append(out, Attribution{Alarm: a, ODs: ods, Residuals: res})
+	}
+	return out, nil
+}
+
 // attributeSPE removes OD flows from the residual vector in decreasing
 // order of squared residual until ‖x̃‖² <= δ².
 func attributeSPE(r *core.Result, a core.Alarm) Attribution {
-	row := r.Residual.RowView(a.Bin)
+	ods, res := speFlows(r.Residual.RowView(a.Bin), a.Value, a.Limit)
+	return Attribution{Alarm: a, ODs: ods, Residuals: res}
+}
+
+// speFlows is the greedy SPE identification over one residual vector.
+func speFlows(row []float64, value, limit float64) (ods []int, residuals []float64) {
 	type contrib struct {
 		od  int
 		sq  float64
@@ -65,48 +111,53 @@ func attributeSPE(r *core.Result, a core.Alarm) Attribution {
 		cs[od] = contrib{od: od, sq: v * v, val: v}
 	}
 	sort.Slice(cs, func(i, j int) bool { return cs[i].sq > cs[j].sq })
-	att := Attribution{Alarm: a}
-	remaining := a.Value
+	remaining := value
 	for _, c := range cs {
-		if remaining <= a.Limit || len(att.ODs) >= MaxODsPerAlarm {
+		if remaining <= limit || len(ods) >= MaxODsPerAlarm {
 			break
 		}
-		att.ODs = append(att.ODs, c.od)
-		att.Residuals = append(att.Residuals, c.val)
+		ods = append(ods, c.od)
+		residuals = append(residuals, c.val)
 		remaining -= c.sq
 	}
-	if len(att.ODs) == 0 && len(cs) > 0 {
+	if len(ods) == 0 && len(cs) > 0 {
 		// Defensive: an SPE alarm always has at least one contributor.
-		att.ODs = append(att.ODs, cs[0].od)
-		att.Residuals = append(att.Residuals, cs[0].val)
+		ods = append(ods, cs[0].od)
+		residuals = append(residuals, cs[0].val)
 	}
-	return att
+	return ods, residuals
 }
 
-// attributeT2 greedily removes the OD flow whose exclusion most reduces
-// the T² statistic until it is under the limit. Removing OD flow f changes
-// each normal-subspace score s_i by -xc_f * v_i[f], where xc is the
-// centered traffic vector.
+// attributeT2 attributes a T² alarm of a batch result. The centered
+// traffic row is reconstructed as modeled + residual (both centered).
 func attributeT2(r *core.Result, a core.Alarm) Attribution {
-	k := r.Opts.K
 	p := r.PCA.P()
-	// Centered traffic row = modeled + residual (both are centered).
 	xc := make([]float64, p)
 	mrow := r.Modeled.RowView(a.Bin)
 	rrow := r.Residual.RowView(a.Bin)
 	for i := range xc {
 		xc[i] = mrow[i] + rrow[i]
 	}
+	ods, res := t2Flows(r.PCA, r.Opts.K, xc, a.Limit)
+	return Attribution{Alarm: a, ODs: ods, Residuals: res}
+}
+
+// t2Flows greedily removes the OD flow whose exclusion most reduces the T²
+// statistic until it is under the limit. Removing OD flow f changes each
+// normal-subspace score s_i by -xc_f * v_i[f], where xc is the centered
+// traffic vector.
+func t2Flows(pca *mat.PCA, k int, xc []float64, limit float64) (ods []int, residuals []float64) {
+	p := pca.P()
 	scores := make([]float64, k)
 	for i := 0; i < k; i++ {
 		for f := 0; f < p; f++ {
-			scores[i] += xc[f] * r.PCA.Components.At(f, i)
+			scores[i] += xc[f] * pca.Components.At(f, i)
 		}
 	}
 	t2 := func(s []float64) float64 {
 		var v float64
 		for i := 0; i < k; i++ {
-			l := r.PCA.Eigenvalues[i]
+			l := pca.Eigenvalues[i]
 			if l <= 0 {
 				continue
 			}
@@ -115,10 +166,9 @@ func attributeT2(r *core.Result, a core.Alarm) Attribution {
 		return v
 	}
 
-	att := Attribution{Alarm: a}
 	removed := make([]bool, p)
 	cur := t2(scores)
-	for cur > a.Limit && len(att.ODs) < MaxODsPerAlarm {
+	for cur > limit && len(ods) < MaxODsPerAlarm {
 		best, bestDrop := -1, 0.0
 		var bestScores []float64
 		for f := 0; f < p; f++ {
@@ -127,7 +177,7 @@ func attributeT2(r *core.Result, a core.Alarm) Attribution {
 			}
 			trial := make([]float64, k)
 			for i := 0; i < k; i++ {
-				trial[i] = scores[i] - xc[f]*r.PCA.Components.At(f, i)
+				trial[i] = scores[i] - xc[f]*pca.Components.At(f, i)
 			}
 			drop := cur - t2(trial)
 			if drop > bestDrop {
@@ -138,12 +188,12 @@ func attributeT2(r *core.Result, a core.Alarm) Attribution {
 			break // no single removal reduces the statistic further
 		}
 		removed[best] = true
-		att.ODs = append(att.ODs, best)
-		att.Residuals = append(att.Residuals, xc[best])
+		ods = append(ods, best)
+		residuals = append(residuals, xc[best])
 		scores = bestScores
 		cur = t2(scores)
 	}
-	if len(att.ODs) == 0 {
+	if len(ods) == 0 {
 		// Fall back to the largest |centered traffic| flow.
 		best, bestAbs := 0, 0.0
 		for f := 0; f < p; f++ {
@@ -155,10 +205,10 @@ func attributeT2(r *core.Result, a core.Alarm) Attribution {
 				best, bestAbs = f, v
 			}
 		}
-		att.ODs = append(att.ODs, best)
-		att.Residuals = append(att.Residuals, xc[best])
+		ods = append(ods, best)
+		residuals = append(residuals, xc[best])
 	}
-	return att
+	return ods, residuals
 }
 
 // Verify recomputes the SPE of a bin with the given OD flows removed;

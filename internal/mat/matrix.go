@@ -125,6 +125,17 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// HeadRows returns the first n rows of m as a view sharing the backing
+// storage — no copy, unlike most Matrix methods. Mutating either matrix
+// mutates the other. Fits clone their input, so passing a view is the
+// allocation-free way to train on a leading window of a larger matrix.
+func (m *Matrix) HeadRows(n int) *Matrix {
+	if n < 0 || n > m.rows {
+		panic(fmt.Sprintf("mat: HeadRows %d out of range %d", n, m.rows))
+	}
+	return &Matrix{rows: n, cols: m.cols, data: m.data[:n*m.cols]}
+}
+
 // T returns the transpose of m as a new matrix.
 func (m *Matrix) T() *Matrix {
 	out := New(m.cols, m.rows)

@@ -274,3 +274,33 @@ func TestPropCenterIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHeadRowsView(t *testing.T) {
+	m := New(4, 3)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i*10+j))
+		}
+	}
+	h := m.HeadRows(2)
+	if h.Rows() != 2 || h.Cols() != 3 {
+		t.Fatalf("HeadRows shape %dx%d", h.Rows(), h.Cols())
+	}
+	if h.At(1, 2) != 12 {
+		t.Fatalf("HeadRows content %v", h.At(1, 2))
+	}
+	// It is a view: writes are visible both ways.
+	h.Set(0, 0, -1)
+	if m.At(0, 0) != -1 {
+		t.Fatal("HeadRows did not share storage")
+	}
+	if h := m.HeadRows(0); h.Rows() != 0 {
+		t.Fatal("empty head")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range HeadRows did not panic")
+		}
+	}()
+	m.HeadRows(5)
+}

@@ -30,6 +30,18 @@ import (
 // account for the uncomputed tail variance. The iteration start point is a
 // fixed-seed PCG draw, so the fit is reproducible for a given (n, p, m).
 func FitPCAPartial(X *Matrix, m int, center bool) (*PCA, error) {
+	return FitPCAPartialWarm(X, m, center, nil)
+}
+
+// FitPCAPartialWarm is FitPCAPartial with a warm start: warm, when non-nil,
+// is a p x mw components matrix from a previous fit (columns = principal
+// axes) that seeds the subspace iteration in place of the random draw. When
+// the data has drifted only slightly since the previous fit — the nightly
+// refit regime of the streaming pipeline — the iteration starts next to its
+// fixed point and converges in a couple of sweeps instead of from scratch.
+// Extra block directions beyond mw are still drawn from the fixed-seed rng,
+// so the fit remains deterministic for a given (X, m, warm).
+func FitPCAPartialWarm(X *Matrix, m int, center bool, warm *Matrix) (*PCA, error) {
 	n, p := X.Rows(), X.Cols()
 	if n < 2 {
 		return nil, errors.New("mat: FitPCAPartial needs at least 2 rows")
@@ -72,7 +84,22 @@ func FitPCAPartial(X *Matrix, m int, center bool) (*PCA, error) {
 	// product kernels stream contiguous memory.
 	rng := rand.New(rand.NewPCG(0x5CA1AB1E, uint64(p)<<20^uint64(n)))
 	qt := New(b, p)
-	for i := range qt.data {
+	seeded := 0
+	if warm != nil && warm.Rows() == p {
+		// Row i of Qt starts as axis i of the previous basis.
+		mw := warm.Cols()
+		if mw > b {
+			mw = b
+		}
+		for i := 0; i < mw; i++ {
+			row := qt.data[i*p : (i+1)*p]
+			for j := range row {
+				row[j] = warm.data[j*warm.cols+i]
+			}
+		}
+		seeded = mw
+	}
+	for i := seeded * p; i < len(qt.data); i++ {
 		qt.data[i] = rng.NormFloat64()
 	}
 	orthonormalizeRows(qt, rng)

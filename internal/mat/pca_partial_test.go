@@ -173,3 +173,57 @@ func TestFitPCAPartialWideValidation(t *testing.T) {
 		t.Fatalf("m clamp gave %d, want 49", pca.NumComputed())
 	}
 }
+
+// TestFitPCAPartialWarmMatchesCold: a warm-started fit of the same data
+// must land on the same subspace as a cold fit — and be deterministic for
+// a fixed warm basis.
+func TestFitPCAPartialWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	x := randomLowRankish(rng, 300, 140, 5)
+	cold, err := FitPCAPartial(x, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift the data slightly and refit warm vs cold.
+	y := x.Clone()
+	for i := 0; i < y.Rows(); i++ {
+		row := y.RowView(i)
+		for j := range row {
+			row[j] *= 1 + 0.01*math.Sin(float64(i+2*j))
+		}
+	}
+	warm, err := FitPCAPartialWarm(y, 12, true, cold.Components)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold2, err := FitPCAPartial(y, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // strong factors
+		if rel := math.Abs(warm.Eigenvalues[i]-cold2.Eigenvalues[i]) / (cold2.Eigenvalues[i] + 1); rel > 1e-5 {
+			t.Fatalf("eigenvalue %d: warm %g cold %g", i, warm.Eigenvalues[i], cold2.Eigenvalues[i])
+		}
+		var dot float64
+		for j := 0; j < y.Cols(); j++ {
+			dot += warm.Components.At(j, i) * cold2.Components.At(j, i)
+		}
+		if math.Abs(dot) < 0.999 {
+			t.Fatalf("axis %d misaligned after warm start: |dot| = %v", i, math.Abs(dot))
+		}
+	}
+	// Deterministic: same inputs, same warm basis, same result.
+	again, err := FitPCAPartialWarm(y, 12, true, cold.Components)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm.Components.data {
+		if warm.Components.data[i] != again.Components.data[i] {
+			t.Fatal("warm fit not deterministic")
+		}
+	}
+	// A warm basis with the wrong variable count is ignored, not fatal.
+	if _, err := FitPCAPartialWarm(y, 12, true, New(3, 3)); err != nil {
+		t.Fatalf("mismatched warm basis: %v", err)
+	}
+}

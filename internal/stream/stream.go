@@ -3,23 +3,28 @@
 // conclusion calls for, built to keep up with live collection.
 //
 // One Pipeline owns one detector lane per traffic measure (bytes, packets,
-// IP-flows in the paper's setup, but any set of fitted core.OnlineDetector
-// models works). Each submitted Sample — one 5-minute timebin carrying one
+// IP-flows in the paper's setup, but any set of fitted engine.Model lanes
+// works). Each submitted Sample — one 5-minute timebin carrying one
 // traffic vector per lane — is fanned out over channels to the lane
-// workers, which score vectors in batches (core.OnlineDetector.ScoreBatch,
-// two dense matrix products per batch instead of per-vector accessor
-// arithmetic). A single aggregator merges the per-lane verdicts back into
-// one stream of per-bin Verdicts, emitted strictly in submission order
-// regardless of how lane scheduling interleaves.
+// workers, which score vectors in batches (engine.Model.ScoreBatch, two
+// dense matrix products per batch instead of per-vector accessor
+// arithmetic) and attribute every alarm to its responsible OD flows
+// against the model generation that scored it (identify.AttributeLive). A
+// single aggregator merges the per-lane verdicts back into one stream of
+// per-bin Verdicts, emitted strictly in submission order regardless of how
+// lane scheduling interleaves.
 //
 // Each lane also maintains a rolling window of the vectors it has accepted
-// and periodically refits its model on that window in the background: the
-// fit (dominated by the parallel covariance accumulation in internal/mat)
+// — seeded from the engine's retained training window, so the first refit
+// does not have to wait for a full window of live traffic — and
+// periodically refits its model on that window in the background: the fit
 // runs on a separate refitter goroutine against a snapshot of the window
 // while the worker keeps scoring with the current model, and the finished
-// model is swapped in with a single atomic pointer store. Scoring never
-// stalls, and no verdict is dropped or reordered across a swap; each
-// Verdict records the model generation that scored it.
+// model is swapped in with a single atomic pointer store. Refits are
+// warm-started from the previous generation's basis (engine.Model.Refit),
+// so on wide OD matrices the subspace iteration converges in a few sweeps.
+// Scoring never stalls, and no verdict is dropped or reordered across a
+// swap; each Verdict records the model generation that scored it.
 package stream
 
 import (
@@ -28,7 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"netwide/internal/core"
+	"netwide/internal/engine"
+	"netwide/internal/identify"
 	"netwide/internal/mat"
 )
 
@@ -48,6 +54,9 @@ type Config struct {
 	// RefitEvery > 0; must exceed the vector length p for the PCA fit to
 	// be well-posed (the fit itself demands n > p).
 	Window int
+	// Attribute enables live OD attribution of every alarm inside the lane
+	// workers — the identification step of streaming characterization.
+	Attribute bool
 }
 
 func (c Config) withDefaults() Config {
@@ -71,10 +80,14 @@ type Sample struct {
 type Verdict struct {
 	Bin int
 	// Points holds each lane's statistics for the bin, indexed by lane.
-	Points []core.Point
+	Points []engine.Point
 	// Gens[i] is the model generation of lane i that scored this bin
 	// (0 = the initial fit, incremented per completed background refit).
 	Gens []uint64
+	// Attribs[i] lists lane i's attributed alarms for the bin (one entry
+	// per alarmed statistic; nil when the lane is clean or attribution is
+	// disabled).
+	Attribs [][]identify.Attribution
 }
 
 // Alarm reports whether any lane flagged the bin on either statistic.
@@ -111,23 +124,17 @@ type laneResult struct {
 	lane int
 	seq  int
 	bin  int
-	pt   core.Point
+	pt   engine.Point
 	gen  uint64
+	att  []identify.Attribution
 }
 
-// model pairs a fitted detector with its generation number so scoring
-// workers observe both through one atomic load: a verdict's generation is
-// always that of the model that actually scored it.
-type model struct {
-	det *core.OnlineDetector
-	gen uint64
-}
-
-// lane is one detector worker: a current model behind an atomic pointer, a
-// task channel, and the rolling refit machinery.
+// lane is one detector worker: a current engine model behind an atomic
+// pointer (the model carries its own generation), a task channel, and the
+// rolling refit machinery.
 type lane struct {
 	id    int
-	model atomic.Pointer[model]
+	model atomic.Pointer[engine.Model]
 	in    chan laneTask
 	p     int // vector length the lane's model scores
 
@@ -165,19 +172,21 @@ type Pipeline struct {
 	err   error // first background refit failure
 }
 
-// New builds a pipeline with one lane per fitted detector. The detectors
-// are adopted: the pipeline scores with them and (when cfg.RefitEvery > 0)
-// replaces them with background-refitted successors, so callers must not
-// mutate them afterwards.
-func New(dets []*core.OnlineDetector, cfg Config) (*Pipeline, error) {
-	if len(dets) == 0 {
-		return nil, errors.New("stream: no detectors")
+// New builds a pipeline with one lane per fitted engine model. The models
+// are immutable generations, so sharing them with the caller is safe; when
+// cfg.RefitEvery > 0 each lane's rolling window is pre-seeded from its
+// model's retained training window (the engine keeps a reference, not a
+// copy), so the first background refit is due after RefitEvery bins rather
+// than after a full window of live traffic.
+func New(models []*engine.Model, cfg Config) (*Pipeline, error) {
+	if len(models) == 0 {
+		return nil, errors.New("stream: no models")
 	}
 	cfg = cfg.withDefaults()
 	if cfg.RefitEvery > 0 {
-		for i, d := range dets {
-			if cfg.Window <= d.P() {
-				return nil, fmt.Errorf("stream: window %d must exceed lane %d vector length %d for refitting", cfg.Window, i, d.P())
+		for i, m := range models {
+			if cfg.Window <= m.P() {
+				return nil, fmt.Errorf("stream: window %d must exceed lane %d vector length %d for refitting", cfg.Window, i, m.P())
 			}
 		}
 	}
@@ -185,14 +194,15 @@ func New(dets []*core.OnlineDetector, cfg Config) (*Pipeline, error) {
 		cfg:  cfg,
 		in:   make(chan Sample, cfg.Buffer),
 		out:  make(chan Verdict, cfg.Buffer),
-		agg:  make(chan laneResult, cfg.Buffer*len(dets)),
+		agg:  make(chan laneResult, cfg.Buffer*len(models)),
 		done: make(chan struct{}),
 	}
-	for i, d := range dets {
-		l := &lane{id: i, in: make(chan laneTask, cfg.Buffer), p: d.P()}
-		l.model.Store(&model{det: d})
+	for i, m := range models {
+		l := &lane{id: i, in: make(chan laneTask, cfg.Buffer), p: m.P()}
+		l.model.Store(m)
 		if cfg.RefitEvery > 0 {
 			l.window = make([][]float64, cfg.Window)
+			l.seedWindow(m.Train())
 			l.refitIn = make(chan *mat.Matrix, 1)
 			p.refitWG.Add(1)
 			go p.refitter(l)
@@ -207,6 +217,24 @@ func New(dets []*core.OnlineDetector, cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
+// seedWindow pre-fills the rolling window ring with the trailing rows of
+// the model's retained training window. The ring stores row views — the
+// refit snapshot copies rows, the ring never does.
+func (l *lane) seedWindow(train *mat.Matrix) {
+	if train == nil {
+		return
+	}
+	n := train.Rows()
+	if n > len(l.window) {
+		n = len(l.window)
+	}
+	for i := 0; i < n; i++ {
+		l.window[i] = train.RowView(train.Rows() - n + i)
+	}
+	l.wNext = n % len(l.window)
+	l.wFill = n
+}
+
 // Lanes returns the number of detector lanes.
 func (p *Pipeline) Lanes() int { return len(p.lanes) }
 
@@ -215,7 +243,7 @@ func (p *Pipeline) Lanes() int { return len(p.lanes) }
 func (p *Pipeline) Generations() []uint64 {
 	out := make([]uint64, len(p.lanes))
 	for i, l := range p.lanes {
-		out[i] = l.model.Load().gen
+		out[i] = l.model.Load().Gen()
 	}
 	return out
 }
@@ -286,8 +314,8 @@ func (p *Pipeline) dispatch() {
 }
 
 // laneWorker scores its lane's vectors in batches against whatever model is
-// current, maintains the rolling window, and hands window snapshots to the
-// refitter when due.
+// current, attributes alarms to OD flows against the same model, maintains
+// the rolling window, and hands window snapshots to the refitter when due.
 func (p *Pipeline) laneWorker(l *lane) {
 	defer p.workerWG.Done()
 	if l.refitIn != nil {
@@ -295,21 +323,27 @@ func (p *Pipeline) laneWorker(l *lane) {
 	}
 	batch := make([]laneTask, 0, p.cfg.BatchSize)
 	vecs := make([][]float64, 0, p.cfg.BatchSize)
-	pts := make([]core.Point, 0, p.cfg.BatchSize)
+	pts := make([]engine.Point, 0, p.cfg.BatchSize)
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
 		m := l.model.Load()
 		var err error
-		pts, err = m.det.ScoreBatch(vecs, pts[:0])
+		pts, err = m.ScoreBatch(vecs, pts[:0])
 		if err != nil {
 			// Submit validated lengths and refits preserve p, so a batch
 			// failure is a programming error, not a data error.
 			panic(fmt.Sprintf("stream: lane %d: %v", l.id, err))
 		}
 		for i, t := range batch {
-			p.agg <- laneResult{lane: l.id, seq: t.seq, bin: t.bin, pt: pts[i], gen: m.gen}
+			var att []identify.Attribution
+			if p.cfg.Attribute {
+				if att, err = identify.AttributeLive(m, t.bin, t.x, pts[i]); err != nil {
+					panic(fmt.Sprintf("stream: lane %d attribute: %v", l.id, err))
+				}
+			}
+			p.agg <- laneResult{lane: l.id, seq: t.seq, bin: t.bin, pt: pts[i], gen: m.Gen(), att: att}
 		}
 		batch, vecs = batch[:0], vecs[:0]
 	}
@@ -352,13 +386,14 @@ func (l *lane) observe(x []float64, refitEvery int) {
 }
 
 // refitter fits replacement models on window snapshots and swaps them in.
-// The swap is a single atomic store: in-flight batches finish on the old
-// model, the next batch loads the new one.
+// The fit is warm-started from the current generation's basis; the swap is
+// a single atomic store: in-flight batches finish on the old model, the
+// next batch loads the new one.
 func (p *Pipeline) refitter(l *lane) {
 	defer p.refitWG.Done()
 	for snap := range l.refitIn {
 		cur := l.model.Load()
-		next, err := core.NewOnlineDetector(snap, cur.det.Opts())
+		next, err := cur.Refit(snap)
 		if err != nil {
 			p.errMu.Lock()
 			if p.err == nil {
@@ -367,7 +402,7 @@ func (p *Pipeline) refitter(l *lane) {
 			p.errMu.Unlock()
 			continue // keep scoring on the current model
 		}
-		l.model.Store(&model{det: next, gen: cur.gen + 1})
+		l.model.Store(next)
 	}
 }
 
@@ -389,9 +424,10 @@ func (p *Pipeline) aggregate() {
 		if !ok {
 			pt = &partial{
 				v: Verdict{
-					Bin:    r.bin,
-					Points: make([]core.Point, len(p.lanes)),
-					Gens:   make([]uint64, len(p.lanes)),
+					Bin:     r.bin,
+					Points:  make([]engine.Point, len(p.lanes)),
+					Gens:    make([]uint64, len(p.lanes)),
+					Attribs: make([][]identify.Attribution, len(p.lanes)),
 				},
 				left: len(p.lanes),
 			}
@@ -399,6 +435,7 @@ func (p *Pipeline) aggregate() {
 		}
 		pt.v.Points[r.lane] = r.pt
 		pt.v.Gens[r.lane] = r.gen
+		pt.v.Attribs[r.lane] = r.att
 		pt.left--
 		for {
 			done, ok := pending[next]

@@ -5,7 +5,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
-	"netwide/internal/core"
+	"netwide/internal/engine"
 	"netwide/internal/mat"
 )
 
@@ -24,9 +24,9 @@ func synth(rng *rand.Rand, n, p int, noise float64) *mat.Matrix {
 	return m
 }
 
-func fitLane(t *testing.T, rng *rand.Rand, n, p int) *core.OnlineDetector {
+func fitLane(t *testing.T, rng *rand.Rand, n, p int) *engine.Model {
 	t.Helper()
-	det, err := core.NewOnlineDetector(synth(rng, n, p, 2), core.DefaultOptions())
+	det, err := engine.Fit(synth(rng, n, p, 2), engine.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func feed(t *testing.T, pipe *Pipeline, live *mat.Matrix, lanes, n int) []Verdic
 func TestPipelineOrderedAndMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewPCG(31, 32))
 	const p, lanes, n = 8, 3, 500
-	dets := make([]*core.OnlineDetector, lanes)
+	dets := make([]*engine.Model, lanes)
 	for i := range dets {
 		dets[i] = fitLane(t, rng, 300, p)
 	}
@@ -113,7 +113,7 @@ func TestPipelineOrderedAndMatchesSerial(t *testing.T) {
 func TestPipelineRefitDuringScoring(t *testing.T) {
 	rng := rand.New(rand.NewPCG(41, 42))
 	const p, lanes, n = 8, 3, 1200
-	dets := make([]*core.OnlineDetector, lanes)
+	dets := make([]*engine.Model, lanes)
 	for i := range dets {
 		dets[i] = fitLane(t, rng, 200, p)
 	}
@@ -153,7 +153,7 @@ func TestPipelineFlagsAnomaly(t *testing.T) {
 	rng := rand.New(rand.NewPCG(51, 52))
 	const p = 8
 	det := fitLane(t, rng, 400, p)
-	pipe, err := New([]*core.OnlineDetector{det}, Config{BatchSize: 2})
+	pipe, err := New([]*engine.Model{det}, Config{BatchSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,11 +203,11 @@ func TestPipelineValidation(t *testing.T) {
 	if _, err := New(nil, Config{}); err == nil {
 		t.Fatal("empty detector list accepted")
 	}
-	if _, err := New([]*core.OnlineDetector{det}, Config{RefitEvery: 10, Window: 8}); err == nil {
+	if _, err := New([]*engine.Model{det}, Config{RefitEvery: 10, Window: 8}); err == nil {
 		t.Fatal("window <= p accepted with refitting on")
 	}
 
-	pipe, err := New([]*core.OnlineDetector{det}, Config{})
+	pipe, err := New([]*engine.Model{det}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,5 +227,61 @@ func TestPipelineValidation(t *testing.T) {
 	}
 	if err := pipe.Wait(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPipelineAttributesAlarms: with Attribute on, an alarmed bin's verdict
+// carries per-lane attributions naming the responsible OD flows against the
+// scoring model.
+func TestPipelineAttributesAlarms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	const p = 8
+	det := fitLane(t, rng, 400, p)
+	pipe, err := New([]*engine.Model{det}, Config{BatchSize: 2, Attribute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := synth(rand.New(rand.NewPCG(73, 74)), 4, p, 2)
+	dirty := clean.Row(2)
+	dirty[5] += 5000
+	done := make(chan []Verdict)
+	go func() {
+		var got []Verdict
+		for v := range pipe.Verdicts() {
+			got = append(got, v)
+		}
+		done <- got
+	}()
+	for bin := 0; bin < 4; bin++ {
+		x := clean.Row(bin)
+		if bin == 2 {
+			x = dirty
+		}
+		if err := pipe.Submit(Sample{Bin: bin, Vecs: [][]float64{x}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pipe.Close()
+	if err := pipe.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if len(got[0].Attribs[0]) != 0 {
+		t.Fatalf("clean bin attributed: %+v", got[0].Attribs[0])
+	}
+	atts := got[2].Attribs[0]
+	if len(atts) == 0 {
+		t.Fatal("alarmed bin has no attributions")
+	}
+	for _, att := range atts {
+		if att.Alarm.Bin != 2 {
+			t.Fatalf("attribution bin %d, want 2", att.Alarm.Bin)
+		}
+		if len(att.ODs) == 0 || att.ODs[0] != 5 {
+			t.Fatalf("attribution ODs %v, want leading OD 5", att.ODs)
+		}
+		if att.Residuals[0] <= 0 {
+			t.Fatalf("spike attributed with non-positive residual %v", att.Residuals[0])
+		}
 	}
 }

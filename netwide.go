@@ -23,8 +23,13 @@
 // one measure, one vector at a time, while StreamDetector runs the
 // concurrent pipeline of internal/stream — per-measure scoring workers fed
 // over channels, batched model application, a single ordered verdict
-// stream, and rolling background refits that swap models in without
-// stalling scoring.
+// stream, and rolling background refits (warm-started from the previous
+// model generation) that swap models in without stalling scoring. The
+// StreamDetector also runs the full characterization chain at streaming
+// time: alarms are attributed to OD flows, aggregated into cross-measure
+// events, and classified the moment an event closes, surfacing on
+// StreamVerdict.Anomalies. All three detection paths are adapters over the
+// single model implementation in internal/engine.
 package netwide
 
 import (
@@ -237,24 +242,31 @@ func (r *Run) Characterize() []Anomaly {
 	specs := r.ds.Ledger.Specs()
 	out := make([]Anomaly, 0, len(r.verdicts))
 	for _, v := range r.verdicts {
-		a := Anomaly{
-			Class:    v.Class.String(),
-			Measures: v.Event.Measures.String(),
-			StartBin: v.Event.StartBin,
-			EndBin:   v.Event.EndBin,
-			Duration: time.Duration(v.Event.DurationBins()) * traffic.BinSeconds * time.Second,
-			Why:      v.Why,
-		}
-		for _, od := range v.Event.ODs {
-			a.ODs = append(a.ODs, r.ds.ODName(od))
-		}
-		if spec, ok := r.matchTruth(v.Event, specs); ok {
-			a.Truth = spec.Note
-			a.TruthType = spec.Type.String()
-		}
-		out = append(out, a)
+		out = append(out, r.anomalyFromVerdict(v, specs))
 	}
 	return out
+}
+
+// anomalyFromVerdict converts one classification verdict into the public
+// Anomaly, matching it against the injected ground truth — shared by the
+// batch Characterize and the streaming characterization chain.
+func (r *Run) anomalyFromVerdict(v classify.Verdict, specs []anomaly.Spec) Anomaly {
+	a := Anomaly{
+		Class:    v.Class.String(),
+		Measures: v.Event.Measures.String(),
+		StartBin: v.Event.StartBin,
+		EndBin:   v.Event.EndBin,
+		Duration: time.Duration(v.Event.DurationBins()) * traffic.BinSeconds * time.Second,
+		Why:      v.Why,
+	}
+	for _, od := range v.Event.ODs {
+		a.ODs = append(a.ODs, r.ds.ODName(od))
+	}
+	if spec, ok := r.matchTruth(v.Event, specs); ok {
+		a.Truth = spec.Note
+		a.TruthType = spec.Type.String()
+	}
+	return a
 }
 
 // Verdicts exposes the raw classification verdicts (internal types) for

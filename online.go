@@ -1,8 +1,6 @@
 package netwide
 
 import (
-	"fmt"
-
 	"netwide/internal/core"
 	"netwide/internal/dataset"
 )
@@ -13,26 +11,12 @@ import (
 //
 // It scores one measure, one vector at a time, on the caller's goroutine.
 // For concurrent batched scoring of all three measures with background
-// model refresh, use StreamDetector.
+// model refresh and full anomaly characterization, use StreamDetector.
+// Both are adapters over the same internal/engine model.
 type OnlineDetector struct {
 	inner   *core.OnlineDetector
 	measure dataset.Measure
-	ds      *dataset.Dataset // names OD columns in verdicts
-}
-
-// parseMeasure maps the paper's single-letter traffic-type codes to the
-// dataset's measure indices.
-func parseMeasure(s string) (dataset.Measure, error) {
-	switch s {
-	case "B":
-		return dataset.Bytes, nil
-	case "P":
-		return dataset.Packets, nil
-	case "F":
-		return dataset.Flows, nil
-	default:
-		return 0, fmt.Errorf("netwide: unknown measure %q (want B, P or F)", s)
-	}
+	run     *Run // names OD columns in verdicts
 }
 
 // OnlinePoint is the verdict for one streamed 5-minute traffic vector.
@@ -46,13 +30,24 @@ type OnlinePoint struct {
 	TopOD string
 }
 
+// onlinePoint relabels one scored engine point with the public type — the
+// single conversion shared by OnlineDetector.Score and the streaming
+// verdict relabeling.
+func (r *Run) onlinePoint(pt core.Point) OnlinePoint {
+	return OnlinePoint{
+		SPE: pt.SPE, T2: pt.T2,
+		SPEAlarm: pt.SPEAlarm, T2Alarm: pt.T2Alarm,
+		TopOD: r.ds.ODName(pt.TopResidualOD),
+	}
+}
+
 // NewOnlineDetector trains a streaming detector on one traffic measure
 // ("B", "P" or "F") of the run, using the given detection options.
 func (r *Run) NewOnlineDetector(measure string, opts DetectOptions) (*OnlineDetector, error) {
 	if opts.K == 0 {
 		opts = DefaultDetectOptions()
 	}
-	m, err := parseMeasure(measure)
+	m, err := dataset.ParseMeasure(measure)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +55,7 @@ func (r *Run) NewOnlineDetector(measure string, opts DetectOptions) (*OnlineDete
 	if err != nil {
 		return nil, err
 	}
-	return &OnlineDetector{inner: inner, measure: m, ds: r.ds}, nil
+	return &OnlineDetector{inner: inner, measure: m, run: r}, nil
 }
 
 // Score evaluates one traffic vector of NumODPairs per-OD values.
@@ -69,9 +64,5 @@ func (d *OnlineDetector) Score(x []float64) (OnlinePoint, error) {
 	if err != nil {
 		return OnlinePoint{}, err
 	}
-	return OnlinePoint{
-		SPE: pt.SPE, T2: pt.T2,
-		SPEAlarm: pt.SPEAlarm, T2Alarm: pt.T2Alarm,
-		TopOD: d.ds.ODName(pt.TopResidualOD),
-	}, nil
+	return d.run.onlinePoint(pt), nil
 }

@@ -2,9 +2,14 @@ package netwide
 
 import (
 	"fmt"
+	"sync"
 
+	"netwide/internal/anomaly"
+	"netwide/internal/classify"
 	"netwide/internal/core"
 	"netwide/internal/dataset"
+	"netwide/internal/engine"
+	"netwide/internal/events"
 	"netwide/internal/mat"
 	"netwide/internal/stream"
 )
@@ -17,7 +22,9 @@ type StreamConfig struct {
 	// BatchSize is the number of vectors scored per model application.
 	BatchSize int
 	// RefitEvery is the number of streamed bins between background model
-	// refits (0 disables refitting).
+	// refits (0 disables refitting). Refit windows start pre-seeded from
+	// the training bins, and each refit is warm-started from the previous
+	// model generation's subspace basis.
 	RefitEvery int
 	// Window is the rolling training window for refits, in bins.
 	Window int
@@ -56,6 +63,15 @@ type StreamVerdict struct {
 	// Generations records, per measure, which model generation scored the
 	// bin (0 = initial fit; each completed background refit increments it).
 	Generations [dataset.NumMeasures]uint64
+	// Anomalies lists the fully characterized anomalies that CLOSED at
+	// this bin: alarms are attributed to OD flows against the scoring
+	// model generation, aggregated across measures and time, and an event
+	// is classified and matched against ground truth as soon as no later
+	// bin can extend it. An event spanning bins [s, e] therefore surfaces
+	// on the first verdict past e+1; events still open when the stream
+	// ends are delivered by TailAnomalies (Replay folds them onto its
+	// final verdict). Nil on most bins.
+	Anomalies []Anomaly
 }
 
 // Alarm reports whether any measure flagged the bin.
@@ -64,18 +80,34 @@ func (v StreamVerdict) Alarm() bool { return v.Measures != "" }
 // StreamDetector scores live traffic across all three measures
 // concurrently: one detector lane per measure fed over channels, batched
 // scoring, a single ordered verdict stream, and background rolling refits
-// that swap models in without stalling scoring. It is the streaming
-// counterpart of Run.Detect and the concurrent successor of the
-// one-vector-at-a-time OnlineDetector.
+// that swap models in without stalling scoring. Beyond raw per-measure
+// alarms it runs the paper's full characterization chain at streaming
+// time — OD attribution, cross-measure event aggregation, classification,
+// ground-truth matching — and delivers the results on StreamVerdict
+// .Anomalies. It is the streaming counterpart of Run.Detect +
+// Run.Characterize, built on the same internal/engine model and the same
+// identification and classification code, so a replayed run characterizes
+// identically to the batch path.
 type StreamDetector struct {
 	pipe *stream.Pipeline
 	out  chan StreamVerdict
 	run  *Run
+	// tail holds the anomalies still open when the stream ended, flushed
+	// and characterized. Written by the characterize goroutine before it
+	// closes out, so reading it after the Verdicts channel closes is safe.
+	tail []Anomaly
+	// binMu guards lastBin: the cross-bin event aggregation needs bins in
+	// time order, so Submit enforces the contract at the edge instead of
+	// letting a violation surface as a panic in a background goroutine.
+	binMu   sync.Mutex
+	lastBin int
+	started bool
 }
 
 // NewStreamDetector trains one model per traffic measure on the run's
 // leading cfg.TrainBins bins and assembles the concurrent pipeline around
-// them.
+// them. Training reads the run's matrices through no-copy views; the
+// engine retains each view as the seed window for background refits.
 func (r *Run) NewStreamDetector(opts DetectOptions, cfg StreamConfig) (*StreamDetector, error) {
 	if opts.K == 0 {
 		opts = DefaultDetectOptions()
@@ -87,53 +119,114 @@ func (r *Run) NewStreamDetector(opts DetectOptions, cfg StreamConfig) (*StreamDe
 	if train <= 0 || train > r.ds.Bins {
 		train = r.ds.Bins
 	}
-	dets := make([]*core.OnlineDetector, dataset.NumMeasures)
+	models := make([]*engine.Model, dataset.NumMeasures)
 	for m := dataset.Measure(0); m < dataset.NumMeasures; m++ {
-		det, err := core.NewOnlineDetector(headRows(r.ds.Matrix(m), train), core.Options{K: opts.K, Alpha: opts.Alpha})
+		model, err := engine.Fit(r.ds.Matrix(m).HeadRows(train), core.Options{K: opts.K, Alpha: opts.Alpha})
 		if err != nil {
 			return nil, fmt.Errorf("netwide: stream train %v: %w", m, err)
 		}
-		dets[int(m)] = det
+		models[int(m)] = model
 	}
-	pipe, err := stream.New(dets, stream.Config{
+	pipe, err := stream.New(models, stream.Config{
 		BatchSize:  cfg.BatchSize,
 		RefitEvery: cfg.RefitEvery,
 		Window:     cfg.Window,
+		Attribute:  true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("netwide: stream pipeline: %w", err)
 	}
 	d := &StreamDetector{pipe: pipe, out: make(chan StreamVerdict, 64), run: r}
-	go d.convert()
+	go d.characterize()
 	return d, nil
 }
 
-// convert relabels the internal verdict stream with the public types.
-func (d *StreamDetector) convert() {
+// characterize relabels the internal verdict stream with the public types
+// and runs the streaming characterization chain over it: per-lane alarm
+// attributions become detections, the incremental aggregator merges them
+// into events across measures and time, and each event is classified and
+// ground-truth-matched the moment it closes. Verdicts are forwarded as
+// soon as they are characterized — live consumers see bin B's verdict
+// without waiting for bin B+1; events still open when the stream ends are
+// flushed into TailAnomalies.
+func (d *StreamDetector) characterize() {
+	agg := events.NewAggregator()
+	cl := classify.New(d.run.ds)
+	specs := d.run.ds.Ledger.Specs()
 	for v := range d.pipe.Verdicts() {
 		sv := StreamVerdict{Bin: v.Bin}
+		var dets []events.Detection
 		for m := 0; m < int(dataset.NumMeasures); m++ {
 			pt := v.Points[m]
-			sv.Points[m] = OnlinePoint{
-				SPE: pt.SPE, T2: pt.T2,
-				SPEAlarm: pt.SPEAlarm, T2Alarm: pt.T2Alarm,
-				TopOD: d.run.ds.ODName(pt.TopResidualOD),
-			}
+			sv.Points[m] = d.run.onlinePoint(pt)
 			if pt.SPEAlarm || pt.T2Alarm {
 				sv.Measures += dataset.Measure(m).String()
 			}
 			sv.Generations[m] = v.Gens[m]
+			for _, att := range v.Attribs[m] {
+				dets = append(dets, events.Detection{
+					Measure:   dataset.Measure(m),
+					Bin:       att.Alarm.Bin,
+					ODs:       att.ODs,
+					Residuals: att.Residuals,
+				})
+			}
 		}
+		sv.Anomalies = d.finish(cl, specs, agg.Add(v.Bin, dets))
 		d.out <- sv
 	}
+	d.tail = d.finish(cl, specs, agg.Flush())
 	close(d.out)
 }
 
+// TailAnomalies returns the characterized anomalies that were still open
+// when the stream ended — events the close-on-unextendable rule could not
+// finish inside the verdict stream. It is valid once the Verdicts channel
+// has closed (after Close and a full drain, or after Replay returns).
+func (d *StreamDetector) TailAnomalies() []Anomaly { return d.tail }
+
+// finish classifies a batch of closed events and converts them to public
+// Anomalies. Events reaching outside the run's bins (possible only with
+// hand-fed Submit bins, never in a replay) skip classification: the
+// classifier's seasonal baselines are defined over the run's matrices.
+func (d *StreamDetector) finish(cl *classify.Classifier, specs []anomaly.Spec, closed []events.Event) []Anomaly {
+	if len(closed) == 0 {
+		return nil
+	}
+	out := make([]Anomaly, 0, len(closed))
+	for _, ev := range closed {
+		if ev.StartBin < 0 || ev.EndBin >= d.run.ds.Bins {
+			out = append(out, d.run.anomalyFromVerdict(classify.Verdict{
+				Event: ev,
+				Class: classify.ClassUnknown,
+				Why:   "event outside the run's bins; no baseline to classify against",
+			}, specs))
+			continue
+		}
+		out = append(out, d.run.anomalyFromVerdict(cl.Classify(ev), specs))
+	}
+	return out
+}
+
 // Submit feeds one 5-minute bin: the byte, packet and IP-flow vectors, each
-// of NumODPairs per-OD values. Bins must be submitted in time order;
-// verdicts come back in the same order on Verdicts.
+// of NumODPairs per-OD values. Bins must be submitted in time order
+// (non-decreasing) — the cross-bin event aggregation depends on it, so a
+// bin earlier than its predecessor is rejected here. Verdicts come back in
+// submission order on Verdicts.
 func (d *StreamDetector) Submit(bin int, bytes, packets, flows []float64) error {
-	return d.pipe.Submit(stream.Sample{Bin: bin, Vecs: [][]float64{bytes, packets, flows}})
+	// binMu stays held across the pipeline send: releasing it earlier
+	// would let two concurrent Submits pass the order check and still
+	// enqueue their bins in either order.
+	d.binMu.Lock()
+	defer d.binMu.Unlock()
+	if d.started && bin < d.lastBin {
+		return fmt.Errorf("netwide: stream bin %d submitted after bin %d (bins must be non-decreasing)", bin, d.lastBin)
+	}
+	if err := d.pipe.Submit(stream.Sample{Bin: bin, Vecs: [][]float64{bytes, packets, flows}}); err != nil {
+		return err
+	}
+	d.started, d.lastBin = true, bin
+	return nil
 }
 
 // Verdicts returns the ordered verdict stream; the channel closes after
@@ -157,7 +250,10 @@ func (d *StreamDetector) Generations() [dataset.NumMeasures]uint64 {
 
 // Replay streams bins [from, to) of the detector's own run through the
 // pipeline and returns the collected verdicts. It consumes the detector:
-// the pipeline is closed when the replay ends.
+// the pipeline is closed when the replay ends. The rows are fed as views
+// of the run's matrices — nothing is copied. Anomalies still open at the
+// end of the range are flushed onto the final verdict, so the replayed
+// verdict stream carries every characterized anomaly.
 func (d *StreamDetector) Replay(from, to int) ([]StreamVerdict, error) {
 	if from < 0 || to > d.run.ds.Bins || from >= to {
 		return nil, fmt.Errorf("netwide: replay range [%d,%d) outside run of %d bins", from, to, d.run.ds.Bins)
@@ -186,14 +282,8 @@ func (d *StreamDetector) Replay(from, to int) ([]StreamVerdict, error) {
 		submitErr = err
 	}
 	verdicts := <-done
-	return verdicts, submitErr
-}
-
-// headRows returns the first n rows of m as a new matrix.
-func headRows(m *mat.Matrix, n int) *mat.Matrix {
-	out := mat.New(n, m.Cols())
-	for i := 0; i < n; i++ {
-		copy(out.RowView(i), m.RowView(i))
+	if n := len(verdicts); n > 0 {
+		verdicts[n-1].Anomalies = append(verdicts[n-1].Anomalies, d.TailAnomalies()...)
 	}
-	return out
+	return verdicts, submitErr
 }
