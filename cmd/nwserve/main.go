@@ -1,0 +1,146 @@
+// Command nwserve is the live ingest daemon: a long-running NetFlow v5
+// collector in front of the concurrent streaming detector.
+//
+// It loads a dataset written by abilenegen (the network model: topology,
+// routing tables, seasonal baselines, and the training traffic for the
+// per-measure subspace models), binds a UDP socket, and then ingests
+// export packets indefinitely: decode, per-engine sequence accounting,
+// OD resolution, 5-minute bin aggregation. Each closed bin streams
+// through the detector — scoring, OD attribution, cross-measure event
+// aggregation, classification — and every characterized anomaly is
+// retained and served.
+//
+// Status endpoints (with -http):
+//
+//	/healthz    liveness (503 once the detector records an error)
+//	/stats      ingest counters as JSON
+//	/anomalies  the characterized anomaly log as JSON
+//
+// SIGINT/SIGTERM trigger a graceful drain: the socket closes, every
+// in-flight bin flushes through the detector, still-open events are
+// characterized, and the final anomaly table prints before exit.
+//
+// Usage:
+//
+//	nwserve -train abilene.nwds [-listen 127.0.0.1:2055] [-http 127.0.0.1:8080]
+//	        [-trainbins 0] [-k 4] [-alpha 0.001] [-refit 0] [-window 0]
+//	        [-batch 16] [-grace 1] [-epoch 0]
+//
+// Pair it with nwreplay, which streams a saved dataset back over UDP at a
+// configurable rate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netwide"
+	"netwide/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nwserve: ")
+	var (
+		train     = flag.String("train", "", "dataset file (.nwds) providing topology, baselines and training traffic (required)")
+		listen    = flag.String("listen", "127.0.0.1:2055", "UDP listen address for NetFlow v5 export packets")
+		httpAddr  = flag.String("http", "", "HTTP status listen address (empty disables /healthz, /stats, /anomalies)")
+		trainBins = flag.Int("trainbins", 0, "leading bins of the dataset to train on (0 = all bins)")
+		k         = flag.Int("k", 4, "normal subspace dimension")
+		alpha     = flag.Float64("alpha", 0.001, "detection false-alarm rate")
+		batch     = flag.Int("batch", 16, "vectors scored per model application")
+		refit     = flag.Int("refit", 0, "bins between background model refits (0 = never)")
+		window    = flag.Int("window", 0, "rolling refit window in bins (required when -refit > 0)")
+		grace     = flag.Int("grace", 1, "reorder grace in bins before a bin closes")
+		epoch     = flag.Uint64("epoch", 0, "unix time of bin 0 in packet headers (nwreplay uses 0)")
+		workers   = flag.Int("workers", 0, "linear-algebra worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"nwserve: live NetFlow v5 ingest daemon over the streaming subspace detector.\n\n"+
+				"Receives export packets over UDP, aggregates them into per-OD 5-minute\n"+
+				"timebins (bytes, packets, IP-flows), and streams closed bins through the\n"+
+				"concurrent detection pipeline, characterizing anomalies as they close.\n\n"+
+				"Flags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *train == "" {
+		flag.Usage()
+		log.Fatal("-train is required")
+	}
+
+	f, err := os.Open(*train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := netwide.LoadRun(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *workers > 0 {
+		netwide.SetMathWorkers(*workers)
+	}
+
+	srv, err := server.New(run, server.Config{
+		UDPAddr:  *listen,
+		HTTPAddr: *httpAddr,
+		Epoch:    uint32(*epoch),
+		Grace:    *grace,
+		Detect:   netwide.DetectOptions{K: *k, Alpha: *alpha},
+		Stream: netwide.StreamConfig{
+			TrainBins:  *trainBins,
+			BatchSize:  *batch,
+			RefitEvery: *refit,
+			Window:     *window,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening for NetFlow v5 on %s (%d bins trained, %d OD pairs)",
+		srv.UDPAddr(), run.Bins(), run.Dataset().NumODPairs())
+	if a := srv.HTTPAddr(); a != nil {
+		log.Printf("status endpoint on http://%s (/healthz /stats /anomalies)", a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Print("draining: flushing in-flight bins through the detector")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+
+	st := srv.Stats()
+	log.Printf("ingested %d packets / %d records (%d lost, %d duplicate pkts, %d late, %d unroutable, %d bad pkts) across %d bins",
+		st.Packets, st.Records, st.LostRecords, st.Duplicates, st.LateRecords, st.Unroutable, st.BadPackets, st.BinsClosed)
+	anoms := srv.Anomalies()
+	if len(anoms) > 0 {
+		fmt.Printf("%-12s %-5s %-22s %-6s %-4s %s\n", "CLASS", "MEAS", "WINDOW", "DUR", "ODS", "TRUTH")
+		for _, a := range anoms {
+			truth := a.Truth
+			if truth == "" {
+				truth = "-"
+			}
+			fmt.Printf("%-12s %-5s %-22s %-6s %-4d %s\n",
+				a.Class, a.Measures,
+				fmt.Sprintf("%s..%s", netwide.FormatBin(a.StartBin), netwide.FormatBin(a.EndBin)),
+				a.Duration, len(a.ODs), truth)
+		}
+	}
+	log.Printf("characterized %d anomalies", len(anoms))
+	if drainErr != nil {
+		log.Fatalf("drain: %v", drainErr)
+	}
+}

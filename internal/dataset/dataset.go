@@ -157,6 +157,7 @@ func Generate(cfg Config) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.allocMatrices()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -210,10 +211,27 @@ func Generate(cfg Config) (*Dataset, error) {
 	return d, nil
 }
 
-// prepare builds the pipeline objects without generating any bins.
+// MaxWeeks bounds the length of a run. It exists to keep the measurement
+// matrices addressable and — more importantly — so that a corrupt or
+// hostile dataset file cannot drive an absurd allocation through Load: the
+// stored Config is untrusted input and Weeks is its allocation lever.
+const MaxWeeks = 1024
+
+// prepare builds the pipeline objects without generating any bins and
+// without allocating the measurement matrices — Generate allocates them
+// (allocMatrices), Load adopts the deserialized ones instead.
 func prepare(cfg Config) (*Dataset, error) {
 	if cfg.Weeks <= 0 {
 		return nil, fmt.Errorf("dataset: weeks %d must be positive", cfg.Weeks)
+	}
+	if cfg.Weeks > MaxWeeks {
+		return nil, fmt.Errorf("dataset: weeks %d exceeds limit %d", cfg.Weeks, MaxWeeks)
+	}
+	if cfg.SamplingRate > 0 && 1/cfg.SamplingRate > 0xFFFF {
+		// The NetFlow v5 header carries the sampling interval in 16 bits;
+		// converting a wider interval would silently truncate (and for a
+		// denormal rate the float-to-uint16 conversion is undefined).
+		return nil, fmt.Errorf("dataset: sampling rate %v below the NetFlow limit 1/%d", cfg.SamplingRate, 0xFFFF)
 	}
 	top, err := cfg.Topology.Build()
 	if err != nil {
@@ -250,9 +268,6 @@ func prepare(cfg Config) (*Dataset, error) {
 		Bins: bins, sampler: smp, resolver: res,
 		sampInterval: uint16(1 / cfg.SamplingRate),
 	}
-	for m := Measure(0); m < NumMeasures; m++ {
-		d.X[m] = mat.New(bins, top.NumODPairs())
-	}
 	d.binIndex = make([][]anomaly.Injector, bins)
 	for _, inj := range led.Injectors {
 		s := inj.Spec()
@@ -263,6 +278,15 @@ func prepare(cfg Config) (*Dataset, error) {
 		}
 	}
 	return d, nil
+}
+
+// allocMatrices creates the three zeroed measurement matrices. Only the
+// generation path needs them pre-allocated; Load adopts deserialized
+// matrices instead, after validating them against the rebuilt topology.
+func (d *Dataset) allocMatrices() {
+	for m := Measure(0); m < NumMeasures; m++ {
+		d.X[m] = mat.New(d.Bins, d.Top.NumODPairs())
+	}
 }
 
 // scratch carries the reusable buffers of one generation worker: the flow

@@ -1,11 +1,17 @@
 package dataset
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 
 	"netwide/internal/mat"
+	"netwide/internal/traffic"
 )
 
 // fileFormat is the on-disk representation. Only the matrices and the
@@ -24,7 +30,16 @@ type fileFormat struct {
 
 const fileVersion = 1
 
-// Save writes the dataset to w (gob encoding).
+// fileMagic opens a checksummed dataset file: 8 magic bytes, then the
+// 8-byte big-endian FNV-64a digest of the gob payload, then the payload.
+// The envelope exists because gob alone cannot detect payload corruption —
+// a flipped bit inside a float decodes "successfully" into a different
+// float, silently poisoning every analysis downstream. Files written
+// before the envelope (bare gob) still load via the legacy path.
+const fileMagic = "NWDSv2\r\n"
+
+// Save writes the dataset to w: the checksum envelope around the gob
+// payload.
 func (d *Dataset) Save(w io.Writer) error {
 	ff := fileFormat{
 		Version:           fileVersion,
@@ -40,36 +55,92 @@ func (d *Dataset) Save(w io.Writer) error {
 		}
 		ff.Rows[m] = rows
 	}
-	return gob.NewEncoder(w).Encode(&ff)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&ff); err != nil {
+		return err
+	}
+	h := fnv.New64a()
+	h.Write(payload.Bytes())
+	var head [16]byte
+	copy(head[:8], fileMagic)
+	binary.BigEndian.PutUint64(head[8:], h.Sum64())
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
 }
 
 // Load reads a dataset written by Save, rebuilding the generator state from
 // the stored Config.
+//
+// The file is untrusted input: a truncated or corrupt stream must fail with
+// a descriptive error, never panic or silently mis-read. Every stored field
+// is therefore cross-validated before it can drive an allocation or reach
+// the detection pipeline — the Config's bounds (via prepare), the bin count
+// against the Config, each matrix's shape against both the bin count and
+// the rebuilt topology, and every cell for NaN/Inf poisoning (traffic
+// counts are finite by construction, so a non-finite cell proves
+// corruption that gob's type checking cannot see).
 func Load(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var payload io.Reader = br
+	if head, err := br.Peek(len(fileMagic)); err == nil && string(head) == fileMagic {
+		// Checksummed envelope: verify the payload digest before handing a
+		// single byte to gob.
+		var hdr [16]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("dataset: truncated file header: %w", err)
+		}
+		body, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: truncated file: %w", err)
+		}
+		h := fnv.New64a()
+		h.Write(body)
+		if want := binary.BigEndian.Uint64(hdr[8:]); h.Sum64() != want {
+			return nil, fmt.Errorf("dataset: checksum mismatch (stored %016x, computed %016x): corrupt or truncated file", want, h.Sum64())
+		}
+		payload = bytes.NewReader(body)
+	}
 	var ff fileFormat
-	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
-		return nil, fmt.Errorf("dataset: decode: %w", err)
+	if err := gob.NewDecoder(payload).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("dataset: corrupt or truncated file: %w", err)
 	}
 	if ff.Version != fileVersion {
 		return nil, fmt.Errorf("dataset: file version %d, want %d", ff.Version, fileVersion)
 	}
-	d, err := prepare(ff.Cfg)
-	if err != nil {
-		return nil, err
-	}
-	if ff.Bins != d.Bins {
-		return nil, fmt.Errorf("dataset: stored bins %d inconsistent with config (%d)", ff.Bins, d.Bins)
+	// Validate the claimed shape before prepare touches the Config: the bin
+	// count is fully determined by Weeks, and every stored matrix must agree
+	// with it, so a corrupt header is caught before any topology or ledger
+	// rebuild work happens on its behalf.
+	wantBins := ff.Cfg.Weeks * traffic.BinsPerWeek
+	if ff.Cfg.Weeks <= 0 || ff.Bins != wantBins {
+		return nil, fmt.Errorf("dataset: stored bins %d inconsistent with %d weeks (want %d)", ff.Bins, ff.Cfg.Weeks, wantBins)
 	}
 	for m := Measure(0); m < NumMeasures; m++ {
-		if len(ff.Rows[m]) != d.Bins {
-			return nil, fmt.Errorf("dataset: measure %v has %d rows, want %d", m, len(ff.Rows[m]), d.Bins)
+		if len(ff.Rows[m]) != ff.Bins {
+			return nil, fmt.Errorf("dataset: measure %v has %d rows, want %d", m, len(ff.Rows[m]), ff.Bins)
 		}
+	}
+	d, err := prepare(ff.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: stored config invalid: %w", err)
+	}
+	for m := Measure(0); m < NumMeasures; m++ {
 		x, err := mat.NewFromRows(ff.Rows[m])
 		if err != nil {
 			return nil, fmt.Errorf("dataset: measure %v: %w", m, err)
 		}
 		if x.Cols() != d.Top.NumODPairs() {
-			return nil, fmt.Errorf("dataset: measure %v has %d cols, want %d", m, x.Cols(), d.Top.NumODPairs())
+			return nil, fmt.Errorf("dataset: measure %v has %d cols, want %d for topology %q", m, x.Cols(), d.Top.NumODPairs(), d.Top.Name)
+		}
+		for i := 0; i < x.Rows(); i++ {
+			for j, v := range x.RowView(i) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("dataset: measure %v cell (bin %d, od %d) is %v: corrupt file", m, i, j, v)
+				}
+			}
 		}
 		d.X[m] = x
 	}

@@ -124,11 +124,14 @@ func AppendPacket(dst []byte, h Header, recs []Record) ([]byte, error) {
 	return dst, nil
 }
 
-// decodeHeader parses and validates the header of one export packet,
-// including the count-vs-length consistency check.
+// decodeHeader parses and validates the header of one export packet. The
+// validation order is deliberate for hostile input: fixed-size header first,
+// then version, then the record count against the v5 packet limit, and only
+// then the count-vs-length consistency check — so an attacker-controlled
+// count can never drive an allocation or a read past the buffer.
 func decodeHeader(buf []byte) (Header, error) {
 	if len(buf) < HeaderLen {
-		return Header{}, ErrTruncated
+		return Header{}, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(buf), HeaderLen)
 	}
 	be := binary.BigEndian
 	if v := be.Uint16(buf[0:]); v != Version {
@@ -144,12 +147,15 @@ func decodeHeader(buf []byte) (Header, error) {
 		EngineID:         buf[21],
 		SamplingInterval: be.Uint16(buf[22:]),
 	}
+	if h.Count > MaxRecordsPerPacket {
+		return Header{}, fmt.Errorf("%w: count %d exceeds v5 packet limit %d", ErrBadCount, h.Count, MaxRecordsPerPacket)
+	}
 	want := HeaderLen + int(h.Count)*RecordLen
 	if len(buf) != want {
 		if len(buf) < want {
-			return Header{}, ErrTruncated
+			return Header{}, fmt.Errorf("%w: %d bytes, count %d needs %d", ErrTruncated, len(buf), h.Count, want)
 		}
-		return Header{}, ErrBadCount
+		return Header{}, fmt.Errorf("%w: %d trailing bytes after %d records", ErrBadCount, len(buf)-want, h.Count)
 	}
 	return h, nil
 }
@@ -177,17 +183,29 @@ func decodeRecord(buf []byte) Record {
 	}
 }
 
-// DecodePacket parses one export packet.
+// DecodePacket parses one export packet. The packet is validated as a whole
+// before any record is decoded: a truncated buffer, an unsupported version,
+// a record count above the v5 packet limit, or a count inconsistent with the
+// packet length all return an error without touching the record bytes, so
+// hostile datagrams can neither over-allocate nor read out of bounds.
 func DecodePacket(buf []byte) (Header, []Record, error) {
+	return DecodePacketAppend(nil, buf)
+}
+
+// DecodePacketAppend is DecodePacket decoding into dst's spare capacity. It
+// is the allocation-free form for long-running collectors: reuse one record
+// slice across packets (truncate to [:0] between them) and the per-packet
+// decode settles into zero allocations.
+func DecodePacketAppend(dst []Record, buf []byte) (Header, []Record, error) {
 	h, err := decodeHeader(buf)
 	if err != nil {
-		return Header{}, nil, err
+		return Header{}, dst, err
 	}
-	recs := make([]Record, h.Count)
-	for i := range recs {
-		recs[i] = decodeRecord(buf[HeaderLen+i*RecordLen:])
+	dst = slices.Grow(dst, int(h.Count))
+	for i := 0; i < int(h.Count); i++ {
+		dst = append(dst, decodeRecord(buf[HeaderLen+i*RecordLen:]))
 	}
-	return h, recs, nil
+	return h, dst, nil
 }
 
 // Exporter batches flow records into export packets, maintaining the v5

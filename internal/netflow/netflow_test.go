@@ -2,6 +2,7 @@ package netflow
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand/v2"
 	"testing"
@@ -381,4 +382,106 @@ func TestPropDecodeVersionStrict(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestDecodeHostileCount pins the untrusted-ingest guard: a header claiming
+// more records than a v5 packet can carry is rejected before any record
+// allocation, even when the buffer length is padded to match the claim.
+func TestDecodeHostileCount(t *testing.T) {
+	pkt, _ := EncodePacket(Header{}, []Record{mkRecord(0)})
+	hostile := make([]byte, HeaderLen+(MaxRecordsPerPacket+1)*RecordLen)
+	copy(hostile, pkt[:HeaderLen])
+	binary.BigEndian.PutUint16(hostile[2:], MaxRecordsPerPacket+1)
+	if _, _, err := DecodePacket(hostile); !errors.Is(err, ErrBadCount) {
+		t.Fatalf("hostile count accepted: %v", err)
+	}
+	// The absurd case: a 64KB-record claim in a minimal datagram must fail on
+	// the count limit (not attempt a 3MB allocation and fail on length).
+	tiny := make([]byte, HeaderLen)
+	copy(tiny, pkt[:HeaderLen])
+	binary.BigEndian.PutUint16(tiny[2:], 0xFFFF)
+	if _, _, err := DecodePacket(tiny); !errors.Is(err, ErrBadCount) {
+		t.Fatalf("absurd count not rejected as bad count: %v", err)
+	}
+}
+
+// TestDecodePacketAppendReuse checks the allocation-free collector path:
+// decoding into a reused slice appends exactly the packet's records and
+// leaves earlier contents intact.
+func TestDecodePacketAppendReuse(t *testing.T) {
+	pkt1, _ := EncodePacket(Header{FlowSequence: 0}, []Record{mkRecord(0), mkRecord(1)})
+	pkt2, _ := EncodePacket(Header{FlowSequence: 2}, []Record{mkRecord(2)})
+	var recs []Record
+	_, recs, err := DecodePacketAppend(recs, pkt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = DecodePacketAppend(recs, pkt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{mkRecord(0), mkRecord(1), mkRecord(2)}
+	if len(recs) != len(want) {
+		t.Fatalf("appended %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("record %d mismatch: %+v != %+v", i, recs[i], want[i])
+		}
+	}
+	// Steady state: capacity suffices, so decoding must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := DecodePacketAppend(recs[:0], pkt1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("DecodePacketAppend allocates %v per packet at steady state", allocs)
+	}
+}
+
+// FuzzDecodePacket feeds arbitrary bytes to the packet decoder: it must
+// never panic, never fabricate records, and every packet it does accept
+// must re-encode to a packet that decodes to the identical header and
+// records (the fields the codec models round-trip losslessly).
+func FuzzDecodePacket(f *testing.F) {
+	valid, _ := EncodePacket(Header{SysUptime: 1, UnixSecs: 2, FlowSequence: 3, EngineID: 4, SamplingInterval: 100},
+		[]Record{mkRecord(0), mkRecord(1)})
+	f.Add(valid)
+	f.Add(valid[:HeaderLen])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte{}, valid...), 0xFF))
+	empty, _ := EncodePacket(Header{}, nil)
+	f.Add(empty)
+	hostile := append([]byte{}, valid[:HeaderLen]...)
+	binary.BigEndian.PutUint16(hostile[2:], 0xFFFF)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, recs, err := DecodePacket(data)
+		if err != nil {
+			return
+		}
+		if len(recs) != int(h.Count) || h.Count > MaxRecordsPerPacket {
+			t.Fatalf("accepted packet with %d records for count %d", len(recs), h.Count)
+		}
+		if len(data) != HeaderLen+int(h.Count)*RecordLen {
+			t.Fatalf("accepted %d-byte packet for count %d", len(data), h.Count)
+		}
+		out, err := EncodePacket(h, recs)
+		if err != nil {
+			t.Fatalf("re-encode of accepted packet failed: %v", err)
+		}
+		h2, recs2, err := DecodePacket(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("header did not round-trip: %+v != %+v", h2, h)
+		}
+		for i := range recs {
+			if recs2[i] != recs[i] {
+				t.Fatalf("record %d did not round-trip: %+v != %+v", i, recs2[i], recs[i])
+			}
+		}
+	})
 }

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"netwide"
+)
+
+// benchIngest measures the sustained per-datagram ingest path — decode,
+// sequence accounting, OD resolution, bin accumulation — at a given
+// topology scale. One iteration ingests one full bin of replay packets;
+// the headers' flow sequences are restamped each pass so the replay
+// detector sees a continuous stream instead of duplicates, and the bin
+// timestamp stays fixed so no detector submission mixes into the measured
+// path. records/sec is the daemon's headline sustained-ingest rate.
+func benchIngest(b *testing.B, topo string) {
+	cfg := netwide.QuickConfig()
+	cfg.MeanRateBps = 4e5
+	cfg.Topology = topo
+	run, err := netwide.Simulate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(run, Config{Stream: netwide.StreamConfig{TrainBins: run.Bins(), BatchSize: 16}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts, records, err := newBinExporters(run.Dataset()).encodeBin(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := make([]uint32, len(pkts))
+	for i, p := range pkts {
+		counts[i] = uint32(binary.BigEndian.Uint16(p[2:]))
+	}
+	// Several passes per iteration lift one op above the perf gate's timer
+	// noise floor, so a regression on this path actually fails the gate.
+	const passes = 4
+	var seq [256]uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pass := 0; pass < passes; pass++ {
+			for j, p := range pkts {
+				engine := p[21]
+				binary.BigEndian.PutUint32(p[16:], seq[engine])
+				seq[engine] += counts[j]
+				srv.IngestPacket(p)
+			}
+		}
+	}
+	b.StopTimer()
+	total := b.N * passes * records
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "records/sec")
+	if got := srv.Stats().Records; got != uint64(total) {
+		b.Fatalf("ingested %d records, want %d — the bench is not measuring a lossless path", got, total)
+	}
+}
+
+// BenchmarkServerIngest is the gated sustained-ingest benchmark at the
+// reference Abilene scale (121 OD pairs) and the Géant scale (529).
+func BenchmarkServerIngest(b *testing.B) {
+	b.Run("abilene", func(b *testing.B) { benchIngest(b, "abilene") })
+	b.Run("geant", func(b *testing.B) { benchIngest(b, "geant") })
+}

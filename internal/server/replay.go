@@ -1,0 +1,165 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"netwide/internal/dataset"
+	"netwide/internal/netflow"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+// ReplayConfig drives one dataset replay over UDP.
+type ReplayConfig struct {
+	// Addr is the collector's UDP address.
+	Addr string
+	// From and To bound the replayed bins [From, To); To <= 0 means the
+	// whole dataset.
+	From, To int
+	// PacketsPerSecond paces the send (0 = as fast as the socket takes
+	// them). Pacing matters on loopback too: an unpaced replay can overrun
+	// the collector's socket buffer, and UDP loss breaks replay parity.
+	PacketsPerSecond int
+	// Epoch is the Unix time stamped into bin From's packet headers (bin b
+	// is stamped Epoch + (b)*300); it must match the collector's Epoch.
+	Epoch uint32
+}
+
+// ReplayStats reports what one replay put on the wire.
+type ReplayStats struct {
+	Bins    int
+	Packets int
+	Records int
+	Bytes   int64
+}
+
+// Replay regenerates the resolved flow records of bins [From, To) — the
+// exact records the generator folded into the dataset's matrices — and
+// exports them as NetFlow v5 over UDP, one export engine per origin PoP,
+// packet headers stamped with the bin's timestamp. Replaying into an
+// ingest Server whose detector was trained on the same dataset therefore
+// reconstructs the generator's matrices bit for bit on the collector side:
+// any scenario the scenario engine can generate becomes a live load test.
+func Replay(ds *dataset.Dataset, cfg ReplayConfig) (ReplayStats, error) {
+	var st ReplayStats
+	if cfg.To <= 0 || cfg.To > ds.Bins {
+		cfg.To = ds.Bins
+	}
+	if cfg.From < 0 || cfg.From >= cfg.To {
+		return st, fmt.Errorf("server: replay range [%d,%d) outside dataset of %d bins", cfg.From, cfg.To, ds.Bins)
+	}
+	conn, err := net.Dial("udp", cfg.Addr)
+	if err != nil {
+		return st, fmt.Errorf("server: replay dial: %w", err)
+	}
+	defer conn.Close()
+
+	pace := newPacer(cfg.PacketsPerSecond)
+	exps := newBinExporters(ds)
+	for bin := cfg.From; bin < cfg.To; bin++ {
+		pkts, records, err := exps.encodeBin(bin, cfg.Epoch)
+		if err != nil {
+			return st, err
+		}
+		for _, pkt := range pkts {
+			pace.wait()
+			if _, err := conn.Write(pkt); err != nil {
+				return st, fmt.Errorf("server: replay send bin %d: %w", bin, err)
+			}
+			st.Packets++
+			st.Bytes += int64(len(pkt))
+		}
+		st.Records += records
+		st.Bins++
+	}
+	return st, nil
+}
+
+// binExporters regenerates and encodes one bin at a time: one NetFlow
+// export engine per origin PoP, sequence counters running across bins just
+// like a real router's export engine. Shared by Replay and the ingest
+// benchmark (which feeds the packets straight to IngestPacket).
+type binExporters struct {
+	ds   *dataset.Dataset
+	exps []*netflow.Exporter
+	// binTime is read by the exporter clocks when packets flush.
+	binTime uint32
+}
+
+func newBinExporters(ds *dataset.Dataset) *binExporters {
+	be := &binExporters{ds: ds}
+	interval := uint16(1 / ds.Cfg.SamplingRate)
+	be.exps = make([]*netflow.Exporter, ds.Top.NumPoPs())
+	for i := range be.exps {
+		be.exps[i] = netflow.NewExporter(uint8(i), interval, func() (uint32, uint32) {
+			return be.binTime, be.binTime
+		})
+	}
+	return be
+}
+
+// encodeBin regenerates bin's resolved records across every OD pair and
+// returns them encoded as v5 packets (headers stamped epoch + bin*300),
+// plus the record count. Every exporter flushes at the end of the bin, so
+// no record ever straddles a bin boundary; the returned packets own their
+// bytes (Drain detaches the arena).
+func (be *binExporters) encodeBin(bin int, epoch uint32) ([][]byte, int, error) {
+	be.binTime = epoch + uint32(bin)*traffic.BinSeconds
+	records := 0
+	var addErr error
+	for i := 0; i < be.ds.Top.NumODPairs(); i++ {
+		od := be.ds.Top.ODAt(i)
+		exp := be.exps[od.Origin]
+		be.ds.ForEachResolvedRecord(od, bin, func(_ topology.ODPair, rec netflow.Record) {
+			if addErr != nil {
+				return
+			}
+			if err := exp.Add(rec); err != nil {
+				addErr = err
+				return
+			}
+			records++
+		})
+		if addErr != nil {
+			return nil, 0, fmt.Errorf("server: replay bin %d: %w", bin, addErr)
+		}
+	}
+	var pkts [][]byte
+	for _, exp := range be.exps {
+		if err := exp.Flush(); err != nil {
+			return nil, 0, fmt.Errorf("server: replay flush bin %d: %w", bin, err)
+		}
+		pkts = append(pkts, exp.Drain()...)
+	}
+	return pkts, records, nil
+}
+
+// pacer rations packet sends to a fixed rate with absolute scheduling, so
+// sleep granularity never accumulates drift.
+type pacer struct {
+	interval time.Duration
+	start    time.Time
+	sent     int64
+}
+
+func newPacer(pps int) *pacer {
+	p := &pacer{}
+	if pps > 0 {
+		p.interval = time.Second / time.Duration(pps)
+		p.start = time.Now()
+	}
+	return p
+}
+
+func (p *pacer) wait() {
+	if p.interval == 0 {
+		return
+	}
+	target := p.start.Add(time.Duration(p.sent) * p.interval)
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+	p.sent++
+}

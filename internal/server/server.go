@@ -1,0 +1,747 @@
+// Package server is the live front door of the reproduction: a long-running
+// ingest daemon that stands where the paper's collection infrastructure
+// stood — between the routers exporting sampled NetFlow v5 and the subspace
+// detector consuming OD-aggregated timebins.
+//
+// One Server owns one UDP socket. Every datagram is decoded with the
+// hardened internal/netflow codec (hostile bytes are counted and dropped,
+// never trusted), deduplicated by per-engine flow sequence, and each record
+// is resolved to an origin-destination PoP pair exactly as the offline
+// pipeline does it: the origin from the export engine ID (interface-based
+// configuration resolution), the egress by longest-prefix match on the
+// anonymized destination address (internal/routing). Resolved records
+// accumulate into per-bin byte/packet/flow vectors — the same three
+// measures, the same 5-minute binning, the same accumulation arithmetic as
+// dataset.Generate — and when the reorder grace window moves past a bin,
+// the bin is closed and submitted to a StreamDetector, which scores,
+// attributes, aggregates and classifies at streaming time. Characterized
+// anomalies collect on the server and stream out of the /anomalies
+// endpoint.
+//
+// Batch parity: every per-record sum the server computes is an integer
+// count below 2^53 folded into a float64, so the accumulated vectors are
+// exact regardless of packet arrival order; a replayed dataset therefore
+// reproduces the generator's matrices bit for bit, and the daemon's
+// characterized anomalies match the batch Characterize output on the same
+// bins (the loopback end-to-end test pins this).
+//
+// The HTTP side is deliberately small: /healthz (liveness, 503 once the
+// detector has recorded a background error), /stats (ingest counters as
+// JSON) and /anomalies (the characterized anomaly log as JSON).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+
+	"netwide"
+	"netwide/internal/dataset"
+	"netwide/internal/netflow"
+	"netwide/internal/routing"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+// Config tunes an ingest daemon. The zero value listens on an ephemeral
+// loopback UDP port with no HTTP endpoint.
+type Config struct {
+	// UDPAddr is the NetFlow listen address (default "127.0.0.1:0"; the
+	// standard NetFlow port is 2055).
+	UDPAddr string
+	// HTTPAddr is the status endpoint listen address ("" disables HTTP).
+	HTTPAddr string
+	// Epoch is the Unix time of bin 0: a record exported at UnixSecs lands
+	// in bin (UnixSecs-Epoch)/300. Replayed datasets use Epoch 0 and stamp
+	// headers with bin*300 directly.
+	Epoch uint32
+	// Grace is the reorder window in bins: a bin closes (and is submitted
+	// to the detector) once a record arrives for a bin Grace or more bins
+	// ahead of it, so packets delayed or reordered across a bin boundary
+	// still land in their bin. Records for already-closed bins are counted
+	// late and dropped. Default 1.
+	Grace int
+	// MaxAhead bounds how far ahead of the watermark a packet's bin may
+	// claim to be (default 64 bins ≈ 5.3 hours). The bin timestamp is
+	// attacker-controlled input that drives every bin close: without the
+	// bound, one spoofed far-future datagram would force-close every open
+	// bin with partial data and park the watermark where no legitimate bin
+	// could ever close again. Packets beyond the bound are dropped and
+	// counted (Stats.WildRecords).
+	MaxAhead int
+	// MaxOpenBins caps the accumulating (not yet closed) bins (default
+	// 256). Records that would open a bin beyond the cap are dropped and
+	// counted wild — bounding the daemon's memory even against spoofed
+	// timestamps that scatter records across arbitrary bins.
+	MaxOpenBins int
+	// ReadBuffer is the UDP socket receive buffer in bytes (default 4MB —
+	// the socket must absorb export bursts while a bin close runs).
+	ReadBuffer int
+	// Detect and Stream configure the underlying StreamDetector.
+	Detect netwide.DetectOptions
+	Stream netwide.StreamConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.UDPAddr == "" {
+		c.UDPAddr = "127.0.0.1:0"
+	}
+	if c.Grace <= 0 {
+		c.Grace = 1
+	}
+	if c.MaxAhead <= 0 {
+		c.MaxAhead = 64
+	}
+	if c.MaxOpenBins <= 0 {
+		c.MaxOpenBins = 256
+	}
+	if c.ReadBuffer <= 0 {
+		c.ReadBuffer = 4 << 20
+	}
+	return c
+}
+
+// Stats is a snapshot of the daemon's ingest counters, shaped for the
+// /stats JSON endpoint.
+type Stats struct {
+	// Packets counts datagrams received; BadPackets the subset rejected by
+	// the decoder (truncated, bad version, hostile counts); Duplicates the
+	// subset dropped by per-engine sequence replay detection.
+	Packets    uint64 `json:"packets"`
+	BadPackets uint64 `json:"bad_packets"`
+	Duplicates uint64 `json:"duplicate_packets"`
+	// Records counts decoded flow records accepted for aggregation.
+	// LostRecords is the v5 sequence-gap estimate of records dropped in
+	// transit; LateRecords arrived for bins already closed; Unroutable
+	// records carried an unknown engine ID or an unresolvable destination.
+	Records     uint64 `json:"records"`
+	LostRecords uint64 `json:"lost_records"`
+	LateRecords uint64 `json:"late_records"`
+	Unroutable  uint64 `json:"unroutable_records"`
+	// WildRecords carried bin timestamps the daemon refused to trust: more
+	// than MaxAhead bins past the watermark, or needing an open bin beyond
+	// MaxOpenBins. WatermarkResets counts stranded-watermark recoveries
+	// (a far-future first packet or exporter clock jump, re-anchored once
+	// a quorum of routable traffic ran consistently below it).
+	WildRecords     uint64 `json:"wild_records"`
+	WatermarkResets uint64 `json:"watermark_resets"`
+	// BinsClosed bins have been submitted to the detector; BinsOpen are
+	// still accumulating. Watermark is the highest bin seen, LastClosed the
+	// highest submitted.
+	BinsClosed int `json:"bins_closed"`
+	BinsOpen   int `json:"bins_open"`
+	Watermark  int `json:"watermark"`
+	LastClosed int `json:"last_closed"`
+	// AlarmBins counts scored bins where any measure alarmed; Anomalies is
+	// the running count of fully characterized anomalies.
+	AlarmBins int `json:"alarm_bins"`
+	Anomalies int `json:"anomalies"`
+	// Generations is the per-measure model generation (B, P, F): the number
+	// of completed background refits.
+	Generations [dataset.NumMeasures]uint64 `json:"generations"`
+	// Draining reports a shutdown in progress. Err carries the first FATAL
+	// error — an ingest submit failure or a detector scoring failure ("",
+	// and /healthz 200, when healthy). DegradedErr carries a background
+	// refit failure: the daemon keeps serving correct verdicts on the
+	// previous model generation, so it is reported without failing the
+	// liveness probe.
+	Draining    bool   `json:"draining"`
+	Err         string `json:"err,omitempty"`
+	DegradedErr string `json:"degraded_err,omitempty"`
+}
+
+// binAcc accumulates one open timebin: the three per-OD vectors the
+// detector scores. The slices are handed to the detector at close (which
+// retains them), so a bin is never reused after submission.
+type binAcc struct {
+	bytes, packets, flows []float64
+	records               uint64
+}
+
+// Server is a running ingest daemon. Construct with New (trains the
+// detector), call Start (binds sockets, spawns the reader), and stop with
+// Drain, which flushes every in-flight bin through the detector before
+// returning — no accepted record is ever dropped by a shutdown.
+type Server struct {
+	cfg Config
+	run *netwide.Run
+	det *netwide.StreamDetector
+	top *topology.Topology
+	res *routing.Resolver
+
+	conn    *net.UDPConn
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	readerDone chan struct{} // closed when the UDP read loop exits
+	consumerWG sync.WaitGroup
+
+	// recs is the reusable per-packet record buffer; the read loop is the
+	// only goroutine that touches it.
+	recs []netflow.Record
+	// seq tracks the per-engine v5 flow sequence cursor (engine IDs are 8
+	// bits, so a flat array beats a map on the per-packet path).
+	seq [256]engineSeq
+
+	// mu guards everything below. It is never held across a detector
+	// Submit: backpressure from the pipeline must not deadlock against the
+	// verdict consumer (which takes mu to append anomalies) or block the
+	// HTTP handlers.
+	mu    sync.Mutex
+	bins  map[int]*binAcc
+	stats Stats
+	anoms []netwide.Anomaly
+	// behindStreak counts consecutive routable packets landing more than
+	// MaxAhead bins below the watermark — the stranded-watermark signal.
+	behindStreak int
+	started      bool
+	draining     bool
+	firstError   error
+}
+
+// New trains one detector lane per traffic measure on the run (see
+// netwide.StreamConfig — the paper-parity setup trains on the run's full
+// matrices) and assembles the daemon around it. The run doubles as the
+// daemon's network model: its topology resolves engine IDs and destination
+// prefixes, its seasonal baselines classify the anomalies the detector
+// finds. No sockets are bound until Start.
+func New(run *netwide.Run, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	det, err := run.NewStreamDetector(cfg.Detect, cfg.Stream)
+	if err != nil {
+		return nil, fmt.Errorf("server: train detector: %w", err)
+	}
+	ds := run.Dataset()
+	// The daemon resolves what actually arrives: unlike the generator's
+	// resolver it simulates no resolution failures of its own (fraction 0),
+	// so a replayed record resolves exactly as it did at generation time.
+	res, err := routing.BuildResolver(ds.Top, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("server: build resolver: %w", err)
+	}
+	s := &Server{
+		cfg:        cfg,
+		run:        run,
+		det:        det,
+		top:        ds.Top,
+		res:        res,
+		bins:       map[int]*binAcc{},
+		readerDone: make(chan struct{}),
+	}
+	s.stats.LastClosed = -1
+	s.stats.Watermark = -1
+	s.consumerWG.Add(1)
+	go s.consumeVerdicts()
+	return s, nil
+}
+
+// consumeVerdicts drains the detector's verdict stream for the daemon's
+// lifetime, folding characterized anomalies and alarm counts into the
+// served state. It exits when the stream closes (after Drain).
+func (s *Server) consumeVerdicts() {
+	defer s.consumerWG.Done()
+	for v := range s.det.Verdicts() {
+		s.mu.Lock()
+		if v.Alarm() {
+			s.stats.AlarmBins++
+		}
+		s.stats.Generations = v.Generations
+		s.anoms = append(s.anoms, v.Anomalies...)
+		s.stats.Anomalies = len(s.anoms)
+		s.mu.Unlock()
+	}
+	tail := s.det.TailAnomalies()
+	s.mu.Lock()
+	s.anoms = append(s.anoms, tail...)
+	s.stats.Anomalies = len(s.anoms)
+	s.mu.Unlock()
+}
+
+// Start binds the UDP and HTTP sockets and launches the read loop.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("server: already started")
+	}
+	addr, err := net.ResolveUDPAddr("udp", s.cfg.UDPAddr)
+	if err != nil {
+		return fmt.Errorf("server: udp addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen udp: %w", err)
+	}
+	// Best effort: the kernel may clamp to rmem_max, which still beats the
+	// default. A too-small buffer shows up as LostRecords, not silence.
+	_ = conn.SetReadBuffer(s.cfg.ReadBuffer)
+	s.conn = conn
+	if s.cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			conn.Close()
+			s.conn = nil
+			return fmt.Errorf("server: listen http: %w", err)
+		}
+		s.httpLn = ln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		mux.HandleFunc("/stats", s.handleStats)
+		mux.HandleFunc("/anomalies", s.handleAnomalies)
+		s.httpSrv = &http.Server{Handler: mux}
+		go s.httpSrv.Serve(ln)
+	}
+	s.started = true
+	go s.readLoop(conn)
+	return nil
+}
+
+// UDPAddr returns the bound NetFlow listen address (nil before Start).
+func (s *Server) UDPAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	return s.conn.LocalAddr()
+}
+
+// HTTPAddr returns the bound status endpoint address (nil before Start or
+// when HTTP is disabled).
+func (s *Server) HTTPAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// readLoop receives datagrams until the socket is closed by Drain. A v5
+// packet is at most 1464 bytes; the buffer leaves headroom so an overlong
+// datagram arrives intact and is rejected by the decoder instead of being
+// silently truncated into a "valid" prefix.
+func (s *Server) readLoop(conn *net.UDPConn) {
+	defer close(s.readerDone)
+	buf := make([]byte, 4096)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed (Drain) or fatally broken
+		}
+		s.IngestPacket(buf[:n])
+	}
+}
+
+// IngestPacket runs the full per-datagram ingest path — decode, sequence
+// dedupe, OD resolution, bin accumulation, bin close — synchronously on
+// the caller's goroutine. The read loop is its only caller in production;
+// tests and benchmarks call it directly to drive the daemon without a
+// socket. Not safe for concurrent callers.
+func (s *Server) IngestPacket(pkt []byte) {
+	h, recs, err := netflow.DecodePacketAppend(s.recs[:0], pkt)
+	s.recs = recs
+	s.mu.Lock()
+	s.stats.Packets++
+	if err != nil {
+		s.stats.BadPackets++
+		s.mu.Unlock()
+		return
+	}
+	if !s.sequenceCheck(h) {
+		s.stats.Duplicates++
+		s.mu.Unlock()
+		return
+	}
+	if int64(h.UnixSecs) < int64(s.cfg.Epoch) {
+		// Before bin 0 — and integer division would truncate it INTO bin 0.
+		s.stats.LateRecords += uint64(len(recs))
+		s.mu.Unlock()
+		return
+	}
+	bin := int(int64(h.UnixSecs)-int64(s.cfg.Epoch)) / traffic.BinSeconds
+	if bin <= s.stats.LastClosed {
+		s.stats.LateRecords += uint64(len(recs))
+		s.mu.Unlock()
+		return
+	}
+	if s.stats.Watermark >= 0 && bin > s.stats.Watermark+s.cfg.MaxAhead {
+		// The bin timestamp is untrusted input and it drives every bin
+		// close: refusing wild jumps keeps one spoofed datagram from
+		// force-closing partial bins and parking the watermark out of
+		// legitimate traffic's reach.
+		s.stats.WildRecords += uint64(len(recs))
+		s.mu.Unlock()
+		return
+	}
+	accepted := s.accumulate(bin, h, recs)
+	var closed []submittedBin
+	switch {
+	case accepted == 0:
+		// Only routable traffic moves the watermark: a datagram that
+		// contributed nothing to any bin gets no say in when bins close.
+	case bin > s.stats.Watermark:
+		s.stats.Watermark = bin
+		s.behindStreak = 0
+		closed = s.detachThrough(bin - s.cfg.Grace)
+	case s.stats.Watermark-bin > s.cfg.MaxAhead:
+		// Routable traffic consistently far below the watermark means the
+		// watermark is stranded — a far-future first packet or an exporter
+		// clock jump (MaxAhead can't bound the first packet: there is
+		// nothing to bound it against). In normal operation this branch is
+		// unreachable: bins more than MaxAhead behind the watermark are
+		// already behind LastClosed and were dropped as late above. A
+		// quorum of consecutive packets re-anchors the watermark at the
+		// stream that is actually flowing, unwedging bin close.
+		s.behindStreak++
+		if s.behindStreak >= watermarkQuorum {
+			s.resetWatermark(bin)
+		}
+	default:
+		s.behindStreak = 0
+	}
+	s.mu.Unlock()
+	// Submit outside the lock: pipeline backpressure must not wedge the
+	// HTTP handlers or deadlock the verdict consumer.
+	s.submit(closed)
+}
+
+const (
+	// dedupeWindow is how many recent packet sequence numbers each engine
+	// remembers for exact duplicate detection. A replayed packet older
+	// than the window slips through — the window trades a little replay
+	// protection for not discarding merely-reordered traffic.
+	dedupeWindow = 64
+	// reorderTolerance is how far (in records) behind the cursor a packet
+	// may fall and still be network reordering; anything further back is
+	// an exporter restart and resets the cursor, so a spoofed wild
+	// sequence number can never permanently wedge an engine's stream.
+	reorderTolerance = 1 << 20
+)
+
+// sequenceCheck updates per-engine v5 sequence state and reports whether
+// the packet should be ingested. In-order packets advance the cursor; a
+// gap ahead of the cursor estimates records lost in transit (v5's only
+// loss signal). A packet behind the cursor is, in order of precedence: a
+// replayed duplicate if its sequence number was recently seen (dropped —
+// counting it twice would corrupt the bin); plain network reordering if
+// it is within reorderTolerance (accepted, and the loss the earlier gap
+// charged for it is refunded); otherwise an exporter restart, which
+// resets the cursor. Callers hold mu.
+func (s *Server) sequenceCheck(h netflow.Header) bool {
+	e := &s.seq[h.EngineID]
+	if !e.started {
+		e.started = true
+		e.next = h.FlowSequence + uint32(h.Count)
+		e.remember(h.FlowSequence)
+		return true
+	}
+	delta := int32(h.FlowSequence - e.next) // uint32 arithmetic handles wraparound
+	switch {
+	case delta >= 0:
+		if delta > reorderTolerance {
+			// A forward jump too wild to be transit loss is the same event
+			// as the backward one: an exporter restart (or a spoofed
+			// sequence) — resynchronize rather than charging a phantom
+			// multi-billion-record gap to the loss counter.
+			e.clear()
+		} else {
+			s.stats.LostRecords += uint64(delta)
+		}
+		e.next = h.FlowSequence + uint32(h.Count)
+	case e.seen(h.FlowSequence):
+		return false
+	case delta >= -reorderTolerance:
+		// Reordered delivery: the gap this packet left was already counted
+		// lost when its successor arrived first, so refund it. The cursor
+		// stays where the stream's front is.
+		refund := uint64(h.Count)
+		if refund > s.stats.LostRecords {
+			refund = s.stats.LostRecords
+		}
+		s.stats.LostRecords -= refund
+	default:
+		// Exporter restart (or a spoofed wild sequence): resynchronize.
+		e.next = h.FlowSequence + uint32(h.Count)
+		e.clear()
+	}
+	e.remember(h.FlowSequence)
+	return true
+}
+
+// accumulate folds one packet's records into its bin's vectors, resolving
+// each record to an OD pair: origin from the engine ID, egress by
+// longest-prefix match on the anonymized destination — the same procedure,
+// and therefore the same (OD, bin) cell, as the offline generator. It
+// returns how many records were actually folded in; a packet that
+// contributes nothing must not advance the watermark. Callers hold mu.
+func (s *Server) accumulate(bin int, h netflow.Header, recs []netflow.Record) (accepted int) {
+	origin := topology.PoP(h.EngineID)
+	originOK := s.top.ContainsPoP(origin)
+	acc := s.bins[bin]
+	for _, rec := range recs {
+		if !originOK {
+			s.stats.Unroutable++
+			continue
+		}
+		egress, ok := s.res.ResolveDst(rec.Key.Dst)
+		if !ok {
+			s.stats.Unroutable++
+			continue
+		}
+		if acc == nil {
+			// Open the bin lazily, on the first routable record, and under
+			// a cap: unroutable or wild garbage must not grow the open set.
+			if len(s.bins) >= s.cfg.MaxOpenBins {
+				s.stats.WildRecords++
+				continue
+			}
+			p := s.top.NumODPairs()
+			acc = &binAcc{
+				bytes:   make([]float64, p),
+				packets: make([]float64, p),
+				flows:   make([]float64, p),
+			}
+			s.bins[bin] = acc
+			s.stats.BinsOpen = len(s.bins)
+		}
+		col := s.top.Index(topology.ODPair{Origin: origin, Dest: egress})
+		acc.bytes[col] += float64(rec.Bytes)
+		acc.packets[col] += float64(rec.Packets)
+		acc.flows[col]++
+		acc.records++
+		s.stats.Records++
+		accepted++
+	}
+	return accepted
+}
+
+// watermarkQuorum is how many consecutive routable packets must land more
+// than MaxAhead bins below the watermark before the daemon concludes the
+// watermark is stranded and re-anchors it.
+const watermarkQuorum = 8
+
+// resetWatermark re-anchors a stranded watermark at the bin the live
+// stream actually flows in, discarding open bins stranded in the far
+// future (their contents were the lie that moved the watermark there).
+// Callers hold mu.
+func (s *Server) resetWatermark(bin int) {
+	for b, acc := range s.bins {
+		if b > bin+s.cfg.MaxAhead {
+			s.stats.WildRecords += acc.records
+			delete(s.bins, b)
+		}
+	}
+	s.stats.BinsOpen = len(s.bins)
+	s.stats.Watermark = bin
+	s.stats.WatermarkResets++
+	s.behindStreak = 0
+}
+
+// engineSeq is one engine's v5 sequence cursor plus a small ring of
+// recently seen packet sequence numbers for duplicate detection.
+type engineSeq struct {
+	next    uint32
+	started bool
+	recent  [dedupeWindow]uint32
+	fill    int // entries of recent in use
+	pos     int // next ring slot to overwrite
+}
+
+func (e *engineSeq) remember(seq uint32) {
+	e.recent[e.pos] = seq
+	e.pos = (e.pos + 1) % dedupeWindow
+	if e.fill < dedupeWindow {
+		e.fill++
+	}
+}
+
+func (e *engineSeq) seen(seq uint32) bool {
+	for i := 0; i < e.fill; i++ {
+		if e.recent[i] == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engineSeq) clear() { e.fill, e.pos = 0, 0 }
+
+// submittedBin pairs a detached accumulator with its bin index.
+type submittedBin struct {
+	bin int
+	acc *binAcc
+}
+
+// detachThrough removes every open bin <= limit from the open set, in
+// ascending bin order, updating the close counters. Callers hold mu; the
+// actual detector submission happens outside the lock via submit.
+func (s *Server) detachThrough(limit int) []submittedBin {
+	var out []submittedBin
+	for bin, acc := range s.bins {
+		if bin <= limit {
+			out = append(out, submittedBin{bin, acc})
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].bin < out[j].bin })
+	for _, sb := range out {
+		delete(s.bins, sb.bin)
+		if sb.bin > s.stats.LastClosed {
+			s.stats.LastClosed = sb.bin
+		}
+	}
+	s.stats.BinsClosed += len(out)
+	s.stats.BinsOpen = len(s.bins)
+	return out
+}
+
+// submit feeds detached bins to the detector in ascending order, recording
+// the first failure. Bins are only ever detached in ascending order across
+// calls, so the detector's non-decreasing contract holds.
+func (s *Server) submit(closed []submittedBin) {
+	for _, sb := range closed {
+		if err := s.det.Submit(sb.bin, sb.acc.bytes, sb.acc.packets, sb.acc.flows); err != nil {
+			s.fail(fmt.Errorf("server: submit bin %d: %w", sb.bin, err))
+			return
+		}
+	}
+}
+
+// fail records the first ingest-side error.
+func (s *Server) fail(err error) {
+	s.mu.Lock()
+	if s.firstError == nil {
+		s.firstError = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first error the daemon has seen: an ingest-side submit
+// failure or a background detector failure.
+func (s *Server) Err() error {
+	s.mu.Lock()
+	err := s.firstError
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.det.Err()
+}
+
+// Stats returns a snapshot of the ingest counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	st.Draining = s.draining
+	st.BinsOpen = len(s.bins)
+	if s.firstError != nil {
+		st.Err = s.firstError.Error()
+	}
+	s.mu.Unlock()
+	if st.Err == "" {
+		if err := s.det.Err(); err != nil {
+			st.Err = err.Error()
+		}
+	}
+	if err := s.det.RefitErr(); err != nil {
+		st.DegradedErr = err.Error()
+	}
+	return st
+}
+
+// Anomalies returns the characterized anomalies collected so far, oldest
+// first.
+func (s *Server) Anomalies() []netwide.Anomaly {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]netwide.Anomaly, len(s.anoms))
+	copy(out, s.anoms)
+	return out
+}
+
+// Drain performs the graceful shutdown: stop accepting datagrams, flush
+// every in-flight bin through the detector (nothing accepted is dropped),
+// wait for the verdict stream to complete — folding still-open events into
+// the anomaly log — and finally stop the HTTP endpoint. The context bounds
+// only the HTTP shutdown; the detector drain always runs to completion.
+// Drain returns the first error the daemon saw, if any, and is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.consumerWG.Wait()
+		return s.Err()
+	}
+	s.draining = true
+	conn := s.conn
+	s.mu.Unlock()
+
+	if conn != nil {
+		conn.Close() // unblocks the read loop
+		<-s.readerDone
+	}
+
+	// The read loop has exited: no new bins can appear. Flush the tail.
+	s.mu.Lock()
+	closed := s.detachThrough(s.stats.Watermark)
+	s.mu.Unlock()
+	s.submit(closed)
+
+	s.det.Close()
+	s.consumerWG.Wait() // verdict stream fully drained, tail folded in
+	s.det.Wait()        // settle background refits before reading errors
+	if err := s.det.Err(); err != nil {
+		// Fatal only: a refit failure means the daemon ran degraded, not
+		// that the drain failed — it stays on Stats.DegradedErr.
+		s.fail(fmt.Errorf("server: detector: %w", err))
+	}
+
+	s.mu.Lock()
+	srv, ln := s.httpSrv, s.httpLn
+	s.httpSrv, s.httpLn = nil, nil
+	s.mu.Unlock()
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+	} else if ln != nil {
+		ln.Close()
+	}
+	return s.Err()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := s.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	anoms := s.Anomalies()
+	if anoms == nil {
+		anoms = []netwide.Anomaly{} // render [] rather than null
+	}
+	writeJSON(w, anoms)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,437 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"netwide"
+	"netwide/internal/netflow"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+var (
+	runOnce   sync.Once
+	sharedRun *netwide.Run
+	runErr    error
+)
+
+// testRun builds the shared 1-week quick run every server test trains on.
+func testRun(t testing.TB) *netwide.Run {
+	t.Helper()
+	runOnce.Do(func() {
+		sharedRun, runErr = netwide.Simulate(netwide.QuickConfig())
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return sharedRun
+}
+
+// parityStream is the batch-parity detector setup: models trained on the
+// full run, no refits (thresholds must not drift for bit-exact parity).
+func parityStream(run *netwide.Run) netwide.StreamConfig {
+	return netwide.StreamConfig{TrainBins: run.Bins(), BatchSize: 16}
+}
+
+func anomalyKey(a netwide.Anomaly) string {
+	return fmt.Sprintf("%s|%s|%d-%d|%v|%s|%s", a.Class, a.Measures, a.StartBin, a.EndBin, a.ODs, a.Truth, a.TruthType)
+}
+
+// TestLoopbackEndToEnd is the tentpole proof: a dataset replayed as live
+// NetFlow v5 over UDP loopback, ingested by the daemon, must drive the
+// streaming detector to exactly the anomalies the batch Detect +
+// Characterize path finds on the same data — the wire hop, the bin
+// aggregation and the drain must all be lossless.
+//
+// Under -short (the CI race step) only the first two days are replayed and
+// the assertions stop at ingest integrity — batch event windows span the
+// whole week, so exact anomaly parity is only meaningful on a full replay.
+func TestLoopbackEndToEnd(t *testing.T) {
+	run := testRun(t)
+	bins := run.Bins()
+	fullParity := true
+	if testing.Short() {
+		bins = 2 * traffic.BinsPerDay
+		fullParity = false
+	}
+
+	srv, err := New(run, Config{
+		HTTPAddr: "127.0.0.1:0",
+		Detect:   netwide.DefaultDetectOptions(),
+		Stream:   parityStream(run),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	sent, err := Replay(run.Dataset(), ReplayConfig{
+		Addr:             srv.UDPAddr().String(),
+		From:             0,
+		To:               bins,
+		PacketsPerSecond: 15000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent.Records == 0 || sent.Packets == 0 {
+		t.Fatalf("replay sent nothing: %+v", sent)
+	}
+
+	// UDP offers no delivery handshake: poll until every sent record has
+	// been counted (or the deadline proves loss).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.Records == uint64(sent.Records) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %d of %d sent records after 60s (lost=%d bad=%d): UDP loss breaks parity — lower the replay rate",
+				st.Records, sent.Records, st.LostRecords, st.BadPackets)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Exercise the HTTP surface while the daemon is still live.
+	base := "http://" + srv.HTTPAddr().String()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var httpStats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&httpStats); err != nil {
+		t.Fatalf("stats endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if httpStats.Records != uint64(sent.Records) {
+		t.Fatalf("stats endpoint reports %d records, want %d", httpStats.Records, sent.Records)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	st := srv.Stats()
+	if st.LostRecords != 0 || st.BadPackets != 0 || st.Duplicates != 0 || st.LateRecords != 0 || st.Unroutable != 0 {
+		t.Fatalf("lossless loopback replay took losses: %+v", st)
+	}
+	if st.BinsClosed != bins || st.BinsOpen != 0 {
+		t.Fatalf("closed %d bins (open %d), want %d closed after drain", st.BinsClosed, st.BinsOpen, bins)
+	}
+
+	if !fullParity {
+		if srv.Err() != nil {
+			t.Fatalf("short replay left the daemon unhealthy: %v", srv.Err())
+		}
+		return
+	}
+
+	// Full week replayed: the daemon's characterized anomalies must match
+	// the batch path exactly.
+	if err := run.Detect(netwide.DefaultDetectOptions()); err != nil {
+		t.Fatal(err)
+	}
+	batch := run.Characterize()
+	streamed := srv.Anomalies()
+	if len(batch) == 0 {
+		t.Fatal("batch path characterized nothing; parity check is vacuous")
+	}
+	bk := make([]string, len(batch))
+	for i, a := range batch {
+		bk[i] = anomalyKey(a)
+	}
+	sk := make([]string, len(streamed))
+	for i, a := range streamed {
+		sk[i] = anomalyKey(a)
+	}
+	sort.Strings(bk)
+	sort.Strings(sk)
+	if len(bk) != len(sk) {
+		t.Fatalf("daemon characterized %d anomalies, batch %d:\n daemon %v\n batch  %v", len(sk), len(bk), sk, bk)
+	}
+	for i := range bk {
+		if bk[i] != sk[i] {
+			t.Errorf("anomaly %d differs:\n batch  %s\n daemon %s", i, bk[i], sk[i])
+		}
+	}
+
+	// The /anomalies endpoint was shut down with the drain; its JSON shape
+	// was already validated implicitly by Anomalies() above via /stats.
+}
+
+// collectRecords regenerates resolved records from origin PoP 0 cells of
+// one bin until it has n of them — real, resolvable payloads for crafted
+// packets.
+func collectRecords(t *testing.T, run *netwide.Run, n int) []netflow.Record {
+	t.Helper()
+	ds := run.Dataset()
+	var recs []netflow.Record
+	for i := 0; i < ds.Top.NumODPairs() && len(recs) < n; i++ {
+		od := ds.Top.ODAt(i)
+		if od.Origin != 0 {
+			continue
+		}
+		ds.ForEachResolvedRecord(od, 0, func(_ topology.ODPair, r netflow.Record) {
+			if len(recs) < n {
+				recs = append(recs, r)
+			}
+		})
+	}
+	if len(recs) < n {
+		t.Fatalf("collected only %d of %d records", len(recs), n)
+	}
+	return recs
+}
+
+// pkt encodes one v5 packet from engine 0 with the given sequence and bin
+// timestamp.
+func pkt(t *testing.T, seq uint32, bin int, recs []netflow.Record) []byte {
+	t.Helper()
+	b, err := netflow.EncodePacket(netflow.Header{
+		UnixSecs:     uint32(bin) * traffic.BinSeconds,
+		FlowSequence: seq,
+		EngineID:     0,
+	}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestOutOfOrderAndDuplicates pins the transport-hardening semantics:
+// duplicate packets are dropped by sequence replay detection, bins arriving
+// out of time order within the grace window still land in their own bin,
+// late packets for closed bins are counted and discarded, and sequence gaps
+// are accounted as loss.
+func TestOutOfOrderAndDuplicates(t *testing.T) {
+	run := testRun(t)
+	srv, err := New(run, Config{Grace: 3, Stream: parityStream(run)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collectRecords(t, run, 10)
+
+	p1 := pkt(t, 0, 5, recs)                     // bin 5, seq 0..9
+	p2 := pkt(t, 10, 4, recs)                    // bin 4, AFTER bin 5 — within grace
+	p3 := pkt(t, 20, 8, recs)                    // bin 8: watermark advances, closes bins <= 5
+	p4 := pkt(t, 30, 3, recs)                    // bin 3: now late (closed)
+	p5 := pkt(t, 90, 8, recs)                    // seq gap: 50 records presumed lost
+	p6 := pkt(t, 40, 8, recs)                    // the reordered packet behind the gap: refund 10
+	p7 := pkt(t, 3_000_000_000, 8, recs)         // wild backward sequence: exporter restart, resync
+	p8 := pkt(t, 3_000_000_010+(1<<30), 8, recs) // wild FORWARD jump: restart too, not a phantom 2^30-record gap
+	srv.IngestPacket(p1)
+	srv.IngestPacket(p1) // exact duplicate: must not double-count
+	srv.IngestPacket(p2)
+	srv.IngestPacket(p3)
+	srv.IngestPacket(p4)
+	srv.IngestPacket(p5)
+	srv.IngestPacket(p6)
+	srv.IngestPacket(p7)
+	srv.IngestPacket(p8)
+
+	st := srv.Stats()
+	if st.Duplicates != 1 {
+		t.Errorf("duplicates %d, want 1", st.Duplicates)
+	}
+	if want := uint64(70); st.Records != want { // p1 + p2 + p3 + p5 + p6 + p7 + p8
+		t.Errorf("records %d, want %d", st.Records, want)
+	}
+	if st.LateRecords != 10 {
+		t.Errorf("late records %d, want 10", st.LateRecords)
+	}
+	if st.LostRecords != 40 {
+		t.Errorf("lost records %d, want 40 (50-record gap minus the reordered refund; restarts charge nothing)", st.LostRecords)
+	}
+	if st.BinsClosed != 2 || st.LastClosed != 5 || st.Watermark != 8 {
+		t.Errorf("bin state %+v, want 2 closed through 5, watermark 8", st)
+	}
+	if st.BinsOpen != 1 {
+		t.Errorf("open bins %d, want 1 (bin 8)", st.BinsOpen)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := srv.Stats(); st.BinsClosed != 3 || st.BinsOpen != 0 {
+		t.Errorf("after drain: %d closed / %d open, want 3 / 0", st.BinsClosed, st.BinsOpen)
+	}
+}
+
+// TestDrainFlushesInFlightBins pins the graceful-shutdown contract: bins
+// still inside the grace window when the daemon stops must be submitted,
+// scored and characterized before Drain returns — an operator stopping the
+// daemon loses nothing that reached it.
+func TestDrainFlushesInFlightBins(t *testing.T) {
+	run := testRun(t)
+	srv, err := New(run, Config{Grace: 4, Stream: parityStream(run)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collectRecords(t, run, 10)
+	for bin := 0; bin < 3; bin++ { // all three bins stay inside grace 4
+		srv.IngestPacket(pkt(t, uint32(bin*10), bin, recs))
+	}
+	if st := srv.Stats(); st.BinsClosed != 0 || st.BinsOpen != 3 {
+		t.Fatalf("pre-drain bin state %+v, want 0 closed / 3 open", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := srv.Stats()
+	if st.BinsClosed != 3 || st.BinsOpen != 0 || st.LastClosed != 2 {
+		t.Fatalf("after drain %+v, want all 3 bins closed", st)
+	}
+	if !st.Draining {
+		t.Error("stats do not report the drain")
+	}
+	// Idempotent: a second drain must not panic or hang.
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestHostileDatagrams feeds the daemon the decoder's whole rogues'
+// gallery: every datagram must be counted and dropped without disturbing
+// ingest state, and records that decode but cannot be routed (unknown
+// engine, unresolvable destination) must be counted unroutable — untrusted
+// bytes never panic the daemon and never leak into the matrices.
+func TestHostileDatagrams(t *testing.T) {
+	run := testRun(t)
+	srv, err := New(run, Config{Stream: parityStream(run)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collectRecords(t, run, 5)
+	good := pkt(t, 0, 0, recs)
+
+	srv.IngestPacket(nil)                        // empty datagram
+	srv.IngestPacket([]byte{1, 2, 3})            // runt
+	srv.IngestPacket(good[:netflow.HeaderLen+7]) // truncated mid-record
+	badVersion := append([]byte(nil), good...)
+	badVersion[1] = 9
+	srv.IngestPacket(badVersion)
+	hostileCount := append([]byte(nil), good...)
+	hostileCount[2], hostileCount[3] = 0xFF, 0xFF
+	srv.IngestPacket(hostileCount)
+	srv.IngestPacket(bytes.Repeat([]byte{0xAB}, 2048)) // garbage
+
+	st := srv.Stats()
+	if st.BadPackets != 6 {
+		t.Errorf("bad packets %d, want 6", st.BadPackets)
+	}
+	if st.Records != 0 || st.BinsOpen != 0 {
+		t.Errorf("hostile datagrams leaked into ingest state: %+v", st)
+	}
+
+	// A decodable packet from an engine the topology does not know.
+	unknownEngine, err := netflow.EncodePacket(netflow.Header{EngineID: 200, FlowSequence: 0}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.IngestPacket(unknownEngine)
+	if st := srv.Stats(); st.Unroutable != uint64(len(recs)) {
+		t.Errorf("unroutable %d, want %d", st.Unroutable, len(recs))
+	}
+
+	// The daemon is still healthy and still ingests good traffic.
+	if srv.Err() != nil {
+		t.Fatalf("hostile datagrams broke the daemon: %v", srv.Err())
+	}
+	srv.IngestPacket(good)
+	if st := srv.Stats(); st.Records != uint64(len(recs)) {
+		t.Errorf("good packet after hostile burst: %d records, want %d", st.Records, len(recs))
+	}
+
+	// A spoofed far-future timestamp must neither move the watermark (it
+	// would force-close partial bins and stall every legitimate bin) nor
+	// open a bin; its records are refused as wild.
+	wild, err := netflow.EncodePacket(netflow.Header{
+		UnixSecs:     uint32(1000 * traffic.BinSeconds),
+		FlowSequence: uint32(len(recs)),
+	}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.IngestPacket(wild)
+	st = srv.Stats()
+	if st.WildRecords != uint64(len(recs)) {
+		t.Errorf("wild records %d, want %d", st.WildRecords, len(recs))
+	}
+	if st.Watermark != 0 || st.BinsOpen != 1 {
+		t.Errorf("spoofed timestamp moved bin state: watermark %d, open %d", st.Watermark, st.BinsOpen)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatermarkRecovery pins the stranded-watermark self-heal: a
+// far-future FIRST packet (nothing exists to bound it against) parks the
+// watermark where no legitimate bin could ever close — until a quorum of
+// consecutive routable packets running far below it re-anchors the
+// watermark, discards the stranded bin as wild, and bin close resumes.
+func TestWatermarkRecovery(t *testing.T) {
+	run := testRun(t)
+	srv, err := New(run, Config{Stream: parityStream(run)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collectRecords(t, run, 10)
+
+	srv.IngestPacket(pkt(t, 0, 1000, recs)) // hostile first packet: bin 1000
+	if st := srv.Stats(); st.Watermark != 1000 {
+		t.Fatalf("first packet set watermark %d, want 1000", st.Watermark)
+	}
+	// Legitimate traffic: bins 0,1,2,... — all far below the stranded
+	// watermark. After the quorum the watermark must snap back.
+	seq := uint32(10)
+	for bin := 0; bin < 12; bin++ {
+		srv.IngestPacket(pkt(t, seq, bin, recs))
+		seq += uint32(len(recs))
+	}
+	st := srv.Stats()
+	if st.WatermarkResets != 1 {
+		t.Fatalf("watermark resets %d, want 1 (stats: %+v)", st.WatermarkResets, st)
+	}
+	if st.Watermark >= 1000 {
+		t.Fatalf("watermark still stranded at %d", st.Watermark)
+	}
+	if st.WildRecords != uint64(len(recs)) {
+		t.Errorf("stranded bin's %d records not discarded as wild (got %d)", len(recs), st.WildRecords)
+	}
+	if st.BinsClosed == 0 {
+		t.Error("bin close never resumed after watermark recovery")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"errors"
 	"fmt"
 	"math"
 )
@@ -50,12 +49,16 @@ func QThresholdFromMoments(phi1, phi2, phi3, alpha float64) (float64, error) {
 	if !(alpha > 0 && alpha < 1) {
 		return 0, fmt.Errorf("stats: QThreshold alpha=%v out of (0,1)", alpha)
 	}
-	if phi1 <= 0 {
-		// No residual variance at all: any nonzero residual is anomalous.
-		return 0, nil
+	// The statistic divides by phi1 and by phi2^2, so a degenerate residual
+	// spectrum must be rejected here: letting it through yields NaN/Inf (or a
+	// silent zero threshold that alarms on every bin) and the detector built
+	// on it fails open without a trace.
+	if math.IsNaN(phi1) || math.IsNaN(phi2) || math.IsNaN(phi3) ||
+		math.IsInf(phi1, 0) || math.IsInf(phi2, 0) || math.IsInf(phi3, 0) {
+		return 0, fmt.Errorf("stats: QThreshold non-finite residual moments phi1=%v phi2=%v phi3=%v (eigenvalue overflow?)", phi1, phi2, phi3)
 	}
-	if phi2 <= 0 {
-		return 0, errors.New("stats: QThreshold degenerate residual spectrum")
+	if phi1 <= 0 || phi2 <= 0 {
+		return 0, fmt.Errorf("stats: QThreshold degenerate residual spectrum (phi1=%v, phi2=%v): no residual variance to threshold — k spans the whole spectrum (k=p-1 after a constant measure?)", phi1, phi2)
 	}
 	h0 := 1 - 2*phi1*phi3/(3*phi2*phi2)
 	if h0 <= 0 {
@@ -69,7 +72,11 @@ func QThresholdFromMoments(phi1, phi2, phi3, alpha float64) (float64, error) {
 		// Numerically possible for extreme alpha; the threshold collapses.
 		return 0, nil
 	}
-	return phi1 * math.Pow(inner, 1/h0), nil
+	d2 := phi1 * math.Pow(inner, 1/h0)
+	if math.IsNaN(d2) || math.IsInf(d2, 0) {
+		return 0, fmt.Errorf("stats: QThreshold non-finite threshold %v (phi1=%v phi2=%v phi3=%v h0=%v): near-degenerate residual spectrum", d2, phi1, phi2, phi3, h0)
+	}
+	return d2, nil
 }
 
 // T2Threshold computes the Hotelling T^2 control limit for k retained

@@ -63,13 +63,10 @@ func TestQThresholdEdgeCases(t *testing.T) {
 	if _, err := QThreshold([]float64{1, 2}, 1, 0); err == nil {
 		t.Fatal("alpha=0 accepted")
 	}
-	// Zero residual spectrum: threshold collapses to zero.
-	q, err := QThreshold([]float64{5, 0, 0}, 1, 0.001)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if q != 0 {
-		t.Fatalf("zero residual spectrum gave threshold %v", q)
+	// Zero residual spectrum: previously a silent 0 threshold (every bin
+	// alarms); now a clear error — see TestQThresholdDegenerateSpectrum.
+	if _, err := QThreshold([]float64{5, 0, 0}, 1, 0.001); err == nil {
+		t.Fatal("zero residual spectrum accepted")
 	}
 }
 
@@ -158,5 +155,56 @@ func TestT2Calibration(t *testing.T) {
 	got := float64(exceed) / n
 	if got < alpha/3 || got > alpha*3 {
 		t.Fatalf("empirical T2 false-alarm rate %v, want within 3x of %v", got, alpha)
+	}
+}
+
+// TestQThresholdDegenerateSpectrum is the regression test for the silent
+// NaN/Inf threshold bug: a residual spectrum with no variance (k = p-1
+// after a constant measure), or one whose moments overflow, must come back
+// as a descriptive error — never as NaN, Inf, or a silent always-alarm 0.
+func TestQThresholdDegenerateSpectrum(t *testing.T) {
+	cases := []struct {
+		name string
+		eig  []float64
+		k    int
+	}{
+		{"zero tail after constant measure", []float64{5, 0, 0, 0}, 1},
+		// k=3 leaves only the zero eigenvalue: the old code divided 0/0 in
+		// h0 and returned threshold 0 with no error.
+		{"single zero residual eigenvalue", []float64{9, 4, 1, 0}, 3},
+		// lambda^3 overflows float64: the moments go Inf, h0 goes NaN, and
+		// the old code returned NaN silently.
+		{"moment overflow", []float64{1e140, 1e130}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d2, err := QThreshold(tc.eig, tc.k, 0.001)
+			if err == nil {
+				t.Fatalf("degenerate spectrum accepted, threshold %v", d2)
+			}
+			if d2 != 0 {
+				t.Fatalf("error path returned nonzero threshold %v", d2)
+			}
+			t.Logf("rejected as: %v", err)
+		})
+	}
+
+	// Direct moment injection: NaNs from an upstream failed fit must be
+	// caught here, not propagated into alarm comparisons (NaN > limit is
+	// always false — the detector would silently never alarm).
+	if _, err := QThresholdFromMoments(math.NaN(), 1, 1, 0.001); err == nil {
+		t.Fatal("NaN phi1 accepted")
+	}
+	if _, err := QThresholdFromMoments(1, math.Inf(1), math.Inf(1), 0.001); err == nil {
+		t.Fatal("Inf phi2 accepted")
+	}
+
+	// A healthy spectrum still thresholds, and stays finite.
+	d2, err := QThreshold([]float64{9, 4, 1, 0.5}, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d2 > 0) || math.IsInf(d2, 0) {
+		t.Fatalf("healthy spectrum threshold %v", d2)
 	}
 }

@@ -169,7 +169,52 @@ type Pipeline struct {
 	closed  bool
 
 	errMu sync.Mutex
-	err   error // first background refit failure
+	err   error // first fatal failure (scoring or attribution)
+	// refitErr is the first background refit failure. It is tracked apart
+	// from err because the two mean different things operationally: a
+	// refit failure leaves the pipeline DEGRADED (scoring continues,
+	// correctly, on the previous model generation), while a scoring
+	// failure means the verdicts themselves are bad.
+	refitErr error
+}
+
+// fail records the first fatal background error. Later errors are
+// dropped: the first failure is the root cause, everything after it is
+// fallout.
+func (p *Pipeline) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+}
+
+// failRefit records the first background refit failure — the degraded
+// (not fatal) condition.
+func (p *Pipeline) failRefit(err error) {
+	p.errMu.Lock()
+	if p.refitErr == nil {
+		p.refitErr = err
+	}
+	p.errMu.Unlock()
+}
+
+// Err returns the first fatal background error (scoring or attribution)
+// recorded so far, without waiting for the pipeline to finish. Refit
+// failures do not surface here — scoring continues on the previous model
+// generation — see RefitErr.
+func (p *Pipeline) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+// RefitErr returns the first background refit failure, the signal that
+// the pipeline is running degraded on an aging model generation.
+func (p *Pipeline) RefitErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.refitErr
 }
 
 // New builds a pipeline with one lane per fitted engine model. The models
@@ -288,13 +333,19 @@ func (p *Pipeline) Verdicts() <-chan Verdict { return p.out }
 
 // Wait blocks until the pipeline has emitted every verdict (the consumer
 // must be draining Verdicts) and all background refits have settled, then
-// returns the first background refit error, if any.
+// returns the first background error — a lane scoring or attribution
+// failure, or a refit failure. A failed run still delivers a complete,
+// ordered verdict stream (failed bins carry zero-valued placeholder
+// points), so Wait is the only place a background failure surfaces.
 func (p *Pipeline) Wait() error {
 	<-p.done
 	p.refitWG.Wait()
 	p.errMu.Lock()
 	defer p.errMu.Unlock()
-	return p.err
+	if p.err != nil {
+		return p.err
+	}
+	return p.refitErr
 }
 
 // dispatch fans each submitted sample out to every lane, stamping the
@@ -316,6 +367,13 @@ func (p *Pipeline) dispatch() {
 // laneWorker scores its lane's vectors in batches against whatever model is
 // current, attributes alarms to OD flows against the same model, maintains
 // the rolling window, and hands window snapshots to the refitter when due.
+//
+// Scoring and attribution failures do not panic: a panic on a background
+// goroutine would kill the whole process on the first malformed batch. The
+// first error is recorded on the pipeline (surfaced by Err and Wait) and
+// the lane keeps draining its queue, emitting zero-valued placeholder
+// results so the ordered verdict stream stays complete — consumers see
+// every submitted bin, then learn from Wait that the run failed.
 func (p *Pipeline) laneWorker(l *lane) {
 	defer p.workerWG.Done()
 	if l.refitIn != nil {
@@ -332,15 +390,19 @@ func (p *Pipeline) laneWorker(l *lane) {
 		var err error
 		pts, err = m.ScoreBatch(vecs, pts[:0])
 		if err != nil {
-			// Submit validated lengths and refits preserve p, so a batch
-			// failure is a programming error, not a data error.
-			panic(fmt.Sprintf("stream: lane %d: %v", l.id, err))
+			p.fail(fmt.Errorf("stream: lane %d score: %w", l.id, err))
+			for _, t := range batch {
+				p.agg <- laneResult{lane: l.id, seq: t.seq, bin: t.bin, gen: m.Gen()}
+			}
+			batch, vecs = batch[:0], vecs[:0]
+			return
 		}
 		for i, t := range batch {
 			var att []identify.Attribution
 			if p.cfg.Attribute {
 				if att, err = identify.AttributeLive(m, t.bin, t.x, pts[i]); err != nil {
-					panic(fmt.Sprintf("stream: lane %d attribute: %v", l.id, err))
+					p.fail(fmt.Errorf("stream: lane %d attribute: %w", l.id, err))
+					att = nil
 				}
 			}
 			p.agg <- laneResult{lane: l.id, seq: t.seq, bin: t.bin, pt: pts[i], gen: m.Gen(), att: att}
@@ -395,11 +457,7 @@ func (p *Pipeline) refitter(l *lane) {
 		cur := l.model.Load()
 		next, err := cur.Refit(snap)
 		if err != nil {
-			p.errMu.Lock()
-			if p.err == nil {
-				p.err = fmt.Errorf("stream: lane %d refit: %w", l.id, err)
-			}
-			p.errMu.Unlock()
+			p.failRefit(fmt.Errorf("stream: lane %d refit: %w", l.id, err))
 			continue // keep scoring on the current model
 		}
 		l.model.Store(next)

@@ -1,8 +1,10 @@
 package stream
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"netwide/internal/engine"
@@ -283,5 +285,147 @@ func TestPipelineAttributesAlarms(t *testing.T) {
 		if att.Residuals[0] <= 0 {
 			t.Fatalf("spike attributed with non-positive residual %v", att.Residuals[0])
 		}
+	}
+}
+
+// TestLaneErrorPropagates is the regression test for the lane-worker panic:
+// a scoring failure on a background goroutine used to kill the whole
+// process. Now the first error is recorded on the pipeline, the verdict
+// stream still delivers every submitted bin (with placeholder points for
+// the failed lane), and Wait surfaces the error.
+func TestLaneErrorPropagates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	const p = 8
+	model := fitLane(t, rng, 64, p)
+	pipe, err := New([]*engine.Model{model}, Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in a model of a different width behind Submit's validation: every
+	// subsequent batch fails ScoreBatch exactly like a corrupted refit or a
+	// model/vector drift bug would, without tripping the edge checks.
+	bad := fitLane(t, rng, 64, p-2)
+	pipe.lanes[0].model.Store(bad)
+
+	live := synth(rng, 6, p, 2)
+	done := make(chan []Verdict)
+	go func() {
+		var vs []Verdict
+		for v := range pipe.Verdicts() {
+			vs = append(vs, v)
+		}
+		done <- vs
+	}()
+	for bin := 0; bin < live.Rows(); bin++ {
+		if err := pipe.Submit(Sample{Bin: bin, Vecs: [][]float64{live.RowView(bin)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pipe.Close()
+	verdicts := <-done
+	if err := pipe.Wait(); err == nil {
+		t.Fatal("scoring failure did not surface from Wait")
+	} else if want := "lane 0 score"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("Wait error %q does not name the failing stage (%q)", err, want)
+	}
+	if pipe.Err() == nil {
+		t.Fatal("Err() nil after failure")
+	}
+	// The ordered verdict stream must stay complete: every submitted bin
+	// comes back, in order, with placeholder (non-alarming) points.
+	if len(verdicts) != live.Rows() {
+		t.Fatalf("got %d verdicts for %d submitted bins", len(verdicts), live.Rows())
+	}
+	for i, v := range verdicts {
+		if v.Bin != i {
+			t.Fatalf("verdict %d carries bin %d", i, v.Bin)
+		}
+		if v.Alarm() {
+			t.Fatalf("placeholder verdict for failed bin %d alarms", i)
+		}
+	}
+}
+
+// TestAttributeErrorPropagates drives the attribution error path the same
+// way: scoring succeeds, attribution fails, the pipeline records the error
+// and still emits the scored points.
+func TestAttributeErrorPropagates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	const p = 8
+	model := fitLane(t, rng, 64, p)
+	pipe, err := New([]*engine.Model{model}, Config{BatchSize: 1, Attribute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := synth(rng, 4, p, 2)
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range pipe.Verdicts() {
+			n++
+		}
+		done <- n
+	}()
+	// A NaN-poisoned vector scores (NaN statistics do not error) but makes
+	// attribution reject the residual it cannot rank.
+	for bin := 0; bin < live.Rows(); bin++ {
+		row := live.RowView(bin)
+		if bin == 2 {
+			poisoned := make([]float64, p)
+			copy(poisoned, row)
+			poisoned[0] = math.NaN()
+			row = poisoned
+		}
+		if err := pipe.Submit(Sample{Bin: bin, Vecs: [][]float64{row}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pipe.Close()
+	n := <-done
+	err = pipe.Wait()
+	if n != live.Rows() {
+		t.Fatalf("got %d verdicts for %d submitted bins", n, live.Rows())
+	}
+	// Whether the NaN trips attribution is an identify-internal contract;
+	// what this test pins is that IF it errors the process survives and the
+	// verdict stream completes — which the assertions above already did.
+	t.Logf("Wait after NaN bin: %v", err)
+}
+
+// TestRefitErrorIsDegradedNotFatal pins the operational split between the
+// two background failure classes: a refit failure leaves the pipeline
+// degraded — Err() (the liveness signal) stays nil, RefitErr() reports
+// it, and Wait() returns it once the stream ends — while a scoring
+// failure is fatal and takes precedence everywhere.
+func TestRefitErrorIsDegradedNotFatal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	model := fitLane(t, rng, 64, 8)
+	pipe, err := New([]*engine.Model{model}, Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.failRefit(errors.New("synthetic refit failure"))
+	if pipe.Err() != nil {
+		t.Fatalf("refit failure leaked into the fatal Err(): %v", pipe.Err())
+	}
+	if pipe.RefitErr() == nil {
+		t.Fatal("RefitErr() lost the refit failure")
+	}
+	go func() {
+		for range pipe.Verdicts() {
+		}
+	}()
+	pipe.Close()
+	if err := pipe.Wait(); err == nil || !strings.Contains(err.Error(), "refit") {
+		t.Fatalf("Wait() = %v, want the refit failure", err)
+	}
+
+	// Fatal beats degraded.
+	pipe.fail(errors.New("scoring failure"))
+	if err := pipe.Err(); err == nil || !strings.Contains(err.Error(), "scoring") {
+		t.Fatalf("Err() = %v, want the scoring failure", err)
+	}
+	if err := pipe.Wait(); err == nil || !strings.Contains(err.Error(), "scoring") {
+		t.Fatalf("Wait() = %v, want the scoring failure to take precedence", err)
 	}
 }

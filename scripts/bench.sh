@@ -21,11 +21,11 @@
 # baseline (record mode) when the reference hardware changes.
 #
 # Usage:
-#   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR4.json)
-#   scripts/bench.sh --check BENCH_PR4.json      # gate against the committed baseline
+#   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR5.json)
+#   scripts/bench.sh --check BENCH_PR5.json      # gate against the committed baseline
 #   BENCH='SimulateWeek|Detect' scripts/bench.sh # restrict the suite
 #   BENCHTIME=3x scripts/bench.sh                # more iterations per benchmark
-#   MAX_REGRESSION=50 scripts/bench.sh --check BENCH_PR4.json  # looser gate
+#   MAX_REGRESSION=50 scripts/bench.sh --check BENCH_PR5.json  # looser gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,7 +36,7 @@ if [[ "${1:-}" == "--check" ]]; then
     [[ -f "$baseline" ]] || { echo "bench.sh: baseline $baseline not found" >&2; exit 2; }
     shift 2
 fi
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 bench="${BENCH:-.}"
 benchtime="${BENCHTIME:-1x}"
 max_regression="${MAX_REGRESSION:-20}"

@@ -237,8 +237,25 @@ func (d *StreamDetector) Verdicts() <-chan StreamVerdict { return d.out }
 func (d *StreamDetector) Close() { d.pipe.Close() }
 
 // Wait blocks until every verdict has been emitted (the consumer must drain
-// Verdicts) and returns the first background refit error, if any.
+// Verdicts) and returns the first background error — a lane scoring or
+// attribution failure, or a refit failure. A failing pipeline still
+// delivers a complete, ordered verdict stream (failed bins carry
+// zero-valued, non-alarming points), so checking Wait is how a consumer
+// learns the run was bad.
 func (d *StreamDetector) Wait() error { return d.pipe.Wait() }
+
+// Err returns the first FATAL background pipeline error (a lane scoring
+// or attribution failure — the verdicts themselves are suspect) recorded
+// so far, without waiting for the stream to end: the liveness probe a
+// long-running ingest daemon polls between bins. Background refit
+// failures are deliberately excluded — scoring continues, correctly, on
+// the previous model generation — and surface via RefitErr instead.
+func (d *StreamDetector) Err() error { return d.pipe.Err() }
+
+// RefitErr returns the first background refit failure: the detector is
+// degraded (its models are aging) but its verdicts remain valid. Wait
+// also returns it, after any fatal error.
+func (d *StreamDetector) RefitErr() error { return d.pipe.RefitErr() }
 
 // Generations returns the per-measure model generation: how many background
 // refits have completed and been swapped in.
