@@ -1,0 +1,192 @@
+package anomaly
+
+// The adversarial injector family. Where injectors.go reproduces the honest
+// Table 2 taxonomy — anomalies loud enough that the paper could find them by
+// visual inspection — these four are built to probe the subspace method's
+// known weaknesses: residual-energy thresholding (evaded by staying small),
+// greedy single-flow attribution (evaded by spreading volume), step-change
+// detection (evaded by ramping slowly) and training on recent history
+// (poisoned by contaminating refit windows). They are the ground truth of
+// the detector-shootout scenarios, not of the paper's experiments.
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"netwide/internal/flow"
+	"netwide/internal/ipaddr"
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+// StealthDDOSInjector is a low-rate distributed denial of service shaped to
+// sit under the Q threshold: the attack volume is spread across many origin
+// OD flows and held to a small multiple of the mean per-OD load, so the sum
+// of squared per-flow residuals stays below the residual energy an honest
+// DDOS concentrates on few flows. Per-bin amplitude jitters ±25% so the
+// attack has no clean step edge either.
+type StealthDDOSInjector struct {
+	baseSpec
+	noScale
+	Victim ipaddr.Addr
+	Port   uint16
+	// FlowsPerOD is the per-OD-pair per-bin flow count — the total attack
+	// rate divided across the origin fan-in.
+	FlowsPerOD  uint64
+	PktsPerFlow uint64
+}
+
+// NewStealthDDOS builds a stealth DDOS across the given origin OD flows.
+func NewStealthDDOS(id int, ods []topology.ODPair, startBin, durBins int, victim ipaddr.Addr, port uint16, flowsPerOD, pktsPerFlow uint64) *StealthDDOSInjector {
+	return &StealthDDOSInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: StealthDDOS, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  ods,
+			Note: fmt.Sprintf("stealth ddos against %s:%d, %d flows/bin spread over %d OD flows", victim, port, flowsPerOD*uint64(len(ods)), len(ods)),
+		}},
+		Victim: victim, Port: port, FlowsPerOD: flowsPerOD, PktsPerFlow: pktsPerFlow,
+	}
+}
+
+// Classes implements Injector.
+func (s *StealthDDOSInjector) Classes(od topology.ODPair, bin int, rng *rand.Rand) []traffic.FlowClass {
+	if !s.spec.ActiveAt(od, bin) {
+		return nil
+	}
+	// Jitter the per-bin rate in [0.75, 1.25) so the onset is not a step.
+	n := uint64(float64(s.FlowsPerOD) * (0.75 + 0.5*rng.Float64()))
+	if n == 0 {
+		n = 1
+	}
+	return []traffic.FlowClass{{
+		Count: n, PktsPerFlow: s.PktsPerFlow, BytesPerPkt: 40, Proto: flow.ProtoTCP,
+		Src:     traffic.AddrTemplate{Mode: traffic.AddrSpoofed},
+		Dst:     traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: s.Victim},
+		SrcPort: traffic.PortTemplate{Mode: traffic.PortEphemeral},
+		DstPort: traffic.PortTemplate{Mode: traffic.PortFixed, Port: s.Port},
+	}}
+}
+
+// CoordFloodInjector is a coordinated multi-OD attack that spreads its
+// volume across a mesh of OD flows — distinct origins AND distinct
+// destination PoPs, random victims at each destination — so no single flow
+// dominates the residual and greedy attribution has no dominant OD (or
+// dominant address) to seize on. The aggregate is network-visible; every
+// slice is ordinary.
+type CoordFloodInjector struct {
+	baseSpec
+	noScale
+	Port uint16
+	// FlowsPerOD is the per-OD-pair per-bin flow count.
+	FlowsPerOD  uint64
+	PktsPerFlow uint64
+}
+
+// NewCoordFlood builds a coordinated flood over the OD mesh.
+func NewCoordFlood(id int, ods []topology.ODPair, startBin, durBins int, port uint16, flowsPerOD, pktsPerFlow uint64) *CoordFloodInjector {
+	return &CoordFloodInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: CoordFlood, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  ods,
+			Note: fmt.Sprintf("coordinated flood on port %d spread over %d OD flows", port, len(ods)),
+		}},
+		Port: port, FlowsPerOD: flowsPerOD, PktsPerFlow: pktsPerFlow,
+	}
+}
+
+// Classes implements Injector.
+func (c *CoordFloodInjector) Classes(od topology.ODPair, bin int, _ *rand.Rand) []traffic.FlowClass {
+	if !c.spec.ActiveAt(od, bin) {
+		return nil
+	}
+	return []traffic.FlowClass{{
+		Count: c.FlowsPerOD, PktsPerFlow: c.PktsPerFlow, BytesPerPkt: 60, Proto: flow.ProtoTCP,
+		// Random sources at the origin and random targets at the
+		// destination: no dominant address on either side.
+		Src:     traffic.AddrTemplate{Mode: traffic.AddrRandomAtPoP, PoP: od.Origin},
+		Dst:     traffic.AddrTemplate{Mode: traffic.AddrRandomAtPoP, PoP: od.Dest},
+		SrcPort: traffic.PortTemplate{Mode: traffic.PortEphemeral},
+		DstPort: traffic.PortTemplate{Mode: traffic.PortFixed, Port: c.Port},
+	}}
+}
+
+// SlowRampInjector is slow-ramp exfiltration: one long-lived transfer from
+// a host at the origin to a collection point at the destination whose rate
+// grows linearly from zero to PeakBytes per bin over the episode. Each bin
+// adds only a sliver over the last, so step detectors see no edge, and a
+// detector that keeps retraining on recent history absorbs the ramp into
+// its own baseline.
+type SlowRampInjector struct {
+	baseSpec
+	noScale
+	Src, Dst    ipaddr.Addr
+	Port        uint16
+	PeakBytes   float64
+	BytesPerPkt float64
+}
+
+// NewSlowRamp builds a slow-ramp exfiltration on one OD pair.
+func NewSlowRamp(id int, od topology.ODPair, startBin, durBins int, src, dst ipaddr.Addr, port uint16, peakBytes float64) *SlowRampInjector {
+	return &SlowRampInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: SlowRamp, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  []topology.ODPair{od},
+			Note: fmt.Sprintf("slow-ramp exfiltration %s -> %s:%d over %d bins", src, dst, port, durBins),
+		}},
+		Src: src, Dst: dst, Port: port, PeakBytes: peakBytes, BytesPerPkt: 1400,
+	}
+}
+
+// Classes implements Injector.
+func (s *SlowRampInjector) Classes(od topology.ODPair, bin int, _ *rand.Rand) []traffic.FlowClass {
+	if !s.spec.ActiveAt(od, bin) {
+		return nil
+	}
+	frac := float64(bin-s.spec.StartBin+1) / float64(s.spec.DurationBins())
+	pkts := uint64(s.PeakBytes * frac / s.BytesPerPkt)
+	if pkts == 0 {
+		pkts = 1
+	}
+	return []traffic.FlowClass{{
+		Count: 1, PktsPerFlow: pkts, BytesPerPkt: s.BytesPerPkt, Proto: flow.ProtoTCP,
+		Src:     traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: s.Src},
+		Dst:     traffic.AddrTemplate{Mode: traffic.AddrFixed, Fixed: s.Dst},
+		SrcPort: traffic.PortTemplate{Mode: traffic.PortEphemeral},
+		DstPort: traffic.PortTemplate{Mode: traffic.PortFixed, Port: s.Port},
+	}}
+}
+
+// ContaminationInjector is training-set contamination — the classic
+// subspace-method weakness. It raises the background volume of its target
+// OD flows by a moderate, sustained factor for long enough to cover a model
+// refit window: the poisoned fit absorbs the elevated direction into the
+// normal subspace (and inflates the Q threshold), so a later overt attack
+// on the same flows scores as normal. On its own it is a plateau, not a
+// spike; paired with a follow-up episode it is an evasion setup.
+type ContaminationInjector struct {
+	baseSpec
+	noClasses
+	// Boost is the extra volume fraction: background volume on the target
+	// ODs is scaled by 1+Boost for the duration.
+	Boost float64
+}
+
+// NewContamination builds a refit-window poisoning plateau on the ODs.
+func NewContamination(id int, ods []topology.ODPair, startBin, durBins int, boost float64) *ContaminationInjector {
+	return &ContaminationInjector{
+		baseSpec: baseSpec{Spec{
+			ID: id, Type: Contamination, StartBin: startBin, EndBin: startBin + durBins - 1,
+			ODs:  ods,
+			Note: fmt.Sprintf("refit poisoning: +%.0f%% volume on %d OD flows for %d bins", boost*100, len(ods), durBins),
+		}},
+		Boost: boost,
+	}
+}
+
+// VolumeScale implements Injector.
+func (c *ContaminationInjector) VolumeScale(od topology.ODPair, bin int, _ *traffic.Background) float64 {
+	if !c.spec.ActiveAt(od, bin) {
+		return 1
+	}
+	return 1 + c.Boost
+}

@@ -33,11 +33,18 @@ const (
 	PointMultipoint
 	Outage
 	IngressShift
+	// The adversarial family (see adversarial.go): evasive variants built
+	// to probe detector weaknesses rather than reproduce Table 2.
+	StealthDDOS
+	CoordFlood
+	SlowRamp
+	Contamination
 	numTypes
 )
 
 var typeNames = [numTypes]string{
 	"ALPHA", "DOS", "DDOS", "FLASH", "SCAN", "WORM", "PT-MULT", "OUTAGE", "INGR-SHIFT",
+	"STEALTH-DDOS", "COORD-FLOOD", "SLOW-RAMP", "CONTAM",
 }
 
 // String returns the table label of the type.
@@ -56,6 +63,15 @@ func Types() []Type {
 	}
 	return out
 }
+
+// HonestTypes lists the Table 2 taxonomy — the classes the default random
+// schedule injects with the paper's prevalence. The adversarial classes
+// (STEALTH-DDOS through CONTAM) are scenario-only: they model evasion of
+// the detector, not the anomaly population the paper observed.
+func HonestTypes() []Type { return Types()[:IngressShift+1] }
+
+// Adversarial reports whether the type belongs to the adversarial family.
+func (t Type) Adversarial() bool { return t >= StealthDDOS && t < numTypes }
 
 // Spec is the ground-truth description of one injected anomaly.
 type Spec struct {

@@ -218,6 +218,15 @@ func TestBuildScheduleDeterministicAndComplete(t *testing.T) {
 	}
 	counts := l1.CountByType()
 	for _, typ := range Types() {
+		if typ.Adversarial() {
+			// The adversarial family is scenario-only; the random schedule
+			// reproduces the paper's observed population and must not
+			// inject it.
+			if counts[typ] != 0 {
+				t.Fatalf("random schedule injected adversarial type %v", typ)
+			}
+			continue
+		}
 		if counts[typ] == 0 {
 			t.Fatalf("schedule missing type %v", typ)
 		}
@@ -248,9 +257,10 @@ func TestBuildScheduleShortRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 1-week run scales down but keeps at least one of each type.
+	// 1-week run scales down but keeps at least one of each honest type
+	// (the adversarial family is scenario-only, never randomly scheduled).
 	counts := led.CountByType()
-	for _, typ := range Types() {
+	for _, typ := range HonestTypes() {
 		if counts[typ] == 0 {
 			t.Fatalf("short schedule missing %v", typ)
 		}

@@ -1,0 +1,294 @@
+// Package empirical implements an empirical-measure (method-of-types)
+// anomaly detector over OD-flow timeseries, the large-deviations
+// alternative to the subspace method: deseasonalize each OD flow against
+// its own per-time-of-day baseline, quantize the resulting ratio into
+// levels calibrated on a training window, maintain the empirical
+// distribution of levels over a short sliding window, and score the window
+// by its Kullback–Leibler divergence from the flow's reference
+// distribution. By Sanov's theorem the score n·D(p̂ || ref) is the
+// exponential rate at which a window this atypical becomes unlikely under
+// normal traffic, so a single threshold on the rate bounds the false-alarm
+// exponent uniformly across flows of very different absolute volume. The
+// seasonal conditioning matters: without it the reference is the whole-day
+// marginal and every diurnal peak hour looks like a maximal deviation.
+//
+// Compared to the subspace method the detector is local — each OD flow is
+// scored against its own history, with no network-wide model to poison —
+// which is exactly the trade the detector shootout measures: it cannot see
+// correlated low-rate volume spread across flows, but it also cannot be
+// evaded by shaping an attack to sit inside the normal subspace.
+package empirical
+
+import (
+	"fmt"
+	"sort"
+
+	"netwide/internal/mat"
+	"netwide/internal/stats"
+)
+
+// Options tunes the detector.
+type Options struct {
+	// Levels is the per-flow quantization alphabet size (default 8).
+	Levels int
+	// Window is the sliding-window length in bins the empirical measure is
+	// computed over (default 12, one hour of 5-minute bins).
+	Window int
+	// Alpha is the target false-alarm rate used to calibrate the alarm
+	// threshold on the training window (default 0.001, matching the
+	// subspace method's 99.9% confidence limits).
+	Alpha float64
+	// Period is the seasonal period in bins used to deseasonalize each
+	// flow before quantization (default 288, one day of 5-minute bins; a
+	// negative value disables deseasonalization). Training shorter than
+	// one period falls back to no deseasonalization.
+	Period int
+}
+
+// DefaultOptions returns the reference parameters.
+func DefaultOptions() Options { return Options{Levels: 8, Window: 12, Alpha: 0.001, Period: 288} }
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Levels <= 0 {
+		o.Levels = d.Levels
+	}
+	if o.Window <= 0 {
+		o.Window = d.Window
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = d.Alpha
+	}
+	if o.Period == 0 {
+		o.Period = d.Period
+	}
+	if o.Period < 0 {
+		o.Period = 0
+	}
+	return o
+}
+
+// Detector scores OD-flow vectors one bin at a time. It is stateful (the
+// sliding windows advance with every Score call) and not safe for
+// concurrent use.
+type Detector struct {
+	opts  Options
+	p     int
+	base  [][]float64 // per OD: per-phase seasonal baseline (nil: disabled)
+	floor []float64   // per OD: baseline floor guarding the ratio
+	norm  []float64   // per OD: training mean, the non-seasonal fallback
+	edges [][]float64 // per OD: Levels-1 ascending quantile cut points
+	ref   [][]float64 // per OD: smoothed reference level distribution
+	limit float64     // alarm threshold on the rate score
+
+	// Sliding state: per OD, a ring of the last Window level indices and
+	// the level occupancy counts of the ring.
+	ring   [][]uint8
+	counts [][]float64
+	next   int // shared ring cursor (every OD advances in lockstep)
+	fill   int
+	emp    []float64 // scratch: one empirical distribution
+}
+
+// Fit calibrates the detector on a training matrix (rows = timebins, cols =
+// OD flows): per-flow seasonal baselines, quantization edges at
+// equiprobable training quantiles of the deseasonalized series, smoothed
+// per-flow reference distributions, and an alarm threshold set at the
+// (1-Alpha) quantile of the scores the training window itself produces.
+// The sliding windows are left primed with the training tail, so scoring
+// the bin right after the training window is immediately well-defined.
+func Fit(train *mat.Matrix, opts Options) (*Detector, error) {
+	opts = opts.withDefaults()
+	n, p := train.Rows(), train.Cols()
+	if n < 2*opts.Window {
+		return nil, fmt.Errorf("empirical: training needs at least %d bins (2 windows), have %d", 2*opts.Window, n)
+	}
+	if opts.Period > 0 && n < opts.Period {
+		opts.Period = 0
+	}
+	d := &Detector{
+		opts:   opts,
+		p:      p,
+		floor:  make([]float64, p),
+		norm:   make([]float64, p),
+		edges:  make([][]float64, p),
+		ref:    make([][]float64, p),
+		ring:   make([][]uint8, p),
+		counts: make([][]float64, p),
+		emp:    make([]float64, opts.Levels),
+	}
+	if opts.Period > 0 {
+		d.base = make([][]float64, p)
+	}
+	ratios := make([]float64, n)
+	sorted := make([]float64, n)
+	for od := 0; od < p; od++ {
+		var mean float64
+		for i := 0; i < n; i++ {
+			mean += train.At(i, od)
+		}
+		mean /= float64(n)
+		// The floor keeps the deseasonalized ratio finite on flows whose
+		// baseline dips to zero (outages, tiny gravity cells).
+		d.floor[od] = 1e-9 + 0.01*mean
+		d.norm[od] = mean
+		if d.norm[od] <= 0 {
+			d.norm[od] = 1e-9
+		}
+		if d.base != nil {
+			d.base[od] = seasonalBaseline(train, od, opts.Period)
+		}
+		for i := 0; i < n; i++ {
+			ratios[i] = d.deseason(od, i, train.At(i, od))
+		}
+		copy(sorted, ratios)
+		sort.Float64s(sorted)
+		edges := make([]float64, opts.Levels-1)
+		for l := 1; l < opts.Levels; l++ {
+			edges[l-1] = sorted[(l*n)/opts.Levels]
+		}
+		d.edges[od] = edges
+		// Reference distribution: training occupancy per level with
+		// Laplace smoothing, so no level has zero reference mass and the
+		// KL divergence stays finite on any window.
+		ref := make([]float64, opts.Levels)
+		for i := 0; i < n; i++ {
+			ref[d.level(od, ratios[i])]++
+		}
+		var tot float64
+		for l := range ref {
+			ref[l]++
+			tot += ref[l]
+		}
+		for l := range ref {
+			ref[l] /= tot
+		}
+		d.ref[od] = ref
+		d.ring[od] = make([]uint8, opts.Window)
+		d.counts[od] = make([]float64, opts.Levels)
+	}
+	// Calibration pass: stream the training rows through the live scoring
+	// machinery and set the threshold at the (1-Alpha) quantile of the
+	// network scores, with a small headroom factor because the training
+	// sample of window scores is finite. The pass doubles as window
+	// priming: after it, the rings hold the training tail.
+	scores := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		s, _, err := d.score(i, train.RowView(i))
+		if err != nil {
+			return nil, err
+		}
+		if d.fill >= opts.Window {
+			scores = append(scores, s)
+		}
+	}
+	d.limit = stats.Quantile(scores, 1-opts.Alpha) * 1.25
+	return d, nil
+}
+
+// seasonalBaseline estimates the per-phase mean of one OD column, smoothed
+// over a ±6-bin phase neighborhood so a few training periods suffice.
+func seasonalBaseline(train *mat.Matrix, od, period int) []float64 {
+	n := train.Rows()
+	sum := make([]float64, period)
+	cnt := make([]float64, period)
+	for i := 0; i < n; i++ {
+		sum[i%period] += train.At(i, od)
+		cnt[i%period]++
+	}
+	base := make([]float64, period)
+	const half = 6
+	for ph := 0; ph < period; ph++ {
+		var s, c float64
+		for k := -half; k <= half; k++ {
+			j := ((ph+k)%period + period) % period
+			s += sum[j]
+			c += cnt[j]
+		}
+		base[ph] = s / c
+	}
+	return base
+}
+
+// deseason maps one raw value to the ratio against its seasonal baseline
+// (or the flow's training mean when deseasonalization is disabled), so the
+// quantization alphabet is scale-free and phase-conditioned.
+func (d *Detector) deseason(od, bin int, x float64) float64 {
+	denom := d.norm[od]
+	if d.base != nil {
+		denom = d.base[od][bin%d.opts.Period]
+		if denom < d.floor[od] {
+			denom = d.floor[od]
+		}
+	}
+	return x / denom
+}
+
+// level quantizes one deseasonalized value into the OD's alphabet.
+func (d *Detector) level(od int, v float64) int {
+	// Levels is small (8 by default): a linear scan beats binary search.
+	for l, e := range d.edges[od] {
+		if v < e {
+			return l
+		}
+	}
+	return d.opts.Levels - 1
+}
+
+// score advances every OD's window by one bin and returns the network-wide
+// rate score (max over ODs) and its arg-max OD.
+func (d *Detector) score(bin int, x []float64) (float64, int, error) {
+	if len(x) != d.p {
+		return 0, 0, fmt.Errorf("empirical: vector length %d, want %d", len(x), d.p)
+	}
+	w := d.opts.Window
+	full := d.fill >= w
+	best, bestOD := 0.0, 0
+	for od := 0; od < d.p; od++ {
+		lvl := uint8(d.level(od, d.deseason(od, bin, x[od])))
+		if full {
+			d.counts[od][d.ring[od][d.next]]--
+		}
+		d.ring[od][d.next] = lvl
+		d.counts[od][lvl]++
+		n := float64(w)
+		if !full {
+			n = float64(d.fill + 1)
+		}
+		for l := range d.emp {
+			d.emp[l] = d.counts[od][l] / n
+		}
+		kl, err := stats.KLDivergence(d.emp, d.ref[od])
+		if err != nil {
+			return 0, 0, err
+		}
+		// n·D(p̂ || ref): the large-deviations rate of the window.
+		if s := n * kl; s > best {
+			best, bestOD = s, od
+		}
+	}
+	d.next = (d.next + 1) % w
+	if d.fill < w {
+		d.fill++
+	}
+	return best, bestOD, nil
+}
+
+// P returns the vector length the detector scores.
+func (d *Detector) P() int { return d.p }
+
+// Threshold returns the calibrated alarm threshold on the rate score.
+func (d *Detector) Threshold() float64 { return d.limit }
+
+// Score folds bin's OD vector into the sliding windows and returns the
+// network-wide rate score, the OD flow responsible for it, and whether it
+// exceeds the calibrated threshold. Bins must be fed in time order, one
+// call per bin; the bin index selects the seasonal phase, so it must
+// continue the training window's indexing.
+func (d *Detector) Score(bin int, x []float64) (score float64, topOD int, alarm bool, err error) {
+	score, topOD, err = d.score(bin, x)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return score, topOD, score > d.limit, nil
+}

@@ -1,0 +1,103 @@
+package empirical
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"netwide/internal/mat"
+)
+
+// synth fills an n x p matrix with a diurnal-ish sinusoid plus noise, one
+// amplitude per column, deterministically.
+func synth(n, p int, seed uint64) *mat.Matrix {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	m := mat.New(n, p)
+	for od := 0; od < p; od++ {
+		base := 1000 * float64(od+1)
+		for i := 0; i < n; i++ {
+			phase := 2 * math.Pi * float64(i) / 288
+			m.Set(i, od, base*(1+0.3*math.Sin(phase))+rng.NormFloat64()*base*0.05)
+		}
+	}
+	return m
+}
+
+func TestFitRejectsShortTraining(t *testing.T) {
+	if _, err := Fit(mat.New(10, 3), DefaultOptions()); err == nil {
+		t.Fatal("10-bin training accepted with a 12-bin window")
+	}
+}
+
+func TestCleanContinuationStaysQuiet(t *testing.T) {
+	train := synth(576, 5, 1)
+	d, err := Fit(train, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() <= 0 {
+		t.Fatalf("threshold %v not positive", d.Threshold())
+	}
+	cont := synth(576+288, 5, 1) // same process, continued
+	alarms := 0
+	for i := 576; i < cont.Rows(); i++ {
+		_, _, alarm, err := d.Score(i, cont.RowView(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alarm {
+			alarms++
+		}
+	}
+	// The threshold is calibrated for alpha=0.001 with headroom; a few
+	// alarms in 288 clean bins would already be a miscalibration.
+	if alarms > 2 {
+		t.Fatalf("%d false alarms on 288 clean bins", alarms)
+	}
+}
+
+func TestSustainedShiftAlarmsWithAttribution(t *testing.T) {
+	train := synth(576, 5, 2)
+	d, err := Fit(train, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont := synth(576+288, 5, 2)
+	const attacked = 3
+	alarmed, attributed := false, false
+	for i := 576; i < cont.Rows(); i++ {
+		row := append([]float64(nil), cont.RowView(i)...)
+		if i >= 576+48 {
+			row[attacked] *= 2.5 // sustained volume shift on one OD
+		}
+		score, topOD, alarm, err := d.Score(i, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 576+48+d.opts.Window && alarm {
+			alarmed = true
+			if topOD == attacked {
+				attributed = true
+			}
+			if score <= d.Threshold() {
+				t.Fatalf("alarm with score %v <= threshold %v", score, d.Threshold())
+			}
+		}
+	}
+	if !alarmed {
+		t.Fatal("2.5x sustained shift never alarmed")
+	}
+	if !attributed {
+		t.Fatal("alarm never attributed to the shifted OD")
+	}
+}
+
+func TestScoreRejectsWrongLength(t *testing.T) {
+	d, err := Fit(synth(576, 4, 3), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := d.Score(576, make([]float64, 5)); err == nil {
+		t.Fatal("wrong-length vector accepted")
+	}
+}

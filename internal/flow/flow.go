@@ -50,6 +50,7 @@ const (
 	PortNetBIOS  uint16 = 139   // network scans
 	PortMSSQL    uint16 = 1433  // SQL-Snake worm
 	PortDeloder  uint16 = 445   // Deloder worm
+	PortHTTPS    uint16 = 443   // TLS; slow-ramp exfiltration hides here
 	PortKazaa    uint16 = 1412  // file sharing ALPHA flows
 	PortIperfLo  uint16 = 5000  // bandwidth experiments (SLAC IEPM)
 	PortIperfHi  uint16 = 5050  // end of the bandwidth-experiment range

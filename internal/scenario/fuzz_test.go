@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+// FuzzLoadScenario drives hostile bytes through the scenario loader — the
+// same FromJSON path LoadFile and the CLI tools take for user-supplied
+// files. Anything that parses must then survive the full lifecycle: a
+// JSON round trip that reproduces the same scenario, and compilation
+// against a real topology without panicking — Build does RNG arithmetic
+// (fan-ins, permutations, windows) directly on attacker-controlled
+// integers.
+func FuzzLoadScenario(f *testing.F) {
+	// Seed with the bundled scenarios plus shapes chosen to sit on the
+	// validation edges.
+	for _, name := range []string{"six-classes.json", "adversarial.json"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","episodes":[{"type":"scan","start_bin":-1}]}`))
+	f.Add([]byte(`{"name":"x","episodes":[{"type":"coordinated","start_bin":0,"origins":200}]}`))
+	f.Add([]byte(`{"name":"x","episodes":[{"type":"stealth-ddos","start_bin":0,"magnitude":8,"origins":64}]}`))
+	f.Add([]byte(`{"name":"x","episodes":[{"type":"contamination","start_bin":2015,"duration_bins":1,"magnitude":4}]}`))
+	f.Add([]byte(`{"name":"x","seed":18446744073709551615,"episodes":[{"type":"outage","start_bin":0,"magnitude":0.999}]}`))
+
+	top := topology.Abilene()
+	bg, err := traffic.NewBackground(top, 8e5, 2004)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := FromJSON(data)
+		if err != nil {
+			return // rejected input is the success case
+		}
+		out, err := s.JSON()
+		if err != nil {
+			t.Fatalf("accepted scenario does not re-serialize: %v", err)
+		}
+		back, err := FromJSON(out)
+		if err != nil {
+			t.Fatalf("re-serialized scenario rejected: %v\n%s", err, out)
+		}
+		if len(back.Episodes) != len(s.Episodes) {
+			t.Fatalf("round trip changed episode count: %d -> %d", len(s.Episodes), len(back.Episodes))
+		}
+		// Cap the injector volume before compiling: Count is multiplicative
+		// and a fuzzer-chosen huge count would only test the allocator.
+		total := 0
+		for _, e := range s.Episodes {
+			c := e.Count
+			if c == 0 {
+				c = 1
+			}
+			total += c
+		}
+		if total > 32 {
+			return
+		}
+		led, err := s.Build(top, bg, 1)
+		if err != nil {
+			return // topology-level rejection is fine; panics are not
+		}
+		for _, spec := range led.Specs() {
+			if spec.StartBin < 0 || spec.EndBin < spec.StartBin || spec.EndBin >= traffic.BinsPerWeek {
+				t.Fatalf("compiled window [%d,%d] outside the 1-week run", spec.StartBin, spec.EndBin)
+			}
+			if len(spec.ODs) == 0 {
+				t.Fatalf("compiled %v episode targets no ODs", spec.Type)
+			}
+		}
+	})
+}

@@ -34,8 +34,10 @@ import (
 // the same defaults the random schedule uses, drawn deterministically from
 // the scenario seed.
 type Episode struct {
-	// Type is one of "alpha", "dos", "ddos", "flash", "scan", "portscan",
-	// "worm", "ptmult", "outage", "ingress-shift".
+	// Type is one of the honest classes "alpha", "dos", "ddos", "flash",
+	// "scan", "portscan", "worm", "ptmult", "outage", "ingress-shift", or
+	// the adversarial classes "stealth-ddos", "coordinated", "slow-ramp",
+	// "contamination" (see anomaly's adversarial injectors).
 	Type string `json:"type"`
 	// Count is the number of copies to schedule (0 means 1).
 	Count int `json:"count,omitempty"`
@@ -79,6 +81,8 @@ var episodeTypes = map[string]bool{
 	"alpha": true, "dos": true, "ddos": true, "flash": true, "scan": true,
 	"portscan": true, "worm": true, "ptmult": true, "outage": true,
 	"ingress-shift": true,
+	"stealth-ddos":  true, "coordinated": true, "slow-ramp": true,
+	"contamination": true,
 }
 
 // FromJSON parses a scenario, rejecting unknown fields and trailing
@@ -118,6 +122,26 @@ func (s *Scenario) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
+// Shape limits enforced by Validate.
+const (
+	// MaxMagnitude caps the volume multiplier of every additive episode
+	// class: beyond it the flow counts overflow any realistic bin and the
+	// scenario is almost certainly a typo.
+	MaxMagnitude = 1e4
+	// MaxStealthMagnitude caps "stealth-ddos": the class exists to model
+	// attacks holding under the detection threshold, and past a few
+	// multiples of the mean OD load the episode is an ordinary ddos.
+	MaxStealthMagnitude = 8
+	// MaxContaminationBoost caps the "contamination" volume boost: the
+	// class models a plateau subtle enough to survive inside a training
+	// window, not a flood.
+	MaxContaminationBoost = 4
+	// MaxDurationBins caps a pinned episode duration at four weeks — longer
+	// than any run the generator produces, so a bigger value is a typo
+	// caught here rather than a Build error naming the wrong limit.
+	MaxDurationBins = 4 * traffic.BinsPerWeek
+)
+
 // Validate checks episode shapes (types, counts, durations, magnitudes).
 // Topology-dependent checks — PoP names, bin ranges — happen in Build,
 // where the topology and run length are known.
@@ -138,17 +162,39 @@ func (s *Scenario) Validate() error {
 		if e.DurationBins < 0 {
 			return fmt.Errorf("scenario: episode %d: negative duration", i)
 		}
+		if e.DurationBins > MaxDurationBins {
+			return fmt.Errorf("scenario: episode %d: duration %d bins exceeds the %d-bin (4-week) cap", i, e.DurationBins, MaxDurationBins)
+		}
 		if e.Magnitude < 0 {
 			return fmt.Errorf("scenario: episode %d: negative magnitude", i)
+		}
+		if e.Magnitude > MaxMagnitude {
+			return fmt.Errorf("scenario: episode %d: magnitude %v implausible (want <= %v times the mean OD load)", i, e.Magnitude, float64(MaxMagnitude))
 		}
 		if e.Origins < 0 {
 			return fmt.Errorf("scenario: episode %d: negative origins", i)
 		}
-		if e.Type == "outage" && e.Magnitude >= 1 {
-			return fmt.Errorf("scenario: episode %d: outage magnitude %v is the surviving fraction, want < 1", i, e.Magnitude)
-		}
-		if e.Type == "ingress-shift" && e.Magnitude > 1 {
-			return fmt.Errorf("scenario: episode %d: ingress-shift magnitude %v is the shifted share, want <= 1", i, e.Magnitude)
+		switch e.Type {
+		case "outage":
+			if e.Magnitude >= 1 {
+				return fmt.Errorf("scenario: episode %d: outage magnitude %v is the surviving fraction, want < 1", i, e.Magnitude)
+			}
+		case "ingress-shift":
+			if e.Magnitude > 1 {
+				return fmt.Errorf("scenario: episode %d: ingress-shift magnitude %v is the shifted share, want <= 1", i, e.Magnitude)
+			}
+		case "stealth-ddos":
+			if e.Magnitude > MaxStealthMagnitude {
+				return fmt.Errorf("scenario: episode %d: stealth-ddos magnitude %v is not stealthy (want <= %d times the mean OD load; use ddos for overt attacks)", i, e.Magnitude, MaxStealthMagnitude)
+			}
+		case "contamination":
+			if e.Magnitude > MaxContaminationBoost {
+				return fmt.Errorf("scenario: episode %d: contamination magnitude %v is the extra volume fraction, want <= %d (use dos/ddos for floods)", i, e.Magnitude, MaxContaminationBoost)
+			}
+		case "slow-ramp":
+			if e.DurationBins == 1 {
+				return fmt.Errorf("scenario: episode %d: slow-ramp duration 1 bin cannot ramp (want >= 2 bins or 0 for the default)", i)
+			}
 		}
 	}
 	return nil
@@ -271,11 +317,12 @@ func (b *builder) port(e Episode, defaults ...uint16) uint16 {
 	return defaults[b.rng.IntN(len(defaults))]
 }
 
-// origins draws the multi-origin OD set for ddos/worm episodes.
-func (b *builder) originODs(e Episode, dst topology.PoP, distinct bool) []topology.ODPair {
+// origins draws a multi-origin OD set targeting dst; the fan-in defaults to
+// [defLo, defLo+defSpan) when the episode leaves Origins unset.
+func (b *builder) originODs(e Episode, dst topology.PoP, distinct bool, defLo, defSpan int) []topology.ODPair {
 	n := e.Origins
 	if n == 0 {
-		n = 2 + b.rng.IntN(3)
+		n = defLo + b.rng.IntN(defSpan)
 	}
 	if max := b.top.NumPoPs() - 1; distinct && n > max {
 		n = max
@@ -336,7 +383,7 @@ func (b *builder) compile(e Episode) (anomaly.Injector, error) {
 		if err != nil {
 			return nil, err
 		}
-		ods := b.originODs(e, dst, true)
+		ods := b.originODs(e, dst, true, 2, 3)
 		start, dur, err := b.window(e, 1+b.rng.IntN(4))
 		if err != nil {
 			return nil, err
@@ -478,7 +525,110 @@ func (b *builder) compile(e Episode) (anomaly.Injector, error) {
 		}
 		return anomaly.NewIngressShift(b.nextID(), b.top, from, to, start, dur, share), nil
 
+	case "stealth-ddos":
+		dst, err := b.pop(e.Dest)
+		if err != nil {
+			return nil, err
+		}
+		// Wider fan-in than an honest ddos: the point is to dilute the
+		// per-flow residual.
+		ods := b.originODs(e, dst, true, 4, 4)
+		start, dur, err := b.window(e, 12+b.rng.IntN(24))
+		if err != nil {
+			return nil, err
+		}
+		victim := b.hostAt(dst, b.rng.Uint64N(100))
+		total := b.refBytes / 4700 * b.mag(e, 1.5, 3)
+		perOD := uint64(total / float64(len(ods)))
+		if perOD == 0 {
+			perOD = 1
+		}
+		return anomaly.NewStealthDDOS(b.nextID(), ods, start, dur,
+			victim, b.port(e, flow.PortZero), perOD, uint64(1+b.rng.IntN(3))), nil
+
+	case "coordinated":
+		ods, err := b.meshODs(e)
+		if err != nil {
+			return nil, err
+		}
+		start, dur, err := b.window(e, 2+b.rng.IntN(4))
+		if err != nil {
+			return nil, err
+		}
+		total := b.refBytes / 4700 * b.mag(e, 5, 12)
+		perOD := uint64(total / float64(len(ods)))
+		if perOD == 0 {
+			perOD = 1
+		}
+		return anomaly.NewCoordFlood(b.nextID(), ods, start, dur,
+			b.port(e, flow.PortHTTP, flow.PortDNS, flow.PortZero), perOD, 2), nil
+
+	case "slow-ramp":
+		od, err := b.od(e)
+		if err != nil {
+			return nil, err
+		}
+		start, dur, err := b.window(e, 48+b.rng.IntN(48))
+		if err != nil {
+			return nil, err
+		}
+		peak := b.refBytes * b.mag(e, 8, 18)
+		return anomaly.NewSlowRamp(b.nextID(), od, start, dur,
+			b.hostAt(od.Origin, b.rng.Uint64N(1000)), b.hostAt(od.Dest, b.rng.Uint64N(1000)),
+			b.port(e, flow.PortHTTPS), peak), nil
+
+	case "contamination":
+		dst, err := b.pop(e.Dest)
+		if err != nil {
+			return nil, err
+		}
+		var ods []topology.ODPair
+		if e.Origin != "" {
+			o, err := b.top.PoPByName(e.Origin)
+			if err != nil {
+				return nil, err
+			}
+			ods = []topology.ODPair{{Origin: o, Dest: dst}}
+		} else {
+			ods = b.originODs(e, dst, true, 2, 2)
+		}
+		start, dur, err := b.window(e, 144+b.rng.IntN(144))
+		if err != nil {
+			return nil, err
+		}
+		boost := e.Magnitude
+		if boost == 0 {
+			boost = 0.6 + b.rng.Float64()*0.6
+		}
+		return anomaly.NewContamination(b.nextID(), ods, start, dur, boost), nil
+
 	default:
 		return nil, fmt.Errorf("unknown type %q", e.Type)
 	}
+}
+
+// meshODs draws the OD mesh of a "coordinated" episode: distinct origins
+// paired with distinct destinations (a cyclic shift of the same PoP draw,
+// so origin never equals destination), spreading the volume so that no
+// single flow — and no single destination — dominates.
+func (b *builder) meshODs(e Episode) ([]topology.ODPair, error) {
+	n := e.Origins
+	if n == 0 {
+		n = 6 + b.rng.IntN(4)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("coordinated mesh needs at least 2 origins, have %d", n)
+	}
+	if max := b.top.NumPoPs(); n > max {
+		n = max
+	}
+	pops := b.rng.Perm(b.top.NumPoPs())[:n]
+	ods := make([]topology.ODPair, n)
+	for i := 0; i < n; i++ {
+		ods[i] = topology.ODPair{
+			Origin: topology.PoP(pops[i]),
+			Dest:   topology.PoP(pops[(i+1)%n]),
+		}
+	}
+	return ods, nil
 }

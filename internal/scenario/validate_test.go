@@ -1,0 +1,184 @@
+package scenario
+
+// Satellite coverage for the scenario schema: every episode class must
+// reject out-of-range magnitudes, durations and OD targets with an error
+// that names the offending value or constraint — a scenario author's only
+// debugging surface is the error string.
+
+import (
+	"strings"
+	"testing"
+
+	"netwide/internal/topology"
+	"netwide/internal/traffic"
+)
+
+// allEpisodeTypes mirrors the accepted Type values; the completeness test
+// below keeps it in sync with the real table.
+var allEpisodeTypes = []string{
+	"alpha", "dos", "ddos", "flash", "scan", "portscan", "worm", "ptmult",
+	"outage", "ingress-shift",
+	"stealth-ddos", "coordinated", "slow-ramp", "contamination",
+}
+
+func TestAllEpisodeTypesCovered(t *testing.T) {
+	if len(allEpisodeTypes) != len(episodeTypes) {
+		t.Fatalf("test covers %d types, schema accepts %d — update the validation table", len(allEpisodeTypes), len(episodeTypes))
+	}
+	for _, typ := range allEpisodeTypes {
+		if !episodeTypes[typ] {
+			t.Fatalf("test lists %q which the schema does not accept", typ)
+		}
+	}
+}
+
+// TestValidateRejectsPerClass drives one invalid magnitude, one invalid
+// duration and one invalid OD target through every episode class.
+// Magnitude and duration are shape errors (Validate, reachable through
+// FromJSON); OD targets resolve against a topology, so those cases go
+// through Build.
+func TestValidateRejectsPerClass(t *testing.T) {
+	top := topology.Abilene()
+	bg := testBG(t, top)
+
+	type tc struct {
+		name    string
+		ep      Episode
+		build   bool   // route through Build (topology-dependent) instead of Validate
+		wantErr string // substring the error must contain
+	}
+	var cases []tc
+	for _, typ := range allEpisodeTypes {
+		// Every additive class shares the implausible-magnitude cap; the
+		// ratio-like classes have tighter, semantically distinct caps.
+		switch typ {
+		case "outage":
+			cases = append(cases, tc{typ + "/magnitude", Episode{Type: typ, StartBin: 0, Magnitude: 1.5}, false, "surviving fraction"})
+		case "ingress-shift":
+			cases = append(cases, tc{typ + "/magnitude", Episode{Type: typ, StartBin: 0, Magnitude: 1.2}, false, "shifted share"})
+		case "stealth-ddos":
+			cases = append(cases, tc{typ + "/magnitude", Episode{Type: typ, StartBin: 0, Magnitude: MaxStealthMagnitude + 1}, false, "not stealthy"})
+		case "contamination":
+			cases = append(cases, tc{typ + "/magnitude", Episode{Type: typ, StartBin: 0, Magnitude: MaxContaminationBoost + 1}, false, "extra volume fraction"})
+		default:
+			cases = append(cases, tc{typ + "/magnitude", Episode{Type: typ, StartBin: 0, Magnitude: MaxMagnitude + 1}, false, "implausible"})
+		}
+		// Negative magnitudes are rejected for every class.
+		cases = append(cases, tc{typ + "/negative-magnitude", Episode{Type: typ, StartBin: 0, Magnitude: -1}, false, "negative magnitude"})
+		// Durations: the 4-week shape cap, and the run-length check in Build.
+		cases = append(cases, tc{typ + "/duration-cap", Episode{Type: typ, StartBin: 0, DurationBins: MaxDurationBins + 1}, false, "4-week"})
+		cases = append(cases, tc{typ + "/duration-run", Episode{Type: typ, StartBin: 0, DurationBins: traffic.BinsPerWeek + 10}, true, "exceeds"})
+		// OD targets: a PoP name the topology does not have. The
+		// "coordinated" class takes no Origin/Dest — its mesh size is the
+		// targeting knob, and a 1-origin mesh cannot spread anything.
+		if typ == "coordinated" {
+			cases = append(cases, tc{typ + "/od-target", Episode{Type: typ, StartBin: -1, Origins: 1}, true, "at least 2 origins"})
+		} else {
+			field := "dest"
+			ep := Episode{Type: typ, StartBin: -1, Dest: "NOSUCHPOP"}
+			if typ == "scan" || typ == "portscan" || typ == "outage" {
+				field = "origin"
+				ep = Episode{Type: typ, StartBin: -1, Origin: "NOSUCHPOP"}
+			}
+			cases = append(cases, tc{typ + "/od-target-" + field, ep, true, "NOSUCHPOP"})
+		}
+	}
+	// Slow-ramp has one class-specific shape rule on top of the shared ones.
+	cases = append(cases, tc{"slow-ramp/one-bin", Episode{Type: "slow-ramp", StartBin: 0, DurationBins: 1}, false, "cannot ramp"})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := &Scenario{Name: "bad", Episodes: []Episode{c.ep}}
+			var err error
+			if c.build {
+				_, err = s.Build(top, bg, 1)
+			} else {
+				err = s.Validate()
+			}
+			if err == nil {
+				t.Fatalf("invalid %s episode accepted: %+v", c.ep.Type, c.ep)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q — not descriptive enough to debug a scenario file", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsBoundaryValues pins the inclusive side of every cap:
+// the limit values themselves are legal.
+func TestValidateAcceptsBoundaryValues(t *testing.T) {
+	for _, ep := range []Episode{
+		{Type: "ddos", StartBin: -1, Magnitude: MaxMagnitude},
+		{Type: "stealth-ddos", StartBin: -1, Magnitude: MaxStealthMagnitude},
+		{Type: "contamination", StartBin: -1, Magnitude: MaxContaminationBoost},
+		{Type: "scan", StartBin: -1, DurationBins: MaxDurationBins},
+		{Type: "slow-ramp", StartBin: -1, DurationBins: 2},
+		{Type: "outage", StartBin: -1, Magnitude: 0.99},
+		{Type: "ingress-shift", StartBin: -1, Magnitude: 1},
+	} {
+		s := &Scenario{Name: "boundary", Episodes: []Episode{ep}}
+		if err := s.Validate(); err != nil {
+			t.Errorf("boundary %s episode rejected: %v", ep.Type, err)
+		}
+	}
+}
+
+// TestBuildCompilesAdversarialTypes extends the every-type compile check
+// to the adversarial family and pins their targeting semantics.
+func TestBuildCompilesAdversarialTypes(t *testing.T) {
+	top := topology.Abilene()
+	bg := testBG(t, top)
+	s := &Scenario{
+		Name: "adversarial",
+		Seed: 9,
+		Episodes: []Episode{
+			{Type: "stealth-ddos", StartBin: 100, DurationBins: 24, Magnitude: 2, Dest: "LOSA", Origins: 6},
+			{Type: "coordinated", StartBin: 400, DurationBins: 4, Origins: 8},
+			{Type: "slow-ramp", StartBin: 700, DurationBins: 48, Origin: "CHIN", Dest: "NYCM"},
+			{Type: "contamination", StartBin: 1000, DurationBins: 144, Magnitude: 1, Origin: "STTL", Dest: "LOSA"},
+		},
+	}
+	led, err := s.Build(top, bg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := led.Specs()
+	if len(specs) != 4 {
+		t.Fatalf("built %d injectors, want 4", len(specs))
+	}
+	losa, _ := top.PoPByName("LOSA")
+	if got := len(specs[0].ODs); got != 6 {
+		t.Errorf("stealth-ddos fan %d, want the pinned 6", got)
+	}
+	for _, od := range specs[0].ODs {
+		if od.Dest != losa {
+			t.Errorf("stealth-ddos OD %v does not target LOSA", od)
+		}
+		if od.Origin == losa {
+			t.Error("stealth-ddos origin equals the victim PoP")
+		}
+	}
+	// The coordinated mesh must have no dominant destination: origins and
+	// destinations are both distinct.
+	seenO, seenD := map[topology.PoP]bool{}, map[topology.PoP]bool{}
+	for _, od := range specs[1].ODs {
+		if od.Origin == od.Dest {
+			t.Errorf("coordinated OD %v loops back to its origin", od)
+		}
+		seenO[od.Origin] = true
+		seenD[od.Dest] = true
+	}
+	if len(seenO) != 8 || len(seenD) != 8 {
+		t.Errorf("coordinated mesh has %d distinct origins / %d dests, want 8/8", len(seenO), len(seenD))
+	}
+	if got := len(specs[2].ODs); got != 1 {
+		t.Errorf("slow-ramp targets %d ODs, want 1", got)
+	}
+	if got := len(specs[3].ODs); got != 1 {
+		t.Errorf("contamination with a named origin targets %d ODs, want 1", got)
+	}
+	if specs[3].StartBin != 1000 || specs[3].EndBin != 1143 {
+		t.Errorf("contamination window [%d,%d], want [1000,1143]", specs[3].StartBin, specs[3].EndBin)
+	}
+}

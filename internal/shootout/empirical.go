@@ -1,0 +1,55 @@
+package shootout
+
+import (
+	"fmt"
+
+	"netwide/internal/dataset"
+	"netwide/internal/empirical"
+)
+
+// Empirical adapts the empirical-measure (method-of-types) detector: one
+// per-measure large-deviations scorer, combined by the worst
+// rate-to-threshold ratio across the three measures.
+type Empirical struct {
+	// Opts configures each per-measure detector; the zero value means
+	// empirical.DefaultOptions.
+	Opts empirical.Options
+}
+
+// Name returns "empirical".
+func (e *Empirical) Name() string { return "empirical" }
+
+// Run fits one detector per measure on the training prefix and streams
+// every later bin through all three, in time order (the empirical
+// detector is stateful — its sliding windows advance per call).
+func (e *Empirical) Run(ds *dataset.Dataset, trainBins int) ([]BinVerdict, error) {
+	opts := e.Opts
+	if opts == (empirical.Options{}) {
+		opts = empirical.DefaultOptions()
+	}
+	var dets [dataset.NumMeasures]*empirical.Detector
+	for m := dataset.Measure(0); m < dataset.NumMeasures; m++ {
+		d, err := empirical.Fit(ds.Matrix(m).HeadRows(trainBins), opts)
+		if err != nil {
+			return nil, fmt.Errorf("empirical: fit %v: %w", m, err)
+		}
+		dets[m] = d
+	}
+	verdicts := make([]BinVerdict, 0, ds.Bins-trainBins)
+	for bin := trainBins; bin < ds.Bins; bin++ {
+		v := BinVerdict{Bin: bin, TopOD: -1}
+		for m := dataset.Measure(0); m < dataset.NumMeasures; m++ {
+			score, topOD, alarm, err := dets[m].Score(bin, ds.Matrix(m).RowView(bin))
+			if err != nil {
+				return nil, fmt.Errorf("empirical: score %v bin %d: %w", m, bin, err)
+			}
+			if norm := score / dets[m].Threshold(); norm > v.Score {
+				v.Score = norm
+				v.TopOD = topOD
+			}
+			v.Alarm = v.Alarm || alarm
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, nil
+}

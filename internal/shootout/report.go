@@ -1,0 +1,102 @@
+package shootout
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is the serializable result of one shootout: the scenario label
+// plus every detector's metrics, in roster order.
+type Report struct {
+	Scenario  string    `json:"scenario"`
+	TrainBins int       `json:"train_bins"`
+	Detectors []Metrics `json:"detectors"`
+}
+
+// NewReport bundles rounded metrics into a report (rounding makes the
+// JSON form fixture-stable; see Round).
+func NewReport(scenario string, trainBins int, ms []Metrics) Report {
+	return Report{Scenario: scenario, TrainBins: trainBins, Detectors: Round(ms)}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the report as two fixed-width tables: the per-detector
+// scorecard, then the per-episode outcome grid (episodes as rows, one
+// hit/miss column per detector).
+func (r Report) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("shootout: %s (train %d bins)\n\n", r.Scenario, r.TrainBins)
+	bw.printf("%-16s %7s %7s %7s  %9s %8s %6s", "DETECTOR", "AUC", "TPR", "FPR", "EPISODES", "LATENCY", "ATTR")
+	for _, p := range rocFPRCaps {
+		bw.printf(" %8s", fmt.Sprintf("T@%g", p))
+	}
+	bw.printf("\n")
+	for _, m := range r.Detectors {
+		lat, attr := "-", "-"
+		if m.MeanLatencyBins >= 0 {
+			lat = fmt.Sprintf("%.1f", m.MeanLatencyBins)
+		}
+		if m.AttributionAccuracy >= 0 {
+			attr = fmt.Sprintf("%.0f%%", 100*m.AttributionAccuracy)
+		}
+		bw.printf("%-16s %7.4f %7.4f %7.4f  %5d/%-3d %8s %6s",
+			m.Detector, m.AUC, m.TPR, m.FPR, m.EpisodesDetected, m.EpisodesTotal, lat, attr)
+		for _, pt := range m.ROC {
+			bw.printf(" %8.4f", pt.TPR)
+		}
+		bw.printf("\n")
+	}
+	if len(r.Detectors) == 0 || len(r.Detectors[0].Episodes) == 0 {
+		return bw.err
+	}
+	bw.printf("\nepisodes (d = detected, a = detected + attributed, . = missed):\n")
+	bw.printf("%-4s %-13s %-11s %4s", "ID", "TYPE", "BINS", "ODS")
+	for _, m := range r.Detectors {
+		bw.printf(" %-16s", m.Detector)
+	}
+	bw.printf("\n")
+	for i, ep := range r.Detectors[0].Episodes {
+		bw.printf("%-4d %-13s %5d-%-5d %4d", ep.ID, ep.Type, ep.StartBin, ep.EndBin, ep.ODs)
+		for _, m := range r.Detectors {
+			cell := "."
+			if i < len(m.Episodes) && m.Episodes[i].Detected {
+				cell = "d"
+				if m.Episodes[i].Attributed {
+					cell = "a"
+				}
+				cell = fmt.Sprintf("%s+%d", cell, m.Episodes[i].LatencyBins)
+			}
+			bw.printf(" %-16s", cell)
+		}
+		bw.printf("\n")
+	}
+	return bw.err
+}
+
+// String renders the text report.
+func (r Report) String() string {
+	var sb strings.Builder
+	_ = r.WriteText(&sb)
+	return sb.String()
+}
+
+// errWriter latches the first write error so table rendering stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,296 @@
+// Package shootout is the detector-comparison harness: it runs several
+// anomaly detectors — the repo's subspace method and baselines drawn from
+// the related literature — over the same scenario-driven dataset and the
+// same ground-truth ledger, and reduces each to comparable quality
+// numbers: bin-level ROC (TPR/FPR at the native operating point, a
+// threshold-sweep AUC, TPR at fixed FPR caps), per-episode detection
+// latency, and attribution accuracy.
+//
+// The harness is the repo's detection-quality gate: golden fixture tests
+// pin every detector's numbers on the deterministic six-class scenario and
+// on the adversarial family (stealth DDoS, coordinated floods, slow-ramp
+// exfiltration, refit poisoning), so a change that silently degrades
+// detection quality — not just speed — fails CI the same way a perf
+// regression does.
+package shootout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netwide/internal/anomaly"
+	"netwide/internal/dataset"
+)
+
+// BinVerdict is one detector's verdict for one evaluation bin. Score is a
+// continuous anomaly score normalized so 1.0 is the detector's native
+// alarm threshold; Alarm is the verdict at that native operating point;
+// TopOD is the OD column the detector blames most (-1 when it has no
+// attribution to offer).
+type BinVerdict struct {
+	Bin   int
+	Score float64
+	Alarm bool
+	TopOD int
+}
+
+// Detector is one contestant: it trains on the leading trainBins bins of
+// the dataset's three measure matrices and returns one verdict per bin in
+// [trainBins, ds.Bins), in order.
+type Detector interface {
+	Name() string
+	Run(ds *dataset.Dataset, trainBins int) ([]BinVerdict, error)
+}
+
+// ROCPoint is one point of the score-threshold sweep.
+type ROCPoint struct {
+	FPR float64 `json:"fpr"`
+	TPR float64 `json:"tpr"`
+}
+
+// EpisodeOutcome is one ground-truth episode's fate under one detector.
+type EpisodeOutcome struct {
+	ID       int    `json:"id"`
+	Type     string `json:"type"`
+	StartBin int    `json:"start_bin"`
+	EndBin   int    `json:"end_bin"`
+	ODs      int    `json:"ods"`
+	Detected bool   `json:"detected"`
+	// LatencyBins is first-alarm bin minus the episode's first evaluated
+	// bin; -1 when undetected.
+	LatencyBins int `json:"latency_bins"`
+	// Attributed reports whether the detector's top OD at the first
+	// alarmed bin belongs to the episode's OD set.
+	Attributed bool `json:"attributed"`
+}
+
+// Metrics is one detector's full scorecard over one scenario run.
+type Metrics struct {
+	Detector      string `json:"detector"`
+	EvalBins      int    `json:"eval_bins"`
+	AnomalousBins int    `json:"anomalous_bins"`
+	// TPR and FPR are bin-level rates at the native operating point.
+	TPR float64 `json:"tpr"`
+	FPR float64 `json:"fpr"`
+	// AUC is the area under the bin-level ROC swept over Score.
+	AUC float64 `json:"auc"`
+	// ROC samples the sweep at fixed FPR caps (the best TPR achievable
+	// within each cap), low-FPR head first.
+	ROC []ROCPoint `json:"roc"`
+	// Episode-level quality.
+	EpisodesTotal    int `json:"episodes_total"`
+	EpisodesDetected int `json:"episodes_detected"`
+	// MeanLatencyBins averages detection latency over detected episodes
+	// (-1 when nothing was detected).
+	MeanLatencyBins float64 `json:"mean_latency_bins"`
+	// AttributionAccuracy is the fraction of detected episodes whose first
+	// alarm was attributed inside the episode's OD set (-1 when nothing
+	// was detected).
+	AttributionAccuracy float64          `json:"attribution_accuracy"`
+	Episodes            []EpisodeOutcome `json:"episodes"`
+}
+
+// rocFPRCaps is the fixed FPR grid sampled into Metrics.ROC.
+var rocFPRCaps = []float64{0.001, 0.005, 0.01, 0.05, 0.1}
+
+// Evaluate runs one detector over the dataset and scores it against the
+// ground-truth ledger. Bins before trainBins are the training period and
+// are excluded from evaluation; an episode overlapping the boundary is
+// scored on its evaluated part only.
+func Evaluate(ds *dataset.Dataset, det Detector, trainBins int) (Metrics, error) {
+	if trainBins <= 0 || trainBins >= ds.Bins {
+		return Metrics{}, fmt.Errorf("shootout: trainBins %d outside (0,%d)", trainBins, ds.Bins)
+	}
+	verdicts, err := det.Run(ds, trainBins)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("shootout: %s: %w", det.Name(), err)
+	}
+	evalBins := ds.Bins - trainBins
+	if len(verdicts) != evalBins {
+		return Metrics{}, fmt.Errorf("shootout: %s returned %d verdicts, want %d", det.Name(), len(verdicts), evalBins)
+	}
+	specs := ds.Ledger.Specs()
+	truth := make([]bool, evalBins)
+	for _, s := range specs {
+		for b := max(s.StartBin, trainBins); b <= s.EndBin && b < ds.Bins; b++ {
+			truth[b-trainBins] = true
+		}
+	}
+
+	m := Metrics{Detector: det.Name(), EvalBins: evalBins}
+	for i, v := range verdicts {
+		if want := trainBins + i; v.Bin != want {
+			return Metrics{}, fmt.Errorf("shootout: %s verdict %d is for bin %d, want %d", det.Name(), i, v.Bin, want)
+		}
+		if truth[i] {
+			m.AnomalousBins++
+			if v.Alarm {
+				m.TPR++
+			}
+		} else if v.Alarm {
+			m.FPR++
+		}
+	}
+	if m.AnomalousBins > 0 {
+		m.TPR /= float64(m.AnomalousBins)
+	}
+	if n := evalBins - m.AnomalousBins; n > 0 {
+		m.FPR /= float64(n)
+	}
+	m.AUC, m.ROC = rocSweep(verdicts, truth)
+	m.Episodes = episodeOutcomes(ds, specs, verdicts, trainBins)
+	m.EpisodesTotal = len(m.Episodes)
+	var latSum float64
+	var attributed int
+	for _, ep := range m.Episodes {
+		if !ep.Detected {
+			continue
+		}
+		m.EpisodesDetected++
+		latSum += float64(ep.LatencyBins)
+		if ep.Attributed {
+			attributed++
+		}
+	}
+	if m.EpisodesDetected > 0 {
+		m.MeanLatencyBins = latSum / float64(m.EpisodesDetected)
+		m.AttributionAccuracy = float64(attributed) / float64(m.EpisodesDetected)
+	} else {
+		m.MeanLatencyBins = -1
+		m.AttributionAccuracy = -1
+	}
+	return m, nil
+}
+
+// RunAll evaluates every detector over the same dataset.
+func RunAll(ds *dataset.Dataset, dets []Detector, trainBins int) ([]Metrics, error) {
+	out := make([]Metrics, 0, len(dets))
+	for _, det := range dets {
+		m, err := Evaluate(ds, det, trainBins)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// rocSweep computes the bin-level ROC over the continuous scores: AUC by
+// the trapezoid rule (ties grouped, so equal scores contribute a single
+// diagonal segment) and the best TPR within each fixed FPR cap.
+func rocSweep(verdicts []BinVerdict, truth []bool) (float64, []ROCPoint) {
+	type sv struct {
+		score float64
+		pos   bool
+	}
+	pos, neg := 0, 0
+	svs := make([]sv, len(verdicts))
+	for i, v := range verdicts {
+		svs[i] = sv{v.Score, truth[i]}
+		if truth[i] {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		// ROC undefined without both classes; report a degenerate sweep.
+		return 0, make([]ROCPoint, len(rocFPRCaps))
+	}
+	sort.Slice(svs, func(i, j int) bool { return svs[i].score > svs[j].score })
+	var auc, tp, fp float64
+	bestAtCap := make([]float64, len(rocFPRCaps))
+	prevTP, prevFP := 0.0, 0.0
+	flush := func() {
+		auc += (fp - prevFP) / float64(neg) * (tp + prevTP) / (2 * float64(pos))
+		fpr, tpr := fp/float64(neg), tp/float64(pos)
+		for c, cap := range rocFPRCaps {
+			if fpr <= cap && tpr > bestAtCap[c] {
+				bestAtCap[c] = tpr
+			}
+		}
+		prevTP, prevFP = tp, fp
+	}
+	for i, s := range svs {
+		if i > 0 && s.score != svs[i-1].score {
+			flush()
+		}
+		if s.pos {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	flush()
+	roc := make([]ROCPoint, len(rocFPRCaps))
+	for c := range rocFPRCaps {
+		roc[c] = ROCPoint{FPR: rocFPRCaps[c], TPR: bestAtCap[c]}
+	}
+	return auc, roc
+}
+
+// episodeOutcomes scores each ground-truth episode overlapping the
+// evaluation range: detected when any evaluated bin inside its window
+// alarmed, latency from its first evaluated bin to the first alarm, and
+// attribution by whether the first alarm's top OD belongs to the episode.
+func episodeOutcomes(ds *dataset.Dataset, specs []anomaly.Spec, verdicts []BinVerdict, trainBins int) []EpisodeOutcome {
+	var out []EpisodeOutcome
+	for _, s := range specs {
+		if s.EndBin < trainBins {
+			continue // entirely inside the training period
+		}
+		first := max(s.StartBin, trainBins)
+		ep := EpisodeOutcome{
+			ID: s.ID, Type: s.Type.String(),
+			StartBin: s.StartBin, EndBin: s.EndBin, ODs: len(s.ODs),
+			LatencyBins: -1,
+		}
+		odSet := make(map[int]bool, len(s.ODs))
+		for _, od := range s.ODs {
+			odSet[ds.Top.Index(od)] = true
+		}
+		for b := first; b <= s.EndBin && b < ds.Bins; b++ {
+			v := verdicts[b-trainBins]
+			if !v.Alarm {
+				continue
+			}
+			ep.Detected = true
+			ep.LatencyBins = b - first
+			ep.Attributed = odSet[v.TopOD]
+			break
+		}
+		out = append(out, ep)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Round truncates the floating-point fields of the metrics to fixed
+// precision (1e-4 for rates and AUC, 1e-2 for latency) so serialized
+// reports — golden fixtures in particular — are stable against
+// last-ulp noise while still pinning four meaningful digits.
+func Round(ms []Metrics) []Metrics {
+	out := append([]Metrics(nil), ms...)
+	r4 := func(x float64) float64 { return math.Round(x*1e4) / 1e4 }
+	r2 := func(x float64) float64 { return math.Round(x*1e2) / 1e2 }
+	for i := range out {
+		out[i].TPR = r4(out[i].TPR)
+		out[i].FPR = r4(out[i].FPR)
+		out[i].AUC = r4(out[i].AUC)
+		out[i].MeanLatencyBins = r2(out[i].MeanLatencyBins)
+		out[i].AttributionAccuracy = r4(out[i].AttributionAccuracy)
+		roc := append([]ROCPoint(nil), out[i].ROC...)
+		for j := range roc {
+			roc[j].TPR = r4(roc[j].TPR)
+		}
+		out[i].ROC = roc
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package shootout
+
+import (
+	"math"
+	"testing"
+)
+
+func verdictsFrom(scores []float64) []BinVerdict {
+	vs := make([]BinVerdict, len(scores))
+	for i, s := range scores {
+		vs[i] = BinVerdict{Bin: i, Score: s}
+	}
+	return vs
+}
+
+func TestROCSweepSeparable(t *testing.T) {
+	// Positives strictly above negatives: perfect ranking.
+	scores := []float64{0.1, 0.2, 0.9, 0.8, 0.3, 0.95}
+	truth := []bool{false, false, true, true, false, true}
+	auc, roc := rocSweep(verdictsFrom(scores), truth)
+	if math.Abs(auc-1) > 1e-12 {
+		t.Fatalf("AUC %v on separable scores, want 1", auc)
+	}
+	for _, pt := range roc {
+		if pt.TPR != 1 {
+			t.Fatalf("TPR %v at cap %v on separable scores, want 1", pt.TPR, pt.FPR)
+		}
+	}
+}
+
+func TestROCSweepAntiSeparable(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.1, 0.2}
+	truth := []bool{false, false, true, true}
+	auc, roc := rocSweep(verdictsFrom(scores), truth)
+	if math.Abs(auc) > 1e-12 {
+		t.Fatalf("AUC %v on inverted ranking, want 0", auc)
+	}
+	for _, pt := range roc {
+		if pt.TPR != 0 {
+			t.Fatalf("TPR %v at cap %v on inverted ranking, want 0", pt.TPR, pt.FPR)
+		}
+	}
+}
+
+func TestROCSweepTiesAreHalfCredit(t *testing.T) {
+	// All scores identical: the sweep is a single diagonal segment and the
+	// AUC must be exactly 1/2 (ties grouped), not 0 or 1.
+	scores := []float64{5, 5, 5, 5}
+	truth := []bool{true, false, true, false}
+	auc, _ := rocSweep(verdictsFrom(scores), truth)
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("AUC %v on all-tied scores, want exactly 0.5", auc)
+	}
+}
+
+func TestROCSweepDegenerateClasses(t *testing.T) {
+	for _, truth := range [][]bool{{true, true}, {false, false}} {
+		auc, roc := rocSweep(verdictsFrom([]float64{1, 2}), truth)
+		if auc != 0 {
+			t.Fatalf("AUC %v with a single class present, want the degenerate 0", auc)
+		}
+		if len(roc) != len(rocFPRCaps) {
+			t.Fatalf("degenerate sweep has %d points, want %d", len(roc), len(rocFPRCaps))
+		}
+	}
+}
+
+func TestRoundIsStableAndNonDestructive(t *testing.T) {
+	in := []Metrics{{
+		Detector: "x",
+		TPR:      0.123456789, FPR: 1.0 / 3, AUC: 0.999999,
+		MeanLatencyBins: 10.0 / 3, AttributionAccuracy: -1,
+		ROC: []ROCPoint{{FPR: 0.01, TPR: 2.0 / 3}},
+	}}
+	out := Round(in)
+	if out[0].TPR != 0.1235 || out[0].FPR != 0.3333 || out[0].AUC != 1 {
+		t.Fatalf("rounded rates wrong: %+v", out[0])
+	}
+	if out[0].MeanLatencyBins != 3.33 {
+		t.Fatalf("latency rounded to %v, want 3.33", out[0].MeanLatencyBins)
+	}
+	if out[0].AttributionAccuracy != -1 {
+		t.Fatalf("the -1 sentinel must survive rounding, got %v", out[0].AttributionAccuracy)
+	}
+	if out[0].ROC[0].TPR != 0.6667 {
+		t.Fatalf("ROC TPR rounded to %v, want 0.6667", out[0].ROC[0].TPR)
+	}
+	// The input (and its ROC backing array) must be untouched.
+	if in[0].TPR != 0.123456789 || in[0].ROC[0].TPR != 2.0/3 {
+		t.Fatalf("Round mutated its input: %+v", in[0])
+	}
+}

@@ -151,3 +151,33 @@ func (e *EWMA) Update(x float64) float64 {
 
 // Value returns the current average (0 before any update).
 func (e *EWMA) Value() float64 { return e.value }
+
+// KLDivergence computes the Kullback–Leibler divergence D(p || q) in nats
+// between two distributions given as same-length probability vectors.
+// Zero-mass p cells contribute nothing; a cell with p > 0 but q == 0 makes
+// the divergence infinite, which is reported as an error — callers holding
+// empirical reference measures should smooth them first. By Sanov's
+// theorem, n·D(p̂ || q) is the large-deviations rate of observing empirical
+// measure p̂ over n samples of a source distributed as q, which is what
+// makes this the scoring core of the empirical-measure detector.
+func KLDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: KL divergence between length-%d and length-%d distributions", len(p), len(q))
+	}
+	var d float64
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		if q[i] <= 0 {
+			return 0, fmt.Errorf("stats: KL divergence infinite (p[%d]=%v but q[%d]=0; smooth the reference)", i, pi, i)
+		}
+		d += pi * math.Log(pi/q[i])
+	}
+	if d < 0 {
+		// Tiny negative values arise from rounding on near-identical
+		// distributions; clamp so scores are valid rates.
+		d = 0
+	}
+	return d, nil
+}

@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKLDivergence(t *testing.T) {
+	uniform := []float64{0.25, 0.25, 0.25, 0.25}
+	if d, err := KLDivergence(uniform, uniform); err != nil || d != 0 {
+		t.Fatalf("KL(p||p) = %v, %v; want 0, nil", d, err)
+	}
+	// KL against uniform over 4 symbols of a point mass is log 4.
+	point := []float64{1, 0, 0, 0}
+	d, err := KLDivergence(point, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Log(4); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("KL(point||uniform) = %v, want %v", d, want)
+	}
+	// Asymmetric: zero-mass p cells contribute nothing.
+	if d, err := KLDivergence([]float64{0.5, 0.5, 0, 0}, uniform); err != nil || math.Abs(d-math.Log(2)) > 1e-12 {
+		t.Fatalf("KL(half||uniform) = %v, %v; want log 2, nil", d, err)
+	}
+}
+
+func TestKLDivergenceErrors(t *testing.T) {
+	if _, err := KLDivergence([]float64{1, 0}, []float64{0.5, 0.5, 0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// p puts mass where q has none: infinite divergence is an error, not
+	// +Inf, so scoring paths fail loudly on unsmoothed references.
+	if _, err := KLDivergence([]float64{0.5, 0.5}, []float64{1, 0}); err == nil {
+		t.Fatal("infinite divergence not reported")
+	}
+}

@@ -6,9 +6,12 @@
 # allocs_op} so successive PRs can diff machine-readable numbers instead of
 # eyeballing `go test -bench` output.
 #
-# Check mode (--check BASELINE.json) re-runs the suite and FAILS (exit 1)
-# when any benchmark present in both runs regresses by more than
-# MAX_REGRESSION (default 20%) in ns/op or allocs/op. Benchmarks whose
+# Check mode (--check BASELINE.json [MORE.json ...]) re-runs the suite once
+# and gates the result against every baseline given, FAILING (exit 1) when
+# any benchmark present in both runs regresses by more than MAX_REGRESSION
+# (default 20%) in ns/op or allocs/op. Every regressed benchmark is printed,
+# per baseline, before the nonzero exit — a multi-baseline gate never fails
+# silently on the first bad comparison. Benchmarks whose
 # baseline ns/op is below NS_FLOOR are exempt from the time gate (sub-100µs
 # timings are timer noise at -benchtime=1x); allocs are deterministic, so
 # the alloc gate applies from ALLOC_FLOOR up. This is the CI perf gate: a
@@ -23,6 +26,7 @@
 # Usage:
 #   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR5.json)
 #   scripts/bench.sh --check BENCH_PR5.json      # gate against the committed baseline
+#   scripts/bench.sh --check BENCH_PR4.json BENCH_PR5.json  # gate against several
 #   BENCH='SimulateWeek|Detect' scripts/bench.sh # restrict the suite
 #   BENCHTIME=3x scripts/bench.sh                # more iterations per benchmark
 #   MAX_REGRESSION=50 scripts/bench.sh --check BENCH_PR5.json  # looser gate
@@ -30,11 +34,18 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-baseline=""
+baselines=()
 if [[ "${1:-}" == "--check" ]]; then
-    baseline="${2:?--check needs a baseline JSON path}"
-    [[ -f "$baseline" ]] || { echo "bench.sh: baseline $baseline not found" >&2; exit 2; }
-    shift 2
+    shift
+    # Every remaining argument is a baseline: --check never records, so a
+    # second path must not fall through and become the record-mode output
+    # (which would overwrite a committed baseline with fresh numbers).
+    [[ $# -ge 1 ]] || { echo "bench.sh: --check needs at least one baseline JSON path" >&2; exit 2; }
+    for b in "$@"; do
+        [[ -f "$b" ]] || { echo "bench.sh: baseline $b not found" >&2; exit 2; }
+        baselines+=("$b")
+    done
+    set --
 fi
 out="${1:-BENCH_PR5.json}"
 bench="${BENCH:-.}"
@@ -46,7 +57,7 @@ alloc_floor="${ALLOC_FLOOR:-8}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-if [[ -n "$baseline" ]]; then
+if [[ ${#baselines[@]} -gt 0 ]]; then
     out="$(mktemp)"
     trap 'rm -f "$tmp" "$out"' EXIT
 fi
@@ -76,41 +87,50 @@ END   { printf "\n}\n" }
 
 echo "wrote $out ($(grep -c ns_op "$out") benchmarks)"
 
-if [[ -z "$baseline" ]]; then
+if [[ ${#baselines[@]} -eq 0 ]]; then
     exit 0
 fi
 
-python3 - "$baseline" "$out" "$max_regression" "$ns_floor" "$alloc_floor" <<'PY'
+python3 - "$out" "$max_regression" "$ns_floor" "$alloc_floor" "${baselines[@]}" <<'PY'
 import json, sys
 
-base_path, cur_path, max_reg, ns_floor, alloc_floor = sys.argv[1:6]
-base = json.load(open(base_path))
+cur_path, max_reg, ns_floor, alloc_floor = sys.argv[1:5]
+base_paths = sys.argv[5:]
 cur = json.load(open(cur_path))
 limit = 1 + float(max_reg) / 100
 ns_floor = float(ns_floor)
 alloc_floor = float(alloc_floor)
 
-regressions = []
-compared = 0
-for name, b in sorted(base.items()):
-    c = cur.get(name)
-    if c is None:
-        print(f"  note: {name} missing from current run (renamed or removed?)")
-        continue
-    compared += 1
-    bns, cns = float(b.get("ns_op", 0)), float(c.get("ns_op", 0))
-    if bns >= ns_floor and cns > bns * limit:
-        regressions.append(f"{name}: ns/op {bns:.0f} -> {cns:.0f} (+{100*(cns/bns-1):.1f}%)")
-    ba, ca = float(b.get("allocs_op", 0)), float(c.get("allocs_op", 0))
-    if ba >= alloc_floor and ca > ba * limit:
-        regressions.append(f"{name}: allocs/op {ba:.0f} -> {ca:.0f} (+{100*(ca/ba-1):.1f}%)")
+# Compare against every baseline before deciding the exit code: a failure
+# against the first must not hide what the later baselines would have said.
+failed = False
+for base_path in base_paths:
+    base = json.load(open(base_path))
+    regressions = []
+    compared = 0
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            print(f"  note: {name} missing from current run (renamed or removed?)")
+            continue
+        compared += 1
+        bns, cns = float(b.get("ns_op", 0)), float(c.get("ns_op", 0))
+        if bns >= ns_floor and cns > bns * limit:
+            regressions.append(f"{name}: ns/op {bns:.0f} -> {cns:.0f} (+{100*(cns/bns-1):.1f}%)")
+        ba, ca = float(b.get("allocs_op", 0)), float(c.get("allocs_op", 0))
+        if ba >= alloc_floor and ca > ba * limit:
+            regressions.append(f"{name}: allocs/op {ba:.0f} -> {ca:.0f} (+{100*(ca/ba-1):.1f}%)")
 
-print(f"perf gate: compared {compared} benchmarks against {base_path} "
-      f"(threshold +{max_reg}%, ns floor {ns_floor:.0f})")
-if regressions:
-    print("PERF GATE FAILED — regressions over threshold:")
-    for r in regressions:
-        print("  " + r)
+    print(f"perf gate: compared {compared} benchmarks against {base_path} "
+          f"(threshold +{max_reg}%, ns floor {ns_floor:.0f})")
+    if regressions:
+        failed = True
+        print(f"PERF GATE FAILED against {base_path} — regressions over threshold:")
+        for r in regressions:
+            print("  " + r)
+    else:
+        print(f"perf gate passed against {base_path}")
+
+if failed:
     sys.exit(1)
-print("perf gate passed")
 PY
