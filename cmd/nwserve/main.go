@@ -16,15 +16,26 @@
 //	/stats      ingest counters as JSON
 //	/anomalies  the characterized anomaly log as JSON
 //
+// With -checkpoint the daemon is crash-safe: it periodically snapshots
+// its full recovery state (fitted models, refit windows, open anomaly
+// events, open bin accumulators, sequence cursors, watermark, anomaly
+// ledger) to the named file — atomically, after every -checkpoint-every
+// closed bins and every -checkpoint-interval of wall time — and restores
+// from it on startup, resuming detection at most -checkpoint-every bins
+// stale instead of retraining blind. A torn, corrupt or mismatched
+// snapshot falls back to a cold start with the reason on /stats.
+//
 // SIGINT/SIGTERM trigger a graceful drain: the socket closes, every
 // in-flight bin flushes through the detector, still-open events are
-// characterized, and the final anomaly table prints before exit.
+// characterized, the final snapshot is written, and the final anomaly
+// table prints before exit.
 //
 // Usage:
 //
 //	nwserve -train abilene.nwds [-listen 127.0.0.1:2055] [-http 127.0.0.1:8080]
 //	        [-trainbins 0] [-k 4] [-alpha 0.001] [-refit 0] [-window 0]
 //	        [-batch 16] [-grace 1] [-epoch 0]
+//	        [-checkpoint daemon.nwcp] [-checkpoint-every 1] [-checkpoint-interval 0]
 //
 // Pair it with nwreplay, which streams a saved dataset back over UDP at a
 // configurable rate.
@@ -60,6 +71,9 @@ func main() {
 		grace     = flag.Int("grace", 1, "reorder grace in bins before a bin closes")
 		epoch     = flag.Uint64("epoch", 0, "unix time of bin 0 in packet headers (nwreplay uses 0)")
 		workers   = flag.Int("workers", 0, "linear-algebra worker goroutines (0 = GOMAXPROCS)")
+		ckpt      = flag.String("checkpoint", "", "crash-safe snapshot file; restored on startup when present (empty disables)")
+		ckptEvery = flag.Int("checkpoint-every", 1, "closed bins between snapshots (with -checkpoint)")
+		ckptEach  = flag.Duration("checkpoint-interval", 0, "wall-clock snapshot timer for quiet periods, e.g. 5m (0 disables)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -90,11 +104,14 @@ func main() {
 	}
 
 	srv, err := server.New(run, server.Config{
-		UDPAddr:  *listen,
-		HTTPAddr: *httpAddr,
-		Epoch:    uint32(*epoch),
-		Grace:    *grace,
-		Detect:   netwide.DetectOptions{K: *k, Alpha: *alpha},
+		UDPAddr:            *listen,
+		HTTPAddr:           *httpAddr,
+		Epoch:              uint32(*epoch),
+		Grace:              *grace,
+		CheckpointPath:     *ckpt,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointInterval: *ckptEach,
+		Detect:             netwide.DetectOptions{K: *k, Alpha: *alpha},
 		Stream: netwide.StreamConfig{
 			TrainBins:  *trainBins,
 			BatchSize:  *batch,
@@ -104,6 +121,16 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *ckpt != "" {
+		switch st := srv.Stats(); {
+		case st.Restored:
+			log.Printf("restored from %s: resuming after bin %d with %d anomalies on the ledger", *ckpt, st.RestoredBin, st.Anomalies)
+		case st.RestoreErr != "":
+			log.Printf("snapshot %s unusable (%s): cold start", *ckpt, st.RestoreErr)
+		default:
+			log.Printf("no snapshot at %s: cold start, checkpointing every %d closed bins", *ckpt, *ckptEvery)
+		}
 	}
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,228 @@
+// Package checkpoint is the crash-safety layer of the live collector: a
+// versioned, checksummed, atomically written snapshot of everything the
+// ingest daemon needs to resume after a kill — per-measure model states,
+// the event aggregator's open anomalies, the open bin accumulators, the
+// per-engine sequence cursors and the watermark — so a restart replays
+// nothing and loses at most the bins that closed after the last snapshot.
+//
+// The on-disk envelope is the same idiom as the dataset's .nwds files:
+// 8 magic bytes, the 8-byte big-endian FNV-64a digest of the gob payload,
+// then the payload. The digest is verified before a single byte reaches
+// gob, because gob alone cannot detect payload corruption — a flipped bit
+// inside a float decodes "successfully" into a different float, and a
+// restored detector would then alarm differently from the one that
+// crashed. A checkpoint that fails any check is reported as an error; the
+// caller's contract is to fall back to a cold start, never to crash.
+//
+// WriteFile is atomic: the snapshot lands in a temp file, is fsynced,
+// and only then renamed over the previous checkpoint — a crash mid-write
+// (torn write, full disk, power cut) leaves the previous snapshot intact.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"netwide"
+	"netwide/internal/fault"
+)
+
+// Magic opens a checkpoint file.
+const Magic = "NWCPv1\r\n"
+
+// Version is the current snapshot format version. A mismatch is a
+// restore error (and therefore a cold start), not a migration: the
+// snapshot is a cache of recoverable state, so the safe response to an
+// unknown format is to rebuild from scratch.
+const Version = 1
+
+// Fault injection points consulted by WriteFile.
+const (
+	// FaultWrite wraps the temp-file writer (arm a WriteBudget for a torn
+	// write, an Err for a full disk).
+	FaultWrite = "checkpoint.write"
+	// FaultSync fires before the temp file is fsynced.
+	FaultSync = "checkpoint.sync"
+	// FaultRename fires before the rename that publishes the snapshot.
+	FaultRename = "checkpoint.rename"
+)
+
+// OpenBin is one still-accumulating timebin: the three per-OD vectors and
+// the record count, exactly as the server's accumulator held them.
+type OpenBin struct {
+	Bin     int
+	Records uint64
+	Bytes   []float64
+	Packets []float64
+	Flows   []float64
+}
+
+// EngineState is one export engine's v5 sequence cursor: the expected next
+// flow sequence and the recent-packet ring used for duplicate detection.
+type EngineState struct {
+	ID     uint8
+	Next   uint32
+	Recent []uint32 // valid ring entries, in ring index order
+	Pos    int      // next ring slot to overwrite
+}
+
+// ServerState mirrors the ingest daemon's recovery state: the cumulative
+// counters it serves on /stats plus the in-flight accumulation a restart
+// must pick back up. It is a plain-data mirror (the server package imports
+// this one, not the reverse), validated on restore by the server itself.
+type ServerState struct {
+	Packets         uint64
+	BadPackets      uint64
+	Duplicates      uint64
+	Records         uint64
+	LostRecords     uint64
+	LateRecords     uint64
+	Unroutable      uint64
+	WildRecords     uint64
+	WatermarkResets uint64
+	BinsClosed      int
+	Watermark       int
+	LastClosed      int
+	AlarmBins       int
+
+	OpenBins     []OpenBin
+	Engines      []EngineState
+	BehindStreak int
+}
+
+// State is one complete snapshot.
+type State struct {
+	Version int
+
+	// Fingerprint: a snapshot may only restore into a daemon built around
+	// the same network model and detector configuration. Restoring a
+	// checkpoint into a different topology or threshold setup would not
+	// crash — it would quietly characterize garbage, which is worse.
+	Topology string
+	ODPairs  int
+	Measures int
+	K        int
+	Alpha    float64
+	Epoch    uint32
+
+	Server ServerState
+	// Stream is the detector's own recovery state (models, refit windows,
+	// open events), captured at a pipeline barrier.
+	Stream netwide.StreamCheckpoint
+	// Anomalies is the characterized-anomaly ledger as of the barrier.
+	Anomalies []netwide.Anomaly
+}
+
+// Write writes st to w in the checksummed envelope, stamping the current
+// Version.
+func Write(w io.Writer, st *State) error {
+	st.Version = Version
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(payload.Bytes())
+	var head [16]byte
+	copy(head[:8], Magic)
+	binary.BigEndian.PutUint64(head[8:], h.Sum64())
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// Read reads a snapshot written by Write. The file is untrusted input — a
+// torn write, a corrupt sector, a file from a different build — so the
+// magic, the digest and the version are all verified before the payload is
+// believed, and any failure is a descriptive error, never a panic. Deeper
+// semantic validation (model shapes, aggregator invariants) happens when
+// the state is restored into live objects, each layer checking its own.
+func Read(r io.Reader) (*State, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: truncated header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q: not a checkpoint file", hdr[:8])
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: truncated file: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	if want := binary.BigEndian.Uint64(hdr[8:]); h.Sum64() != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (stored %016x, computed %016x): corrupt or truncated file", want, h.Sum64())
+	}
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: corrupt payload: %w", err)
+	}
+	if st.Version != Version {
+		return nil, fmt.Errorf("checkpoint: snapshot version %d, want %d", st.Version, Version)
+	}
+	if st.Topology == "" || st.ODPairs <= 0 || st.Measures <= 0 {
+		return nil, fmt.Errorf("checkpoint: snapshot missing fingerprint (topology %q, %d OD pairs, %d measures)", st.Topology, st.ODPairs, st.Measures)
+	}
+	return &st, nil
+}
+
+// WriteFile atomically replaces path with the snapshot: write to a temp
+// file in the same directory, fsync, rename over path, fsync the
+// directory. A failure at any step (including every injected one) leaves
+// the previous checkpoint at path untouched and cleans up the temp file.
+// inj may be nil (production).
+func WriteFile(path string, st *State, inj *fault.Injector) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	err = Write(inj.Writer(FaultWrite, f), st)
+	if err == nil {
+		err = inj.Fire(FaultSync)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err == nil {
+		err = inj.Fire(FaultRename)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write %s: %w", path, err)
+	}
+	// Make the rename itself durable. Best effort: some filesystems refuse
+	// directory fsync, and the data is already safe in the file.
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadFile reads and verifies the snapshot at path.
+func ReadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,239 @@
+package checkpoint
+
+// The checkpoint file is what stands between a crash and a week of lost
+// characterization, and it is read at daemon startup from a disk that may
+// have torn the last write. Everything here is the hostile-input suite in
+// the diskio_corrupt house style: truncations at every envelope boundary,
+// bit flips in header and payload, version skew, garbage — every one must
+// come back as a descriptive error (the daemon's cue to cold-start), never
+// a panic or a silently wrong snapshot.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netwide/internal/fault"
+)
+
+// sampleState builds a small but structurally honest snapshot.
+func sampleState() *State {
+	return &State{
+		Topology: "abilene",
+		ODPairs:  121,
+		Measures: 3,
+		K:        10,
+		Alpha:    0.001,
+		Epoch:    1700000000,
+		Server: ServerState{
+			Packets:    12345,
+			Records:    67890,
+			Watermark:  412,
+			LastClosed: 411,
+			BinsClosed: 412,
+			OpenBins: []OpenBin{
+				{Bin: 412, Records: 7, Bytes: []float64{1, 2}, Packets: []float64{3, 4}, Flows: []float64{5, 6}},
+			},
+			Engines: []EngineState{
+				{ID: 3, Next: 90001, Recent: []uint32{88000, 89000, 90000}, Pos: 0},
+			},
+		},
+	}
+}
+
+func savedBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	st, err := Read(bytes.NewReader(savedBytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleState()
+	if st.Topology != want.Topology || st.ODPairs != want.ODPairs || st.Epoch != want.Epoch {
+		t.Fatalf("fingerprint mangled: %+v", st)
+	}
+	if st.Server.Records != want.Server.Records || st.Server.Watermark != want.Server.Watermark {
+		t.Fatalf("counters mangled: %+v", st.Server)
+	}
+	if len(st.Server.OpenBins) != 1 || st.Server.OpenBins[0].Bytes[1] != 2 {
+		t.Fatalf("open bins mangled: %+v", st.Server.OpenBins)
+	}
+	if len(st.Server.Engines) != 1 || st.Server.Engines[0].Next != 90001 {
+		t.Fatalf("engine cursors mangled: %+v", st.Server.Engines)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	raw := savedBytes(t)
+	// Every envelope boundary: empty, mid-magic, end of magic, mid-digest,
+	// end of header, mid-payload, one byte short.
+	for _, n := range []int{0, 1, 7, 8, 12, 16, 17, len(raw) / 2, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("snapshot truncated to %d of %d bytes read silently", n, len(raw))
+		}
+	}
+}
+
+func TestReadBitFlip(t *testing.T) {
+	raw := savedBytes(t)
+	for _, off := range []int{0, 9, 20, len(raw) / 2, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x08
+		_, err := Read(bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("bit flip at %d read silently", off)
+		}
+		if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "corrupt") && !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("bit flip at %d: undiagnostic error %q", off, err)
+		}
+	}
+}
+
+func TestReadGarbageAndWrongFile(t *testing.T) {
+	if _, err := Read(strings.NewReader("this is not a checkpoint")); err == nil {
+		t.Fatal("garbage read silently")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty file read silently")
+	}
+	// A dataset file has the same envelope shape with different magic; it
+	// must be rejected on the magic, not decoded as a snapshot.
+	nwds := append([]byte("NWDSv2\r\n"), savedBytes(t)[8:]...)
+	if _, err := Read(bytes.NewReader(nwds)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("dataset-magic file: %v", err)
+	}
+}
+
+func TestReadVersionSkew(t *testing.T) {
+	raw := encodeWithVersion(t, sampleState(), Version+1)
+	if _, err := Read(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version snapshot: %v", err)
+	}
+}
+
+func TestReadMissingFingerprint(t *testing.T) {
+	st := sampleState()
+	st.Topology = ""
+	raw := encodeWithVersion(t, st, Version)
+	if _, err := Read(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("fingerprint-less snapshot: %v", err)
+	}
+}
+
+// encodeWithVersion builds the envelope by hand so tests can stamp an
+// arbitrary version or an otherwise-invalid state (Write always stamps the
+// current version).
+func encodeWithVersion(t *testing.T, st *State, version int) []byte {
+	t.Helper()
+	st.Version = version
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write(payload.Bytes())
+	out := make([]byte, 16, 16+payload.Len())
+	copy(out[:8], Magic)
+	binary.BigEndian.PutUint64(out[8:], h.Sum64())
+	return append(out, payload.Bytes()...)
+}
+
+func TestWriteFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "daemon.nwcp")
+	first := sampleState()
+	if err := WriteFile(path, first, nil); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleState()
+	second.Server.Watermark = 999
+	if err := WriteFile(path, second, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Server.Watermark != 999 {
+		t.Fatalf("replace kept the old snapshot (watermark %d)", got.Server.Watermark)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestWriteFileFailuresPreserveOldSnapshot injects every failure mode the
+// write path has — torn write, disk full at each stage, failed rename —
+// and requires the previous snapshot to stay intact and restorable every
+// time, with no temp litter. This is the invariant the atomic-replace
+// design exists for.
+func TestWriteFileFailuresPreserveOldSnapshot(t *testing.T) {
+	cases := []struct {
+		name string
+		arm  func(inj *fault.Injector)
+	}{
+		{"torn write mid-envelope", func(inj *fault.Injector) { inj.ArmTornWrite(FaultWrite, 11) }},
+		{"torn write before first byte", func(inj *fault.Injector) { inj.ArmTornWrite(FaultWrite, 0) }},
+		{"disk full on write", func(inj *fault.Injector) { inj.Arm(FaultWrite, fault.Fault{Err: fault.ErrDiskFull}) }},
+		{"disk full on sync", func(inj *fault.Injector) { inj.Arm(FaultSync, fault.Fault{Err: fault.ErrDiskFull}) }},
+		{"rename fails", func(inj *fault.Injector) { inj.Arm(FaultRename, fault.Fault{Err: fault.ErrDiskFull}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "daemon.nwcp")
+			old := sampleState()
+			old.Server.Watermark = 123
+			if err := WriteFile(path, old, nil); err != nil {
+				t.Fatal(err)
+			}
+			inj := fault.NewInjector()
+			tc.arm(inj)
+			next := sampleState()
+			next.Server.Watermark = 456
+			if err := WriteFile(path, next, inj); err == nil {
+				t.Fatal("injected failure produced a nil error")
+			}
+			got, err := ReadFile(path)
+			if err != nil {
+				t.Fatalf("previous snapshot unreadable after failed write: %v", err)
+			}
+			if got.Server.Watermark != 123 {
+				t.Fatalf("previous snapshot replaced by failed write (watermark %d)", got.Server.Watermark)
+			}
+			if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("failed write left temp file behind: %v", err)
+			}
+		})
+	}
+}
+
+// TestTornWriteOnFreshPath: a torn first-ever checkpoint leaves either
+// nothing or an unreadable fragment — and the fragment, if any, must be
+// rejected by Read, which is what the daemon's cold-start fallback relies
+// on.
+func TestTornWriteOnFreshPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "daemon.nwcp")
+	inj := fault.NewInjector()
+	inj.ArmTornWrite(FaultWrite, 25) // header survives, payload torn
+	if err := WriteFile(path, sampleState(), inj); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn write published a checkpoint: %v", err)
+	}
+}

@@ -16,7 +16,9 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"netwide/internal/mat"
 	"netwide/internal/stats"
@@ -180,6 +182,117 @@ func fit(train *mat.Matrix, opts Options, warm *mat.PCA, gen uint64) (*Model, er
 		qLimit: qLimit, t2Limit: t2Limit,
 		vk: vk, vkT: vk.T(),
 		gen: gen, train: train,
+	}, nil
+}
+
+// ModelState is the serializable form of one model generation: everything
+// Restore needs to reassemble a scoring-equivalent *Model in a fresh
+// process — the fitted PCA (mean, spectrum, axes), both detection
+// thresholds, and the generation counter. It is plain data (gob/JSON
+// friendly) by construction; the retained training window is deliberately
+// excluded (the streaming pipeline checkpoints its rolling refit window
+// separately, which is the live superset).
+type ModelState struct {
+	Opts Options
+	Gen  uint64
+	// QLimit and T2Limit are stored rather than recomputed: the T²
+	// threshold depends on the training row count and the Q threshold on
+	// the residual spectrum model, and a restored model must alarm exactly
+	// as the checkpointed one did.
+	QLimit, T2Limit float64
+	// N is the observation count of the fit, TotalVar the covariance
+	// trace — both feed the residual-moment model of the NEXT refit.
+	N        int
+	TotalVar float64
+	Mean     []float64
+	// Eigenvalues pair with Components' columns; Components holds the
+	// component matrix as p rows of m coefficients.
+	Eigenvalues []float64
+	Components  [][]float64
+}
+
+// State captures the model as plain serializable data. The slices are
+// copies: the state stays valid however long the caller holds it, and a
+// later mutation of the state cannot reach back into the (immutable,
+// possibly still scoring) model.
+func (m *Model) State() ModelState {
+	p := m.pca.P()
+	st := ModelState{
+		Opts:        m.opts,
+		Gen:         m.gen,
+		QLimit:      m.qLimit,
+		T2Limit:     m.t2Limit,
+		N:           m.pca.N(),
+		TotalVar:    m.pca.TotalVar,
+		Mean:        append([]float64(nil), m.pca.Mean...),
+		Eigenvalues: append([]float64(nil), m.pca.Eigenvalues...),
+		Components:  make([][]float64, p),
+	}
+	for i := 0; i < p; i++ {
+		st.Components[i] = append([]float64(nil), m.pca.Components.RowView(i)...)
+	}
+	return st
+}
+
+// Restore reassembles a Model from a State captured by State — the crash
+// recovery path. The state is untrusted input (it crossed a disk): every
+// shape and value is validated before it can reach a scoring path, and a
+// state that fails validation returns a descriptive error rather than a
+// model that panics later. The restored model scores bit-identically to
+// the checkpointed generation (same mean, axes, eigenvalues, thresholds)
+// and refits warm-start from its basis exactly as the original would.
+func Restore(st ModelState) (*Model, error) {
+	p := len(st.Mean)
+	if p == 0 {
+		return nil, errors.New("engine: restore: empty mean")
+	}
+	if st.Opts.K <= 0 || st.Opts.K >= p {
+		return nil, fmt.Errorf("engine: restore: k=%d out of range (0,%d)", st.Opts.K, p)
+	}
+	if !(st.Opts.Alpha > 0 && st.Opts.Alpha < 1) {
+		return nil, fmt.Errorf("engine: restore: alpha=%v out of (0,1)", st.Opts.Alpha)
+	}
+	if st.Opts.K > len(st.Eigenvalues) {
+		return nil, fmt.Errorf("engine: restore: k=%d exceeds %d stored axes", st.Opts.K, len(st.Eigenvalues))
+	}
+	if len(st.Components) != p {
+		return nil, fmt.Errorf("engine: restore: %d component rows, want %d", len(st.Components), p)
+	}
+	for i, row := range st.Components {
+		if len(row) != len(st.Eigenvalues) {
+			return nil, fmt.Errorf("engine: restore: component row %d has %d cols, want %d", i, len(row), len(st.Eigenvalues))
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("engine: restore: non-finite component in row %d", i)
+			}
+		}
+	}
+	for _, v := range st.Mean {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("engine: restore: non-finite mean")
+		}
+	}
+	if !(st.QLimit > 0) || math.IsInf(st.QLimit, 0) {
+		return nil, fmt.Errorf("engine: restore: Q limit %v not a positive finite threshold", st.QLimit)
+	}
+	if !(st.T2Limit > 0) || math.IsInf(st.T2Limit, 0) {
+		return nil, fmt.Errorf("engine: restore: T2 limit %v not a positive finite threshold", st.T2Limit)
+	}
+	comps, err := mat.NewFromRows(st.Components)
+	if err != nil {
+		return nil, fmt.Errorf("engine: restore: components: %w", err)
+	}
+	pca, err := mat.NewPCA(st.Mean, st.Eigenvalues, comps, st.TotalVar, st.N)
+	if err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	vk := pca.TopComponents(st.Opts.K)
+	return &Model{
+		opts: st.Opts, pca: pca,
+		qLimit: st.QLimit, t2Limit: st.T2Limit,
+		vk: vk, vkT: vk.T(),
+		gen: st.Gen,
 	}, nil
 }
 

@@ -8,6 +8,7 @@ package events
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"netwide/internal/dataset"
@@ -329,6 +330,101 @@ func (a *Aggregator) ingest() {
 			a.open = append(a.open, &Event{Measures: set, StartBin: bin, EndBin: bin, ODResidual: odr})
 		}
 	}
+}
+
+// AggregatorState is the serializable snapshot of an Aggregator — the
+// open (still extendable) events plus the buffered current bin. All fields
+// are deep copies and gob-friendly, sized for the checkpoint envelope: open
+// events are bounded by the active anomaly count, never by stream length.
+type AggregatorState struct {
+	// Open holds the still-extendable events in creation order (merge ties
+	// resolve by scan order, so order is part of the state).
+	Open    []Event
+	CurBin  int
+	CurDets []Detection
+	Started bool
+}
+
+// State snapshots the aggregator. The caller must not be concurrently
+// Adding (the streaming pipeline captures state at a barrier, with the
+// detection feed quiesced).
+func (a *Aggregator) State() AggregatorState {
+	st := AggregatorState{
+		Open:    make([]Event, len(a.open)),
+		CurBin:  a.curBin,
+		Started: a.started,
+	}
+	for i, ev := range a.open {
+		st.Open[i] = copyEvent(*ev)
+	}
+	if len(a.curDets) > 0 {
+		st.CurDets = make([]Detection, len(a.curDets))
+		for i, d := range a.curDets {
+			st.CurDets[i] = copyDetection(d)
+		}
+	}
+	return st
+}
+
+// RestoreAggregator rebuilds an aggregator from a snapshot, validating the
+// invariants Add relies on: open events are well-formed intervals strictly
+// before the buffered bin, with at least one OD each. The input is deep
+// copied; mutating st afterwards does not reach the aggregator.
+func RestoreAggregator(st AggregatorState) (*Aggregator, error) {
+	if !st.Started && (len(st.Open) > 0 || len(st.CurDets) > 0) {
+		return nil, fmt.Errorf("events: restore of unstarted aggregator carries %d open events, %d buffered detections", len(st.Open), len(st.CurDets))
+	}
+	a := &Aggregator{curBin: st.CurBin, started: st.Started}
+	for i, ev := range st.Open {
+		if ev.StartBin > ev.EndBin {
+			return nil, fmt.Errorf("events: restore open event %d has bins %d-%d", i, ev.StartBin, ev.EndBin)
+		}
+		if ev.EndBin >= st.CurBin {
+			return nil, fmt.Errorf("events: restore open event %d ends at bin %d, at or past buffered bin %d", i, ev.EndBin, st.CurBin)
+		}
+		if len(ev.ODResidual) == 0 {
+			return nil, fmt.Errorf("events: restore open event %d has no OD residuals", i)
+		}
+		for od, r := range ev.ODResidual {
+			if od < 0 {
+				return nil, fmt.Errorf("events: restore open event %d has negative OD index %d", i, od)
+			}
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				return nil, fmt.Errorf("events: restore open event %d has non-finite residual for OD %d", i, od)
+			}
+		}
+		cp := copyEvent(ev)
+		a.open = append(a.open, &cp)
+	}
+	for i, d := range st.CurDets {
+		if d.Measure < 0 || d.Measure >= dataset.NumMeasures {
+			return nil, fmt.Errorf("events: restore buffered detection %d has measure %d", i, d.Measure)
+		}
+		for _, od := range d.ODs {
+			if od < 0 {
+				return nil, fmt.Errorf("events: restore buffered detection %d has negative OD index %d", i, od)
+			}
+		}
+		a.curDets = append(a.curDets, copyDetection(d))
+	}
+	return a, nil
+}
+
+func copyEvent(ev Event) Event {
+	out := ev
+	out.ODs = append([]int(nil), ev.ODs...)
+	out.ODResidual = make(map[int]float64, len(ev.ODResidual))
+	for od, r := range ev.ODResidual {
+		out.ODResidual[od] = r
+	}
+	return out
+}
+
+func copyDetection(d Detection) Detection {
+	out := d
+	out.ODs = append([]int(nil), d.ODs...)
+	out.Residuals = append([]float64(nil), d.Residuals...)
+	return out
 }
 
 // closeBefore finalizes open events that can no longer extend at bin.

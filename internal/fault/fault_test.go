@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("x"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	in.Delay("x") // must not panic
+	in.Disarm("x")
+	if in.Trips("x") != 0 {
+		t.Fatal("nil injector counted trips")
+	}
+	var buf bytes.Buffer
+	w := in.Writer("x", &buf)
+	if _, err := w.Write([]byte("ok")); err != nil || buf.String() != "ok" {
+		t.Fatalf("nil injector writer intercepted: %v %q", err, buf.String())
+	}
+}
+
+func TestFireSkipAndCount(t *testing.T) {
+	in := NewInjector()
+	boom := errors.New("boom")
+	in.Arm("p", Fault{Err: boom, Skip: 2, Count: 1})
+	if err := in.Fire("p"); err != nil {
+		t.Fatalf("skip 1: %v", err)
+	}
+	if err := in.Fire("p"); err != nil {
+		t.Fatalf("skip 2: %v", err)
+	}
+	if err := in.Fire("p"); !errors.Is(err, boom) {
+		t.Fatalf("fire 3: got %v, want boom", err)
+	}
+	// Count 1: the point self-disarms after one trip.
+	if err := in.Fire("p"); err != nil {
+		t.Fatalf("after self-disarm: %v", err)
+	}
+	if got := in.Trips("p"); got != 0 {
+		t.Fatalf("trips after self-disarm = %d (point deleted), want 0", got)
+	}
+}
+
+func TestFireForeverAndDisarm(t *testing.T) {
+	in := NewInjector()
+	boom := errors.New("boom")
+	in.Arm("p", Fault{Err: boom})
+	for i := 0; i < 3; i++ {
+		if err := in.Fire("p"); !errors.Is(err, boom) {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+	}
+	if in.Trips("p") != 3 {
+		t.Fatalf("trips = %d, want 3", in.Trips("p"))
+	}
+	in.Disarm("p")
+	if err := in.Fire("p"); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+func TestTornWriter(t *testing.T) {
+	in := NewInjector()
+	in.ArmTornWrite("w", 5)
+	var buf bytes.Buffer
+	w := in.Writer("w", &buf)
+	n, err := w.Write([]byte("abc")) // within budget
+	if n != 3 || err != nil {
+		t.Fatalf("write 1: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("defg")) // tears after 2 more bytes
+	if n != 2 || !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("torn write: n=%d err=%v, want 2, ErrDiskFull", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("disk holds %q, want the 5-byte torn prefix", buf.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("post-tear write: %v", err)
+	}
+	if in.Trips("w") < 2 {
+		t.Fatalf("trips = %d, want >= 2", in.Trips("w"))
+	}
+}
+
+func TestTornWriterZeroBudget(t *testing.T) {
+	in := NewInjector()
+	in.ArmTornWrite("w", 0)
+	var buf bytes.Buffer
+	if _, err := in.Writer("w", &buf).Write([]byte("x")); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("zero-budget write: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("zero-budget wrote %d bytes", buf.Len())
+	}
+}
+
+func TestWriterFireMode(t *testing.T) {
+	// Without a budget, the writer defers to Fire semantics: Skip lets
+	// whole Writes through, then every Write fails.
+	in := NewInjector()
+	in.Arm("w", Fault{Err: ErrDiskFull, Skip: 1})
+	var buf bytes.Buffer
+	w := in.Writer("w", &buf)
+	if _, err := w.Write([]byte("ok")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := w.Write([]byte("no")); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("write 2: %v", err)
+	}
+	if buf.String() != "ok" {
+		t.Fatalf("disk holds %q", buf.String())
+	}
+}
+
+func TestDelay(t *testing.T) {
+	in := NewInjector()
+	in.Arm("slow", Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	in.Delay("slow")
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay slept %v, want ~30ms", d)
+	}
+	if in.Trips("slow") != 1 {
+		t.Fatalf("delay trips = %d, want 1", in.Trips("slow"))
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock()
+	ch, stop := c.Ticker(time.Hour)
+	defer stop()
+	select {
+	case <-ch:
+		t.Fatal("manual clock ticked on its own")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Tick()
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("manual tick never delivered")
+	}
+}

@@ -64,6 +64,45 @@ func FitPCA(X *Matrix, center bool) (*PCA, error) {
 	return &PCA{Mean: mean, Eigenvalues: vals, Components: vecs, TotalVar: total, n: X.Rows(), vars: X.Cols()}, nil
 }
 
+// NewPCA reassembles a PCA from previously fitted parts — the restore path
+// of model checkpointing, where the eigendecomposition was computed in a
+// past process and must not be recomputed (a refit from scratch is exactly
+// what a checkpoint exists to avoid). The parts are validated for mutual
+// consistency (a p-variable PCA needs a p-length mean and p-row component
+// matrix; eigenvalues pair 1:1 with component columns; n is the
+// observation count of the original fit) but not for orthonormality: the
+// caller's checksummed envelope owns integrity, this owns shape.
+func NewPCA(mean, eigenvalues []float64, components *Matrix, totalVar float64, n int) (*PCA, error) {
+	if components == nil {
+		return nil, errors.New("mat: NewPCA nil components")
+	}
+	p := len(mean)
+	if p == 0 {
+		return nil, errors.New("mat: NewPCA empty mean")
+	}
+	if components.Rows() != p {
+		return nil, errors.New("mat: NewPCA components rows != len(mean)")
+	}
+	if components.Cols() != len(eigenvalues) {
+		return nil, errors.New("mat: NewPCA components cols != len(eigenvalues)")
+	}
+	if len(eigenvalues) == 0 || len(eigenvalues) > p {
+		return nil, errors.New("mat: NewPCA eigenvalue count out of range")
+	}
+	if n < 2 {
+		return nil, errors.New("mat: NewPCA needs n >= 2 observations")
+	}
+	for _, v := range eigenvalues {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, errors.New("mat: NewPCA non-finite or negative eigenvalue")
+		}
+	}
+	if math.IsNaN(totalVar) || math.IsInf(totalVar, 0) || totalVar < 0 {
+		return nil, errors.New("mat: NewPCA non-finite or negative total variance")
+	}
+	return &PCA{Mean: mean, Eigenvalues: eigenvalues, Components: components, TotalVar: totalVar, n: n, vars: p}, nil
+}
+
 // N returns the number of observations the PCA was fitted on.
 func (p *PCA) N() int { return p.n }
 

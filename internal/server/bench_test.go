@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/binary"
+	"path/filepath"
 	"testing"
 
 	"netwide"
@@ -35,8 +36,11 @@ func benchIngest(b *testing.B, topo string) {
 		counts[i] = uint32(binary.BigEndian.Uint16(p[2:]))
 	}
 	// Several passes per iteration lift one op above the perf gate's timer
-	// noise floor, so a regression on this path actually fails the gate.
-	const passes = 4
+	// noise floor AND average out scheduler/GC hiccups within the op —
+	// at -benchtime=1x a single-bin op varies ±2x run to run, which the
+	// gate's 20% threshold cannot tolerate, while 16 bins of work per op
+	// keeps repeat runs within a few percent.
+	const passes = 16
 	var seq [256]uint32
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -63,4 +67,67 @@ func benchIngest(b *testing.B, topo string) {
 func BenchmarkServerIngest(b *testing.B) {
 	b.Run("abilene", func(b *testing.B) { benchIngest(b, "abilene") })
 	b.Run("geant", func(b *testing.B) { benchIngest(b, "geant") })
+}
+
+// benchCheckpoint measures one full snapshot — pipeline barrier round
+// trip, ledger sync, state assembly (model parameters, refit windows,
+// open bins, sequence cursors), gob encode, and the checksummed atomic
+// file replace. This is the stall the ingest path absorbs every
+// CheckpointEvery closed bins, so its cost is gated alongside the ingest
+// rate itself.
+func benchCheckpoint(b *testing.B, topo string) {
+	cfg := netwide.QuickConfig()
+	cfg.MeanRateBps = 4e5
+	cfg.Topology = topo
+	run, err := netwide.Simulate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(run, Config{
+		CheckpointPath:  filepath.Join(b.TempDir(), "bench.nwcp"),
+		CheckpointEvery: 1 << 30, // only the measured CheckpointNow calls snapshot
+		Stream:          netwide.StreamConfig{TrainBins: run.Bins(), BatchSize: 16},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A few ingested bins make the snapshot structurally honest: an open
+	// accumulator, live sequence cursors, a started detector cursor.
+	be := newBinExporters(run.Dataset())
+	for bin := 0; bin < 3; bin++ {
+		pkts, _, err := be.encodeBin(bin, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pkts {
+			srv.IngestPacket(p)
+		}
+	}
+	// One unmeasured snapshot first: the process's first gob encode
+	// registers types and allocates encoder state, which would otherwise
+	// make allocs/op depend on benchmark ordering within the suite.
+	if err := srv.CheckpointNow(); err != nil {
+		b.Fatal(err)
+	}
+	// Several snapshots per iteration: a single snapshot is dominated by
+	// fsync, whose latency varies enough run to run to trip the perf
+	// gate's 20% threshold at -benchtime=1x; averaging keeps the op
+	// stable. ns/op therefore times `snapshots` full snapshots.
+	const snapshots = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < snapshots; s++ {
+			if err := srv.CheckpointNow(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCheckpointSnapshot is the gated snapshot-cost benchmark at both
+// topology scales.
+func BenchmarkCheckpointSnapshot(b *testing.B) {
+	b.Run("abilene", func(b *testing.B) { benchCheckpoint(b, "abilene") })
+	b.Run("geant", func(b *testing.B) { benchCheckpoint(b, "geant") })
 }

@@ -35,13 +35,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"netwide"
+	"netwide/internal/checkpoint"
 	"netwide/internal/dataset"
+	"netwide/internal/fault"
 	"netwide/internal/netflow"
 	"netwide/internal/routing"
 	"netwide/internal/topology"
@@ -82,6 +87,29 @@ type Config struct {
 	// ReadBuffer is the UDP socket receive buffer in bytes (default 4MB —
 	// the socket must absorb export bursts while a bin close runs).
 	ReadBuffer int
+	// CheckpointPath enables crash-safe operation: the daemon periodically
+	// snapshots its full recovery state (model generations, open events,
+	// open bins, sequence cursors, watermark, anomaly ledger) to this file,
+	// atomically, and New restores from it when it exists — falling back to
+	// a cold start (with the reason on /stats) when the file is torn,
+	// corrupt, from a different format version, or from a different
+	// network model. "" disables checkpointing.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot cadence in closed bins (default 1
+	// when CheckpointPath is set): a snapshot is taken after every N bins
+	// are closed and submitted. At the default every-bin cadence a restart
+	// resumes at most one bin stale.
+	CheckpointEvery int
+	// CheckpointInterval adds a wall-clock snapshot timer (0 disables it):
+	// a safety net for quiet periods when no bins close — e.g. the
+	// exporters died — so the ledger and counters still reach disk.
+	CheckpointInterval time.Duration
+	// Clock drives the CheckpointInterval timer (default the wall clock;
+	// chaos tests install a manual one).
+	Clock fault.Clock
+	// Faults, when non-nil, threads error injection through the checkpoint
+	// write path and the detector's background refits. Nil in production.
+	Faults *fault.Injector
 	// Detect and Stream configure the underlying StreamDetector.
 	Detect netwide.DetectOptions
 	Stream netwide.StreamConfig
@@ -102,6 +130,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadBuffer <= 0 {
 		c.ReadBuffer = 4 << 20
+	}
+	if c.CheckpointPath != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.Clock == nil {
+		c.Clock = fault.WallClock{}
 	}
 	return c
 }
@@ -144,6 +178,23 @@ type Stats struct {
 	// Generations is the per-measure model generation (B, P, F): the number
 	// of completed background refits.
 	Generations [dataset.NumMeasures]uint64 `json:"generations"`
+	// Checkpointing state. CheckpointsWritten / CheckpointErrors count
+	// snapshot attempts; LastCheckpointBin is the highest closed bin the
+	// latest snapshot covers (-1 before the first). Restored reports this
+	// process recovered from a snapshot covering bins through RestoredBin.
+	// CheckpointFallbacks counts startups that found a snapshot but had to
+	// cold-start instead (torn, corrupt, version skew, wrong fingerprint)
+	// — the reason lands in RestoreErr. CheckpointErr carries the most
+	// recent snapshot-write failure (a full disk shows up here, not as a
+	// crash).
+	CheckpointsWritten  uint64 `json:"checkpoints_written,omitempty"`
+	CheckpointErrors    uint64 `json:"checkpoint_errors,omitempty"`
+	LastCheckpointBin   int    `json:"last_checkpoint_bin"`
+	Restored            bool   `json:"restored,omitempty"`
+	RestoredBin         int    `json:"restored_bin,omitempty"`
+	CheckpointFallbacks uint64 `json:"checkpoint_fallbacks,omitempty"`
+	RestoreErr          string `json:"restore_err,omitempty"`
+	CheckpointErr       string `json:"checkpoint_err,omitempty"`
 	// Draining reports a shutdown in progress. Err carries the first FATAL
 	// error — an ingest submit failure or a detector scoring failure ("",
 	// and /healthz 200, when healthy). DegradedErr carries a background
@@ -181,6 +232,26 @@ type Server struct {
 	readerDone chan struct{} // closed when the UDP read loop exits
 	consumerWG sync.WaitGroup
 
+	// ingestMu serializes the states a checkpoint must see whole: the full
+	// IngestPacket path (including the out-of-mu detector submit), the
+	// drain flush, and checkpoint capture itself. It is always taken
+	// before mu and never by the verdict consumer or the HTTP handlers, so
+	// holding it across a detector submit cannot deadlock. The read loop
+	// is IngestPacket's only production caller, so in the healthy path the
+	// lock is uncontended.
+	ingestMu sync.Mutex
+	// binsSinceCp counts bins closed since the last snapshot — the
+	// bin-driven checkpoint cadence. Guarded by ingestMu.
+	binsSinceCp int
+	// cpTimerStop ends the wall-clock checkpoint timer goroutine.
+	cpTimerStop chan struct{}
+	timerWG     sync.WaitGroup
+
+	// ledgerCond (on mu) wakes checkpoint capture when the verdict
+	// consumer grows the anomaly ledger: a snapshot waits until the ledger
+	// holds every anomaly emitted before its barrier.
+	ledgerCond *sync.Cond
+
 	// recs is the reusable per-packet record buffer; the read loop is the
 	// only goroutine that touches it.
 	recs []netflow.Record
@@ -210,12 +281,16 @@ type Server struct {
 // daemon's network model: its topology resolves engine IDs and destination
 // prefixes, its seasonal baselines classify the anomalies the detector
 // finds. No sockets are bound until Start.
+// New also attempts crash recovery when cfg.CheckpointPath names an
+// existing snapshot: if the file verifies (checksum, version, fingerprint)
+// the daemon resumes from it — restored models, reopened events, refilled
+// open bins, sequence cursors, watermark, anomaly ledger — and is at most
+// CheckpointEvery bins stale. A snapshot that fails any check triggers a
+// cold start instead, with the reason on Stats.RestoreErr: a bad file on
+// disk must never keep the collector down.
 func New(run *netwide.Run, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	det, err := run.NewStreamDetector(cfg.Detect, cfg.Stream)
-	if err != nil {
-		return nil, fmt.Errorf("server: train detector: %w", err)
-	}
+	cfg.Stream.Faults = cfg.Faults
 	ds := run.Dataset()
 	// The daemon resolves what actually arrives: unlike the generator's
 	// resolver it simulates no resolution failures of its own (fraction 0),
@@ -227,17 +302,299 @@ func New(run *netwide.Run, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		run:        run,
-		det:        det,
 		top:        ds.Top,
 		res:        res,
 		bins:       map[int]*binAcc{},
 		readerDone: make(chan struct{}),
 	}
+	s.ledgerCond = sync.NewCond(&s.mu)
 	s.stats.LastClosed = -1
 	s.stats.Watermark = -1
+	s.stats.LastCheckpointBin = -1
+
+	if cfg.CheckpointPath != "" {
+		if st, err := checkpoint.ReadFile(cfg.CheckpointPath); err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				// A snapshot exists but cannot be trusted: cold-start and
+				// say why, rather than crash-loop on a bad file.
+				s.stats.CheckpointFallbacks++
+				s.stats.RestoreErr = err.Error()
+			}
+		} else if err := s.restore(st); err != nil {
+			s.stats.CheckpointFallbacks++
+			s.stats.RestoreErr = err.Error()
+			s.det = nil // discard any partially built detector
+		}
+	}
+	if s.det == nil {
+		det, err := run.NewStreamDetector(cfg.Detect, cfg.Stream)
+		if err != nil {
+			return nil, fmt.Errorf("server: train detector: %w", err)
+		}
+		s.det = det
+	}
 	s.consumerWG.Add(1)
 	go s.consumeVerdicts()
 	return s, nil
+}
+
+// detectOpts returns the effective detector options (Config.Detect, with
+// the zero value meaning the defaults — the same resolution New applies).
+func (s *Server) detectOpts() netwide.DetectOptions {
+	opts := s.cfg.Detect
+	if opts.K == 0 {
+		opts = netwide.DefaultDetectOptions()
+	}
+	return opts
+}
+
+// fingerprint checks that a snapshot was written by a daemon built around
+// the same network model and detector configuration as this one.
+func (s *Server) fingerprint(st *checkpoint.State) error {
+	ds := s.run.Dataset()
+	opts := s.detectOpts()
+	switch {
+	case st.Topology != ds.Top.Name:
+		return fmt.Errorf("snapshot topology %q, daemon runs %q", st.Topology, ds.Top.Name)
+	case st.ODPairs != ds.NumODPairs():
+		return fmt.Errorf("snapshot has %d OD pairs, topology %q has %d", st.ODPairs, ds.Top.Name, ds.NumODPairs())
+	case st.Measures != int(dataset.NumMeasures):
+		return fmt.Errorf("snapshot has %d measures, want %d", st.Measures, dataset.NumMeasures)
+	case st.K != opts.K || st.Alpha != opts.Alpha:
+		return fmt.Errorf("snapshot detector (K=%d, alpha=%v), daemon configured (K=%d, alpha=%v)", st.K, st.Alpha, opts.K, opts.Alpha)
+	case st.Epoch != s.cfg.Epoch:
+		return fmt.Errorf("snapshot epoch %d, daemon epoch %d", st.Epoch, s.cfg.Epoch)
+	}
+	return nil
+}
+
+// restore rebuilds the daemon's state from a verified snapshot. Every
+// stored field is cross-validated before it is believed — the snapshot
+// passed the checksum, but shape and invariants are this layer's job (the
+// detector's own state validates inside RestoreStreamDetector). Any error
+// leaves the caller to cold-start.
+func (s *Server) restore(st *checkpoint.State) error {
+	if err := s.fingerprint(st); err != nil {
+		return err
+	}
+	sv := &st.Server
+	if uint64(len(st.Anomalies)) != st.Stream.Emitted {
+		return fmt.Errorf("snapshot ledger holds %d anomalies, detector emitted %d: inconsistent snapshot", len(st.Anomalies), st.Stream.Emitted)
+	}
+	if st.Stream.Started {
+		if sv.LastClosed != st.Stream.LastBin {
+			return fmt.Errorf("snapshot last closed bin %d disagrees with detector cursor %d", sv.LastClosed, st.Stream.LastBin)
+		}
+	} else if sv.LastClosed != -1 {
+		return fmt.Errorf("snapshot closed bins through %d but detector never started", sv.LastClosed)
+	}
+	if len(sv.OpenBins) > s.cfg.MaxOpenBins {
+		return fmt.Errorf("snapshot holds %d open bins, cap is %d", len(sv.OpenBins), s.cfg.MaxOpenBins)
+	}
+	p := s.top.NumODPairs()
+	bins := make(map[int]*binAcc, len(sv.OpenBins))
+	for _, ob := range sv.OpenBins {
+		if ob.Bin <= sv.LastClosed {
+			return fmt.Errorf("snapshot open bin %d at or behind last closed %d", ob.Bin, sv.LastClosed)
+		}
+		if len(ob.Bytes) != p || len(ob.Packets) != p || len(ob.Flows) != p {
+			return fmt.Errorf("snapshot open bin %d vectors sized (%d,%d,%d), want %d", ob.Bin, len(ob.Bytes), len(ob.Packets), len(ob.Flows), p)
+		}
+		for _, vec := range [][]float64{ob.Bytes, ob.Packets, ob.Flows} {
+			for _, v := range vec {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					return fmt.Errorf("snapshot open bin %d carries non-finite or negative traffic", ob.Bin)
+				}
+			}
+		}
+		if bins[ob.Bin] != nil {
+			return fmt.Errorf("snapshot lists open bin %d twice", ob.Bin)
+		}
+		bins[ob.Bin] = &binAcc{
+			bytes:   append([]float64(nil), ob.Bytes...),
+			packets: append([]float64(nil), ob.Packets...),
+			flows:   append([]float64(nil), ob.Flows...),
+			records: ob.Records,
+		}
+	}
+	var seq [256]engineSeq
+	seen := map[uint8]bool{}
+	for _, es := range sv.Engines {
+		if seen[es.ID] {
+			return fmt.Errorf("snapshot lists engine %d twice", es.ID)
+		}
+		seen[es.ID] = true
+		if len(es.Recent) > dedupeWindow || es.Pos < 0 || es.Pos >= dedupeWindow {
+			return fmt.Errorf("snapshot engine %d dedupe ring out of shape (%d entries, pos %d)", es.ID, len(es.Recent), es.Pos)
+		}
+		e := &seq[es.ID]
+		e.started = true
+		e.next = es.Next
+		e.fill = len(es.Recent)
+		e.pos = es.Pos
+		copy(e.recent[:], es.Recent)
+	}
+
+	det, err := s.run.RestoreStreamDetector(st.Stream, s.cfg.Stream)
+	if err != nil {
+		return err
+	}
+	s.det = det
+	s.bins = bins
+	s.seq = seq
+	s.anoms = append([]netwide.Anomaly(nil), st.Anomalies...)
+	s.behindStreak = sv.BehindStreak
+	s.stats.Packets = sv.Packets
+	s.stats.BadPackets = sv.BadPackets
+	s.stats.Duplicates = sv.Duplicates
+	s.stats.Records = sv.Records
+	s.stats.LostRecords = sv.LostRecords
+	s.stats.LateRecords = sv.LateRecords
+	s.stats.Unroutable = sv.Unroutable
+	s.stats.WildRecords = sv.WildRecords
+	s.stats.WatermarkResets = sv.WatermarkResets
+	s.stats.BinsClosed = sv.BinsClosed
+	s.stats.BinsOpen = len(bins)
+	s.stats.Watermark = sv.Watermark
+	s.stats.LastClosed = sv.LastClosed
+	s.stats.AlarmBins = sv.AlarmBins
+	s.stats.Anomalies = len(s.anoms)
+	s.stats.Restored = true
+	s.stats.RestoredBin = sv.LastClosed
+	s.stats.LastCheckpointBin = sv.LastClosed
+	return nil
+}
+
+// checkpointLocked takes one snapshot: barrier the detector, wait for the
+// anomaly ledger to catch up to the barrier, freeze the ingest state, and
+// atomically replace the snapshot file. Callers hold ingestMu, which is
+// what makes the frozen state consistent — no bin can be accumulated,
+// closed or submitted while the capture runs. Write failures (a full disk,
+// an injected fault) are counted and surfaced on /stats, never fatal: the
+// daemon keeps collecting, one snapshot staler.
+func (s *Server) checkpointLocked() error {
+	cp, err := s.det.Checkpoint()
+	if err == nil {
+		s.mu.Lock()
+		// The barrier guarantees every pre-barrier verdict has been
+		// delivered to the consumer; wait for the consumer to fold them in
+		// so the snapshot's ledger is exactly the pre-barrier set.
+		for uint64(len(s.anoms)) < cp.Emitted {
+			s.ledgerCond.Wait()
+		}
+		st := s.snapshotLocked(cp)
+		s.mu.Unlock()
+		err = checkpoint.WriteFile(s.cfg.CheckpointPath, st, s.cfg.Faults)
+	}
+	s.mu.Lock()
+	if err != nil {
+		s.stats.CheckpointErrors++
+		s.stats.CheckpointErr = err.Error()
+	} else {
+		s.stats.CheckpointsWritten++
+		s.stats.LastCheckpointBin = s.stats.LastClosed
+		s.stats.CheckpointErr = ""
+	}
+	s.mu.Unlock()
+	if err == nil {
+		s.binsSinceCp = 0
+	}
+	return err
+}
+
+// snapshotLocked assembles the full on-disk snapshot around a detector
+// checkpoint. Callers hold mu (for the ledger and counters) and ingestMu
+// (which freezes the open bins and sequence cursors).
+func (s *Server) snapshotLocked(cp netwide.StreamCheckpoint) *checkpoint.State {
+	ds := s.run.Dataset()
+	opts := s.detectOpts()
+	st := &checkpoint.State{
+		Topology:  ds.Top.Name,
+		ODPairs:   ds.NumODPairs(),
+		Measures:  int(dataset.NumMeasures),
+		K:         opts.K,
+		Alpha:     opts.Alpha,
+		Epoch:     s.cfg.Epoch,
+		Stream:    cp,
+		Anomalies: append([]netwide.Anomaly(nil), s.anoms[:cp.Emitted]...),
+	}
+	sv := &st.Server
+	sv.Packets = s.stats.Packets
+	sv.BadPackets = s.stats.BadPackets
+	sv.Duplicates = s.stats.Duplicates
+	sv.Records = s.stats.Records
+	sv.LostRecords = s.stats.LostRecords
+	sv.LateRecords = s.stats.LateRecords
+	sv.Unroutable = s.stats.Unroutable
+	sv.WildRecords = s.stats.WildRecords
+	sv.WatermarkResets = s.stats.WatermarkResets
+	sv.BinsClosed = s.stats.BinsClosed
+	sv.Watermark = s.stats.Watermark
+	sv.LastClosed = s.stats.LastClosed
+	sv.AlarmBins = s.stats.AlarmBins
+	sv.BehindStreak = s.behindStreak
+	sv.OpenBins = make([]checkpoint.OpenBin, 0, len(s.bins))
+	for bin, acc := range s.bins {
+		sv.OpenBins = append(sv.OpenBins, checkpoint.OpenBin{
+			Bin:     bin,
+			Records: acc.records,
+			Bytes:   append([]float64(nil), acc.bytes...),
+			Packets: append([]float64(nil), acc.packets...),
+			Flows:   append([]float64(nil), acc.flows...),
+		})
+	}
+	sort.Slice(sv.OpenBins, func(i, j int) bool { return sv.OpenBins[i].Bin < sv.OpenBins[j].Bin })
+	for id := range s.seq {
+		e := &s.seq[id]
+		if !e.started {
+			continue
+		}
+		// recent[:fill] is exactly the valid ring entries: the ring fills
+		// from slot 0 and pos only wraps once fill reaches the window.
+		sv.Engines = append(sv.Engines, checkpoint.EngineState{
+			ID:     uint8(id),
+			Next:   e.next,
+			Recent: append([]uint32(nil), e.recent[:e.fill]...),
+			Pos:    e.pos,
+		})
+	}
+	return st
+}
+
+// CheckpointNow takes a snapshot immediately, outside the bin-driven
+// cadence — the wall-clock timer's entry point, also callable by tests and
+// operators. It fails when checkpointing is disabled or a drain is in
+// progress (the drain takes its own final snapshot).
+func (s *Server) CheckpointNow() error {
+	if s.cfg.CheckpointPath == "" {
+		return errors.New("server: checkpointing disabled (no CheckpointPath)")
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return errors.New("server: draining; the drain writes the final checkpoint")
+	}
+	return s.checkpointLocked()
+}
+
+// checkpointTimer snapshots every CheckpointInterval of wall-clock time —
+// the safety net for quiet periods when no bins close and the bin-driven
+// cadence therefore never fires.
+func (s *Server) checkpointTimer(stop chan struct{}) {
+	defer s.timerWG.Done()
+	ticks, stopTicker := s.cfg.Clock.Ticker(s.cfg.CheckpointInterval)
+	defer stopTicker()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticks:
+			s.CheckpointNow() // failures land on Stats; draining is declined
+		}
+	}
 }
 
 // consumeVerdicts drains the detector's verdict stream for the daemon's
@@ -253,12 +610,14 @@ func (s *Server) consumeVerdicts() {
 		s.stats.Generations = v.Generations
 		s.anoms = append(s.anoms, v.Anomalies...)
 		s.stats.Anomalies = len(s.anoms)
+		s.ledgerCond.Broadcast()
 		s.mu.Unlock()
 	}
 	tail := s.det.TailAnomalies()
 	s.mu.Lock()
 	s.anoms = append(s.anoms, tail...)
 	s.stats.Anomalies = len(s.anoms)
+	s.ledgerCond.Broadcast()
 	s.mu.Unlock()
 }
 
@@ -293,8 +652,27 @@ func (s *Server) Start() error {
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/stats", s.handleStats)
 		mux.HandleFunc("/anomalies", s.handleAnomalies)
-		s.httpSrv = &http.Server{Handler: mux}
-		go s.httpSrv.Serve(ln)
+		// The status port faces the same network as the NetFlow socket, so
+		// it gets the same hostile-input posture: a client that dribbles a
+		// header, stalls mid-request or parks an idle connection must not
+		// pin a daemon goroutine forever.
+		srv := &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		}
+		s.httpSrv = srv
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				s.fail(fmt.Errorf("server: http: %w", err))
+			}
+		}()
+	}
+	if s.cfg.CheckpointPath != "" && s.cfg.CheckpointInterval > 0 {
+		s.cpTimerStop = make(chan struct{})
+		s.timerWG.Add(1)
+		go s.checkpointTimer(s.cpTimerStop)
 	}
 	s.started = true
 	go s.readLoop(conn)
@@ -339,11 +717,14 @@ func (s *Server) readLoop(conn *net.UDPConn) {
 }
 
 // IngestPacket runs the full per-datagram ingest path — decode, sequence
-// dedupe, OD resolution, bin accumulation, bin close — synchronously on
-// the caller's goroutine. The read loop is its only caller in production;
-// tests and benchmarks call it directly to drive the daemon without a
-// socket. Not safe for concurrent callers.
+// dedupe, OD resolution, bin accumulation, bin close, and the bin-driven
+// checkpoint cadence — synchronously on the caller's goroutine. The read
+// loop is its only caller in production; tests and benchmarks call it
+// directly to drive the daemon without a socket. ingestMu serializes
+// concurrent callers and excludes checkpoint capture mid-packet.
 func (s *Server) IngestPacket(pkt []byte) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
 	h, recs, err := netflow.DecodePacketAppend(s.recs[:0], pkt)
 	s.recs = recs
 	s.mu.Lock()
@@ -406,9 +787,16 @@ func (s *Server) IngestPacket(pkt []byte) {
 		s.behindStreak = 0
 	}
 	s.mu.Unlock()
-	// Submit outside the lock: pipeline backpressure must not wedge the
-	// HTTP handlers or deadlock the verdict consumer.
+	// Submit outside mu: pipeline backpressure must not wedge the HTTP
+	// handlers or deadlock the verdict consumer (ingestMu is still held,
+	// which is safe — the consumer and the handlers never take it).
 	s.submit(closed)
+	if s.cfg.CheckpointPath != "" && len(closed) > 0 {
+		s.binsSinceCp += len(closed)
+		if s.binsSinceCp >= s.cfg.CheckpointEvery {
+			s.checkpointLocked()
+		}
+	}
 }
 
 const (
@@ -669,31 +1057,52 @@ func (s *Server) Anomalies() []netwide.Anomaly {
 
 // Drain performs the graceful shutdown: stop accepting datagrams, flush
 // every in-flight bin through the detector (nothing accepted is dropped),
-// wait for the verdict stream to complete — folding still-open events into
-// the anomaly log — and finally stop the HTTP endpoint. The context bounds
-// only the HTTP shutdown; the detector drain always runs to completion.
-// Drain returns the first error the daemon saw, if any, and is idempotent.
+// write the final checkpoint (when enabled), wait for the verdict stream
+// to complete — folding still-open events into the anomaly log — and
+// finally stop the HTTP endpoint. The context bounds only the HTTP
+// shutdown; the detector drain always runs to completion, so a context
+// that is already done on entry is rejected up front rather than silently
+// running a long drain whose deadline has passed. Drain may be called once:
+// a second or concurrent call fails immediately with a descriptive error
+// instead of blocking behind the first — the caller holding the real drain
+// is the one that gets its result.
 func (s *Server) Drain(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("server: drain: context already done before shutdown began: %w", err)
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.consumerWG.Wait()
-		return s.Err()
+		return errors.New("server: drain already in progress or completed")
 	}
 	s.draining = true
 	conn := s.conn
+	stop := s.cpTimerStop
+	s.cpTimerStop = nil
 	s.mu.Unlock()
 
+	if stop != nil {
+		close(stop) // no snapshot may race the final one below
+		s.timerWG.Wait()
+	}
 	if conn != nil {
 		conn.Close() // unblocks the read loop
 		<-s.readerDone
 	}
 
-	// The read loop has exited: no new bins can appear. Flush the tail.
+	// The read loop has exited and the socket is closed: no new bins can
+	// appear. Flush the tail, then persist the final snapshot — it carries
+	// every closed bin, so a restart after a clean drain resumes zero bins
+	// stale. ingestMu excludes a straggling direct IngestPacket caller.
+	s.ingestMu.Lock()
 	s.mu.Lock()
 	closed := s.detachThrough(s.stats.Watermark)
 	s.mu.Unlock()
 	s.submit(closed)
+	if s.cfg.CheckpointPath != "" {
+		s.checkpointLocked()
+	}
+	s.ingestMu.Unlock()
 
 	s.det.Close()
 	s.consumerWG.Wait() // verdict stream fully drained, tail folded in
@@ -716,6 +1125,46 @@ func (s *Server) Drain(ctx context.Context) error {
 		ln.Close()
 	}
 	return s.Err()
+}
+
+// Kill stops the daemon the way a crash would: sockets closed, goroutines
+// reaped, but no flush, no final checkpoint — the open bins and the
+// in-memory ledger are simply gone, and the snapshot on disk stays
+// whatever the last periodic write made it. This is the chaos tests' kill
+// switch; production shutdown is Drain.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	conn := s.conn
+	stop := s.cpTimerStop
+	s.cpTimerStop = nil
+	srv, ln := s.httpSrv, s.httpLn
+	s.httpSrv, s.httpLn = nil, nil
+	s.mu.Unlock()
+
+	if stop != nil {
+		close(stop)
+		s.timerWG.Wait()
+	}
+	if conn != nil {
+		conn.Close()
+		<-s.readerDone
+	}
+	if srv != nil {
+		srv.Close() // abrupt: no graceful connection drain
+	} else if ln != nil {
+		ln.Close()
+	}
+	// Reap the detector goroutines so a killed daemon leaks nothing into
+	// the test process; the verdicts it delivers on the way down land in a
+	// ledger nobody will read again.
+	s.det.Close()
+	s.consumerWG.Wait()
+	s.det.Wait()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -309,9 +310,76 @@ func TestDrainFlushesInFlightBins(t *testing.T) {
 	if !st.Draining {
 		t.Error("stats do not report the drain")
 	}
-	// Idempotent: a second drain must not panic or hang.
+	// A second drain is a caller bug: it fails fast with a descriptive
+	// error instead of silently waiting behind a shutdown that already
+	// happened (the old behavior hid double-shutdown bugs in operators).
+	if err := srv.Drain(ctx); err == nil || !strings.Contains(err.Error(), "already") {
+		t.Fatalf("second drain: %v, want an 'already in progress or completed' error", err)
+	}
+}
+
+// TestDrainRejectsDeadContext pins the other half of the drain contract:
+// the context bounds only the HTTP shutdown, so a context that is already
+// done on entry would silently run an unbounded drain — it is rejected up
+// front instead.
+func TestDrainRejectsDeadContext(t *testing.T) {
+	run := testRun(t)
+	srv, err := New(run, Config{Stream: parityStream(run)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Drain(dead); err == nil || !strings.Contains(err.Error(), "context") {
+		t.Fatalf("drain with dead context: %v, want a context error", err)
+	}
+	// The rejected call must not have flipped the daemon into draining: a
+	// live context afterwards still performs the real shutdown.
+	ctx, cancelLive := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelLive()
 	if err := srv.Drain(ctx); err != nil {
-		t.Fatalf("second drain: %v", err)
+		t.Fatalf("drain after rejected call: %v", err)
+	}
+	if !srv.Stats().Draining {
+		t.Error("stats do not report the drain")
+	}
+}
+
+// TestConcurrentDrain: exactly one of N concurrent Drain calls wins; the
+// rest fail promptly with the descriptive error rather than piling up
+// behind the winner.
+func TestConcurrentDrain(t *testing.T) {
+	run := testRun(t)
+	srv, err := New(run, Config{Stream: parityStream(run)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- srv.Drain(ctx)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	var ok, rejected int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case strings.Contains(err.Error(), "already"):
+			rejected++
+		default:
+			t.Errorf("unexpected drain error: %v", err)
+		}
+	}
+	if ok != 1 || rejected != 3 {
+		t.Fatalf("%d drains succeeded and %d were rejected, want 1 and 3", ok, rejected)
 	}
 }
 

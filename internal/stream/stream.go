@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"netwide/internal/engine"
+	"netwide/internal/fault"
 	"netwide/internal/identify"
 	"netwide/internal/mat"
 )
@@ -57,7 +58,14 @@ type Config struct {
 	// Attribute enables live OD attribution of every alarm inside the lane
 	// workers — the identification step of streaming characterization.
 	Attribute bool
+	// Faults, when non-nil, threads error injection through the pipeline's
+	// background paths (currently FaultRefit). Nil in production.
+	Faults *fault.Injector
 }
+
+// FaultRefit is the injection point consulted before every background
+// refit: arm a Delay for a slow refit, an Err for a failing one.
+const FaultRefit = "stream.refit"
 
 func (c Config) withDefaults() Config {
 	if c.BatchSize <= 0 {
@@ -73,11 +81,38 @@ func (c Config) withDefaults() Config {
 type Sample struct {
 	Bin  int
 	Vecs [][]float64
+	// barrier marks a checkpoint barrier control message (injected by
+	// Barrier, never constructible by callers): it flows through the same
+	// channels as data, so its position in the verdict stream is exactly
+	// its position in the submission order.
+	barrier bool
+}
+
+// LaneState is one lane's recovery state, captured at a Barrier: the model
+// generation that was scoring when the barrier passed, the rolling refit
+// window as of every bin before the barrier, and the bins accrued toward
+// the next refit. Window rows are shallow references — submitted vectors
+// are immutable once inside the pipeline — oldest first; Window is nil
+// when refitting is disabled.
+type LaneState struct {
+	Model  *engine.Model
+	Window [][]float64
+	Since  int
+}
+
+// Barrier is a consistent pipeline snapshot: every lane's state captured
+// at the same point in the submission order. It arrives as a Verdict with
+// a non-nil Barrier field, ordered among the data verdicts exactly where
+// Pipeline.Barrier was called among the Submits — everything before it has
+// been scored and emitted, nothing after it has.
+type Barrier struct {
+	Lanes []LaneState
 }
 
 // Verdict is the merged scoring of one bin across every lane. Verdicts are
 // delivered in submission order.
 type Verdict struct {
+	// Bin is the submitted timebin, or -1 for a barrier verdict.
 	Bin int
 	// Points holds each lane's statistics for the bin, indexed by lane.
 	Points []engine.Point
@@ -88,6 +123,9 @@ type Verdict struct {
 	// per alarmed statistic; nil when the lane is clean or attribution is
 	// disabled).
 	Attribs [][]identify.Attribution
+	// Barrier is non-nil on a checkpoint barrier verdict, which carries no
+	// scoring (Points/Gens/Attribs are nil, Bin is -1).
+	Barrier *Barrier
 }
 
 // Alarm reports whether any lane flagged the bin on either statistic.
@@ -114,19 +152,22 @@ func (v Verdict) AlarmLanes() []int {
 // laneTask is one vector en route to a lane worker. seq is the global
 // submission index the aggregator reorders on.
 type laneTask struct {
-	seq int
-	bin int
-	x   []float64
+	seq     int
+	bin     int
+	x       []float64
+	barrier bool
 }
 
-// laneResult is one scored vector en route to the aggregator.
+// laneResult is one scored vector en route to the aggregator. A barrier
+// result carries the lane's captured state instead of a scoring.
 type laneResult struct {
-	lane int
-	seq  int
-	bin  int
-	pt   engine.Point
-	gen  uint64
-	att  []identify.Attribution
+	lane  int
+	seq   int
+	bin   int
+	pt    engine.Point
+	gen   uint64
+	att   []identify.Attribution
+	state *LaneState
 }
 
 // lane is one detector worker: a current engine model behind an atomic
@@ -227,11 +268,55 @@ func New(models []*engine.Model, cfg Config) (*Pipeline, error) {
 	if len(models) == 0 {
 		return nil, errors.New("stream: no models")
 	}
+	states := make([]LaneState, len(models))
+	for i, m := range models {
+		states[i] = LaneState{Model: m}
+		if t := m.Train(); t != nil {
+			// Seed the rolling window with the trailing training rows so the
+			// first refit does not wait for a full window of live traffic.
+			n := t.Rows()
+			if cfg.RefitEvery > 0 && cfg.Window > 0 && n > cfg.Window {
+				n = cfg.Window
+			}
+			win := make([][]float64, n)
+			for j := 0; j < n; j++ {
+				win[j] = t.RowView(t.Rows() - n + j)
+			}
+			states[i].Window = win
+		}
+	}
+	return NewRestored(states, cfg)
+}
+
+// NewRestored builds a pipeline from per-lane recovery states — the
+// restart half of checkpointing: the states come from a Barrier captured
+// in a previous process (models rebuilt via engine.Restore), and the new
+// pipeline resumes with the same model generations, refit windows and
+// refit phase the old one had. New is the special case where every state
+// is a freshly fitted model with its training window.
+func NewRestored(states []LaneState, cfg Config) (*Pipeline, error) {
+	if len(states) == 0 {
+		return nil, errors.New("stream: no lane states")
+	}
 	cfg = cfg.withDefaults()
-	if cfg.RefitEvery > 0 {
-		for i, m := range models {
-			if cfg.Window <= m.P() {
-				return nil, fmt.Errorf("stream: window %d must exceed lane %d vector length %d for refitting", cfg.Window, i, m.P())
+	for i, st := range states {
+		if st.Model == nil {
+			return nil, fmt.Errorf("stream: lane %d state has no model", i)
+		}
+		if cfg.RefitEvery > 0 {
+			if cfg.Window <= st.Model.P() {
+				return nil, fmt.Errorf("stream: window %d must exceed lane %d vector length %d for refitting", cfg.Window, i, st.Model.P())
+			}
+			if len(st.Window) > cfg.Window {
+				return nil, fmt.Errorf("stream: lane %d restored window %d exceeds configured window %d", i, len(st.Window), cfg.Window)
+			}
+			if st.Since < 0 {
+				return nil, fmt.Errorf("stream: lane %d negative refit phase %d", i, st.Since)
+			}
+			for j, row := range st.Window {
+				if len(row) != st.Model.P() {
+					return nil, fmt.Errorf("stream: lane %d window row %d length %d, want %d", i, j, len(row), st.Model.P())
+				}
 			}
 		}
 	}
@@ -239,15 +324,16 @@ func New(models []*engine.Model, cfg Config) (*Pipeline, error) {
 		cfg:  cfg,
 		in:   make(chan Sample, cfg.Buffer),
 		out:  make(chan Verdict, cfg.Buffer),
-		agg:  make(chan laneResult, cfg.Buffer*len(models)),
+		agg:  make(chan laneResult, cfg.Buffer*len(states)),
 		done: make(chan struct{}),
 	}
-	for i, m := range models {
-		l := &lane{id: i, in: make(chan laneTask, cfg.Buffer), p: m.P()}
-		l.model.Store(m)
+	for i, st := range states {
+		l := &lane{id: i, in: make(chan laneTask, cfg.Buffer), p: st.Model.P()}
+		l.model.Store(st.Model)
 		if cfg.RefitEvery > 0 {
 			l.window = make([][]float64, cfg.Window)
-			l.seedWindow(m.Train())
+			l.seedWindow(st.Window)
+			l.since = st.Since
 			l.refitIn = make(chan *mat.Matrix, 1)
 			p.refitWG.Add(1)
 			go p.refitter(l)
@@ -262,22 +348,34 @@ func New(models []*engine.Model, cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
-// seedWindow pre-fills the rolling window ring with the trailing rows of
-// the model's retained training window. The ring stores row views — the
-// refit snapshot copies rows, the ring never does.
-func (l *lane) seedWindow(train *mat.Matrix) {
-	if train == nil {
-		return
-	}
-	n := train.Rows()
+// seedWindow pre-fills the rolling window ring with rows (oldest first —
+// trailing training rows on a fresh start, the captured barrier window on
+// a restore). The ring stores row references; the refit snapshot copies
+// rows, the ring never does.
+func (l *lane) seedWindow(rows [][]float64) {
+	n := len(rows)
 	if n > len(l.window) {
+		rows = rows[n-len(l.window):]
 		n = len(l.window)
 	}
-	for i := 0; i < n; i++ {
-		l.window[i] = train.RowView(train.Rows() - n + i)
-	}
+	copy(l.window, rows)
 	l.wNext = n % len(l.window)
 	l.wFill = n
+}
+
+// capture snapshots the lane's recovery state: called by the lane worker
+// at a barrier, after flushing, so the state reflects exactly the bins
+// before the barrier. Window rows are shared, not copied — they are
+// immutable inside the pipeline.
+func (l *lane) capture() *LaneState {
+	st := &LaneState{Model: l.model.Load(), Since: l.since}
+	if l.refitIn != nil {
+		st.Window = make([][]float64, 0, l.wFill)
+		for i := 0; i < l.wFill; i++ {
+			st.Window = append(st.Window, l.window[(l.wNext-l.wFill+i+len(l.window))%len(l.window)])
+		}
+	}
+	return st
 }
 
 // Lanes returns the number of detector lanes.
@@ -312,6 +410,23 @@ func (p *Pipeline) Submit(s Sample) error {
 		return errors.New("stream: submit after Close")
 	}
 	p.in <- s
+	return nil
+}
+
+// Barrier injects a checkpoint barrier into the submission order: a
+// control message that fans out to every lane behind all earlier Submits,
+// captures each lane's state after the lane has scored everything before
+// it, and surfaces in the verdict stream as a Verdict with a non-nil
+// Barrier field, ordered exactly where this call fell among the Submits.
+// Like Submit it blocks when the pipeline is Buffer bins behind, and fails
+// after Close.
+func (p *Pipeline) Barrier() error {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if p.closed {
+		return errors.New("stream: barrier after Close")
+	}
+	p.in <- Sample{barrier: true}
 	return nil
 }
 
@@ -355,6 +470,12 @@ func (p *Pipeline) dispatch() {
 	for s := range p.in {
 		seq := p.seq
 		p.seq++
+		if s.barrier {
+			for _, l := range p.lanes {
+				l.in <- laneTask{seq: seq, barrier: true}
+			}
+			continue
+		}
 		for i, l := range p.lanes {
 			l.in <- laneTask{seq: seq, bin: s.Bin, x: s.Vecs[i]}
 		}
@@ -410,6 +531,14 @@ func (p *Pipeline) laneWorker(l *lane) {
 		batch, vecs = batch[:0], vecs[:0]
 	}
 	for t := range l.in {
+		if t.barrier {
+			// Score everything before the barrier first, so the captured
+			// state (model generation, window, refit phase) is exactly the
+			// state as of the last pre-barrier bin.
+			flush()
+			p.agg <- laneResult{lane: l.id, seq: t.seq, bin: -1, state: l.capture()}
+			continue
+		}
 		batch = append(batch, t)
 		vecs = append(vecs, t.x)
 		if len(batch) >= p.cfg.BatchSize {
@@ -454,6 +583,14 @@ func (l *lane) observe(x []float64, refitEvery int) {
 func (p *Pipeline) refitter(l *lane) {
 	defer p.refitWG.Done()
 	for snap := range l.refitIn {
+		// FaultRefit: an armed Delay makes this refit slow (it holds the
+		// refitIn slot, delaying subsequent hand-offs — never scoring); an
+		// armed Err fails it, leaving the pipeline degraded on the current
+		// generation.
+		if err := p.cfg.Faults.Fire(FaultRefit); err != nil {
+			p.failRefit(fmt.Errorf("stream: lane %d refit: %w", l.id, err))
+			continue
+		}
 		cur := l.model.Load()
 		next, err := cur.Refit(snap)
 		if err != nil {
@@ -480,20 +617,31 @@ func (p *Pipeline) aggregate() {
 	for r := range p.agg {
 		pt, ok := pending[r.seq]
 		if !ok {
-			pt = &partial{
-				v: Verdict{
-					Bin:     r.bin,
-					Points:  make([]engine.Point, len(p.lanes)),
-					Gens:    make([]uint64, len(p.lanes)),
-					Attribs: make([][]identify.Attribution, len(p.lanes)),
-				},
-				left: len(p.lanes),
+			if r.state != nil {
+				pt = &partial{
+					v:    Verdict{Bin: -1, Barrier: &Barrier{Lanes: make([]LaneState, len(p.lanes))}},
+					left: len(p.lanes),
+				}
+			} else {
+				pt = &partial{
+					v: Verdict{
+						Bin:     r.bin,
+						Points:  make([]engine.Point, len(p.lanes)),
+						Gens:    make([]uint64, len(p.lanes)),
+						Attribs: make([][]identify.Attribution, len(p.lanes)),
+					},
+					left: len(p.lanes),
+				}
 			}
 			pending[r.seq] = pt
 		}
-		pt.v.Points[r.lane] = r.pt
-		pt.v.Gens[r.lane] = r.gen
-		pt.v.Attribs[r.lane] = r.att
+		if r.state != nil {
+			pt.v.Barrier.Lanes[r.lane] = *r.state
+		} else {
+			pt.v.Points[r.lane] = r.pt
+			pt.v.Gens[r.lane] = r.gen
+			pt.v.Attribs[r.lane] = r.att
+		}
 		pt.left--
 		for {
 			done, ok := pending[next]

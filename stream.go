@@ -10,6 +10,7 @@ import (
 	"netwide/internal/dataset"
 	"netwide/internal/engine"
 	"netwide/internal/events"
+	"netwide/internal/fault"
 	"netwide/internal/mat"
 	"netwide/internal/stream"
 )
@@ -28,6 +29,9 @@ type StreamConfig struct {
 	RefitEvery int
 	// Window is the rolling training window for refits, in bins.
 	Window int
+	// Faults, when non-nil, threads error injection through the pipeline's
+	// background paths (see stream.FaultRefit). Nil in production.
+	Faults *fault.Injector
 }
 
 // SetMathWorkers tunes the process-wide linear-algebra goroutine pool that
@@ -92,6 +96,18 @@ type StreamDetector struct {
 	pipe *stream.Pipeline
 	out  chan StreamVerdict
 	run  *Run
+	// agg is the incremental cross-measure event aggregator; owned by the
+	// characterize goroutine after construction (the constructor seeds it —
+	// empty on a fresh start, rebuilt on a restore).
+	agg *events.Aggregator
+	// emitted counts anomalies delivered on verdicts so far, cumulative
+	// across restores. Owned by the characterize goroutine; a checkpoint
+	// carries the value as of its barrier, which is how a consumer keeping
+	// an anomaly ledger knows when the ledger has caught up to a snapshot.
+	emitted uint64
+	// cpReply carries checkpoint snapshots from the characterize goroutine
+	// back to Checkpoint (one outstanding barrier at a time; binMu).
+	cpReply chan StreamCheckpoint
 	// tail holds the anomalies still open when the stream ended, flushed
 	// and characterized. Written by the characterize goroutine before it
 	// closes out, so reading it after the Verdicts channel closes is safe.
@@ -102,6 +118,36 @@ type StreamDetector struct {
 	binMu   sync.Mutex
 	lastBin int
 	started bool
+}
+
+// LaneCheckpoint is one measure lane's recovery state in serializable
+// form: the scoring model's full parameters, the rolling refit window
+// (deep-copied rows, oldest first; nil when refitting is disabled) and the
+// bins accrued toward the next refit.
+type LaneCheckpoint struct {
+	Model  engine.ModelState
+	Window [][]float64
+	Since  int
+}
+
+// StreamCheckpoint is the StreamDetector's full recovery state, captured
+// at a consistent point in the submission order by Checkpoint: every
+// verdict before the point has been characterized and delivered, nothing
+// after it has started. All fields are plain data — gob-encodable, no
+// live pointers — so the snapshot can cross a process boundary.
+type StreamCheckpoint struct {
+	Lanes []LaneCheckpoint
+	// Agg is the event aggregator mid-state: anomalies still open (they
+	// may yet extend) plus the buffered current bin.
+	Agg events.AggregatorState
+	// LastBin/Started restore Submit's bin-ordering guard.
+	LastBin int
+	Started bool
+	// Emitted is the cumulative count of anomalies delivered on verdicts
+	// before the snapshot point (across restores): a consumer mirroring
+	// anomalies into a ledger persists the snapshot only once its ledger
+	// holds exactly this many.
+	Emitted uint64
 }
 
 // NewStreamDetector trains one model per traffic measure on the run's
@@ -132,13 +178,99 @@ func (r *Run) NewStreamDetector(opts DetectOptions, cfg StreamConfig) (*StreamDe
 		RefitEvery: cfg.RefitEvery,
 		Window:     cfg.Window,
 		Attribute:  true,
+		Faults:     cfg.Faults,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("netwide: stream pipeline: %w", err)
 	}
-	d := &StreamDetector{pipe: pipe, out: make(chan StreamVerdict, 64), run: r}
+	d := &StreamDetector{
+		pipe:    pipe,
+		out:     make(chan StreamVerdict, 64),
+		run:     r,
+		agg:     events.NewAggregator(),
+		cpReply: make(chan StreamCheckpoint),
+	}
 	go d.characterize()
 	return d, nil
+}
+
+// RestoreStreamDetector rebuilds a streaming detector from a checkpoint:
+// each lane's model is reassembled from its serialized parameters (no
+// refit — a restored model scores bit-identically to the one that was
+// snapshotted), the refit windows and phases resume where they were, and
+// the event aggregator reopens the anomalies that were still extendable.
+// Fed the bins after the checkpoint's barrier, the restored detector
+// characterizes them exactly as the uninterrupted detector would have.
+// The model options (K, Alpha) ride inside the checkpoint; cfg supplies
+// the pipeline tuning, which must match the original run's for refit
+// windows to restore (Window may not shrink below a captured window).
+func (r *Run) RestoreStreamDetector(cp StreamCheckpoint, cfg StreamConfig) (*StreamDetector, error) {
+	if cfg.BatchSize == 0 && cfg.RefitEvery == 0 && cfg.Window == 0 && cfg.TrainBins == 0 {
+		cfg = DefaultStreamConfig()
+	}
+	if len(cp.Lanes) != int(dataset.NumMeasures) {
+		return nil, fmt.Errorf("netwide: checkpoint has %d lanes, want %d", len(cp.Lanes), dataset.NumMeasures)
+	}
+	states := make([]stream.LaneState, len(cp.Lanes))
+	for i, lc := range cp.Lanes {
+		model, err := engine.Restore(lc.Model)
+		if err != nil {
+			return nil, fmt.Errorf("netwide: restore %v model: %w", dataset.Measure(i), err)
+		}
+		if model.P() != r.ds.NumODPairs() {
+			return nil, fmt.Errorf("netwide: restored %v model scores %d OD pairs, run has %d", dataset.Measure(i), model.P(), r.ds.NumODPairs())
+		}
+		win := make([][]float64, len(lc.Window))
+		for j, row := range lc.Window {
+			win[j] = append([]float64(nil), row...)
+		}
+		states[i] = stream.LaneState{Model: model, Window: win, Since: lc.Since}
+	}
+	agg, err := events.RestoreAggregator(cp.Agg)
+	if err != nil {
+		return nil, fmt.Errorf("netwide: restore aggregator: %w", err)
+	}
+	pipe, err := stream.NewRestored(states, stream.Config{
+		BatchSize:  cfg.BatchSize,
+		RefitEvery: cfg.RefitEvery,
+		Window:     cfg.Window,
+		Attribute:  true,
+		Faults:     cfg.Faults,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netwide: restore pipeline: %w", err)
+	}
+	d := &StreamDetector{
+		pipe:    pipe,
+		out:     make(chan StreamVerdict, 64),
+		run:     r,
+		agg:     agg,
+		emitted: cp.Emitted,
+		cpReply: make(chan StreamCheckpoint),
+		lastBin: cp.LastBin,
+		started: cp.Started,
+	}
+	go d.characterize()
+	return d, nil
+}
+
+// Checkpoint captures the detector's full recovery state at a consistent
+// point in the submission order: it injects a barrier behind every bin
+// submitted so far and returns once the pipeline has scored, aggregated
+// and delivered all of them. The verdict stream must be draining (as any
+// live consumer does) or Checkpoint deadlocks behind the undelivered
+// verdicts it is waiting on. Serializes with concurrent Submits; fails
+// after Close.
+func (d *StreamDetector) Checkpoint() (StreamCheckpoint, error) {
+	d.binMu.Lock()
+	defer d.binMu.Unlock()
+	if err := d.pipe.Barrier(); err != nil {
+		return StreamCheckpoint{}, fmt.Errorf("netwide: checkpoint: %w", err)
+	}
+	cp := <-d.cpReply
+	cp.LastBin = d.lastBin
+	cp.Started = d.started
+	return cp, nil
 }
 
 // characterize relabels the internal verdict stream with the public types
@@ -150,10 +282,18 @@ func (r *Run) NewStreamDetector(opts DetectOptions, cfg StreamConfig) (*StreamDe
 // without waiting for bin B+1; events still open when the stream ends are
 // flushed into TailAnomalies.
 func (d *StreamDetector) characterize() {
-	agg := events.NewAggregator()
+	agg := d.agg
 	cl := classify.New(d.run.ds)
 	specs := d.run.ds.Ledger.Specs()
 	for v := range d.pipe.Verdicts() {
+		if v.Barrier != nil {
+			// A checkpoint barrier: everything before it has been delivered
+			// (this goroutine delivered it), nothing after it has been
+			// touched, so the aggregator + emitted count snapshot here is
+			// consistent with the lane states the barrier carries.
+			d.cpReply <- d.snapshot(v.Barrier)
+			continue
+		}
 		sv := StreamVerdict{Bin: v.Bin}
 		var dets []events.Detection
 		for m := 0; m < int(dataset.NumMeasures); m++ {
@@ -173,10 +313,32 @@ func (d *StreamDetector) characterize() {
 			}
 		}
 		sv.Anomalies = d.finish(cl, specs, agg.Add(v.Bin, dets))
+		d.emitted += uint64(len(sv.Anomalies))
 		d.out <- sv
 	}
 	d.tail = d.finish(cl, specs, agg.Flush())
 	close(d.out)
+}
+
+// snapshot assembles a StreamCheckpoint from a pipeline barrier plus the
+// characterize-side state. Runs on the characterize goroutine.
+func (d *StreamDetector) snapshot(bar *stream.Barrier) StreamCheckpoint {
+	cp := StreamCheckpoint{
+		Lanes:   make([]LaneCheckpoint, len(bar.Lanes)),
+		Agg:     d.agg.State(),
+		Emitted: d.emitted,
+	}
+	for i, ls := range bar.Lanes {
+		lc := LaneCheckpoint{Model: ls.Model.State(), Since: ls.Since}
+		if ls.Window != nil {
+			lc.Window = make([][]float64, len(ls.Window))
+			for j, row := range ls.Window {
+				lc.Window[j] = append([]float64(nil), row...)
+			}
+		}
+		cp.Lanes[i] = lc
+	}
+	return cp
 }
 
 // TailAnomalies returns the characterized anomalies that were still open
