@@ -1,19 +1,20 @@
-// Command nwreplay streams a saved dataset over UDP as live NetFlow v5
-// export traffic — the load generator for nwserve.
+// Command nwreplay streams a saved dataset over UDP as live flow-export
+// traffic — the load generator for nwserve.
 //
 // For every bin in the replayed range it regenerates the exact resolved
 // flow records the generator folded into the dataset's matrices, exports
-// them through one NetFlow engine per origin PoP (sequence numbers running
-// across bins like a real router), stamps each packet header with the
-// bin's timestamp, and sends the packets to the collector at a
+// them in the chosen wire format (NetFlow v5 by default; also NetFlow v9,
+// IPFIX or sFlow v5) through one export engine per origin PoP (sequence
+// numbers running across bins like a real router), stamps each packet with
+// the bin's timestamp, and sends the packets to the collector at a
 // configurable packet rate. Any scenario the scenario engine can generate
 // — DDoS, worm, flash crowd, outage, at any topology scale — thereby
-// becomes a live load test of the ingest daemon.
+// becomes a live load test of the ingest daemon, in any supported format.
 //
 // Usage:
 //
-//	nwreplay -in abilene.nwds -to 127.0.0.1:2055 [-from 0] [-until 0]
-//	         [-pps 20000] [-epoch 0]
+//	nwreplay -in abilene.nwds -to 127.0.0.1:2055 [-format netflow5]
+//	         [-from 0] [-until 0] [-pps 20000] [-epoch 0]
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"netwide"
+	"netwide/internal/flowwire"
 	"netwide/internal/server"
 )
 
@@ -31,18 +33,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nwreplay: ")
 	var (
-		in    = flag.String("in", "", "dataset file (.nwds) to replay (required)")
-		to    = flag.String("to", "127.0.0.1:2055", "collector UDP address")
-		from  = flag.Int("from", 0, "first bin to replay")
-		until = flag.Int("until", 0, "replay bins [from, until) (0 = end of dataset)")
-		pps   = flag.Int("pps", 20000, "packet rate (0 = unpaced; pacing avoids socket-buffer loss)")
-		epoch = flag.Uint64("epoch", 0, "unix time stamped on bin 0 (must match the collector's -epoch)")
+		in     = flag.String("in", "", "dataset file (.nwds) to replay (required)")
+		to     = flag.String("to", "127.0.0.1:2055", "collector UDP address")
+		from   = flag.Int("from", 0, "first bin to replay")
+		until  = flag.Int("until", 0, "replay bins [from, until) (0 = end of dataset)")
+		pps    = flag.Int("pps", 20000, "packet rate (0 = unpaced; pacing avoids socket-buffer loss)")
+		epoch  = flag.Uint64("epoch", 0, "unix time stamped on bin 0 (must match the collector's -epoch)")
+		format = flag.String("format", "netflow5", "wire format: netflow5, netflow9, ipfix or sflow")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"nwreplay: replay a saved dataset as live NetFlow v5 over UDP.\n\n"+
+			"nwreplay: replay a saved dataset as live flow-export traffic over UDP.\n\n"+
 				"Regenerates each bin's resolved flow records and exports them to a\n"+
-				"collector (nwserve) at a configurable packet rate.\n\n"+
+				"collector (nwserve) at a configurable packet rate, in any supported\n"+
+				"wire format (-format netflow5|netflow9|ipfix|sflow).\n\n"+
 				"Flags:\n")
 		flag.PrintDefaults()
 	}
@@ -50,6 +54,10 @@ func main() {
 	if *in == "" {
 		flag.Usage()
 		log.Fatal("-in is required")
+	}
+	wf, err := flowwire.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	f, err := os.Open(*in)
@@ -65,6 +73,7 @@ func main() {
 	start := time.Now()
 	st, err := server.Replay(run.Dataset(), server.ReplayConfig{
 		Addr:             *to,
+		Format:           wf,
 		From:             *from,
 		To:               *until,
 		PacketsPerSecond: *pps,
@@ -74,7 +83,7 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	log.Printf("replayed %d bins to %s: %d packets, %d records, %.1f MB in %v (%.0f pkt/s, %.0f rec/s)",
-		st.Bins, *to, st.Packets, st.Records, float64(st.Bytes)/(1<<20), elapsed.Round(time.Millisecond),
+	log.Printf("replayed %d bins to %s as %s: %d packets, %d records, %.1f MB in %v (%.0f pkt/s, %.0f rec/s)",
+		st.Bins, *to, wf, st.Packets, st.Records, float64(st.Bytes)/(1<<20), elapsed.Round(time.Millisecond),
 		float64(st.Packets)/elapsed.Seconds(), float64(st.Records)/elapsed.Seconds())
 }

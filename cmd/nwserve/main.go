@@ -1,20 +1,23 @@
-// Command nwserve is the live ingest daemon: a long-running NetFlow v5
-// collector in front of the concurrent streaming detector.
+// Command nwserve is the live ingest daemon: a long-running flow-telemetry
+// collector in front of the concurrent streaming detector, speaking
+// NetFlow v5, NetFlow v9, IPFIX and sFlow v5 on one socket (auto-detected
+// per datagram; restrict with -formats).
 //
 // It loads a dataset written by abilenegen (the network model: topology,
 // routing tables, seasonal baselines, and the training traffic for the
 // per-measure subspace models), binds a UDP socket, and then ingests
-// export packets indefinitely: decode, per-engine sequence accounting,
-// OD resolution, 5-minute bin aggregation. Each closed bin streams
-// through the detector — scoring, OD attribution, cross-measure event
-// aggregation, classification — and every characterized anomaly is
-// retained and served.
+// export packets indefinitely: decode, per-stream sequence accounting in
+// each format's own sequence unit, OD resolution, 5-minute bin
+// aggregation. Each closed bin streams through the detector — scoring, OD
+// attribution, cross-measure event aggregation, classification — and every
+// characterized anomaly is retained and served.
 //
-// Status endpoints (with -http):
+// Status endpoints (with -http), served under /api/v1/ with the
+// unversioned paths as aliases:
 //
-//	/healthz    liveness (503 once the detector records an error)
-//	/stats      ingest counters as JSON
-//	/anomalies  the characterized anomaly log as JSON
+//	/api/v1/healthz    liveness (503 once the detector records an error)
+//	/api/v1/stats      ingest counters as JSON, with a per-protocol breakdown
+//	/api/v1/anomalies  the characterized anomaly log as JSON
 //
 // With -checkpoint the daemon is crash-safe: it periodically snapshots
 // its full recovery state (fitted models, refit windows, open anomaly
@@ -33,6 +36,7 @@
 // Usage:
 //
 //	nwserve -train abilene.nwds [-listen 127.0.0.1:2055] [-http 127.0.0.1:8080]
+//	        [-formats netflow5,netflow9,ipfix,sflow]
 //	        [-trainbins 0] [-k 4] [-alpha 0.001] [-refit 0] [-window 0]
 //	        [-batch 16] [-grace 1] [-epoch 0]
 //	        [-checkpoint daemon.nwcp] [-checkpoint-every 1] [-checkpoint-interval 0]
@@ -48,10 +52,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"netwide"
+	"netwide/internal/flowwire"
 	"netwide/internal/server"
 )
 
@@ -60,7 +66,8 @@ func main() {
 	log.SetPrefix("nwserve: ")
 	var (
 		train     = flag.String("train", "", "dataset file (.nwds) providing topology, baselines and training traffic (required)")
-		listen    = flag.String("listen", "127.0.0.1:2055", "UDP listen address for NetFlow v5 export packets")
+		listen    = flag.String("listen", "127.0.0.1:2055", "UDP listen address for flow export packets")
+		formats   = flag.String("formats", "", "comma-separated wire-format allowlist: netflow5, netflow9, ipfix, sflow (empty = all)")
 		httpAddr  = flag.String("http", "", "HTTP status listen address (empty disables /healthz, /stats, /anomalies)")
 		trainBins = flag.Int("trainbins", 0, "leading bins of the dataset to train on (0 = all bins)")
 		k         = flag.Int("k", 4, "normal subspace dimension")
@@ -77,10 +84,11 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"nwserve: live NetFlow v5 ingest daemon over the streaming subspace detector.\n\n"+
-				"Receives export packets over UDP, aggregates them into per-OD 5-minute\n"+
-				"timebins (bytes, packets, IP-flows), and streams closed bins through the\n"+
-				"concurrent detection pipeline, characterizing anomalies as they close.\n\n"+
+			"nwserve: live flow-telemetry ingest daemon over the streaming subspace detector.\n\n"+
+				"Receives NetFlow v5/v9, IPFIX and sFlow v5 export packets over UDP,\n"+
+				"aggregates them into per-OD 5-minute timebins (bytes, packets, IP-flows),\n"+
+				"and streams closed bins through the concurrent detection pipeline,\n"+
+				"characterizing anomalies as they close.\n\n"+
 				"Flags:\n")
 		flag.PrintDefaults()
 	}
@@ -88,6 +96,16 @@ func main() {
 	if *train == "" {
 		flag.Usage()
 		log.Fatal("-train is required")
+	}
+	var allow []flowwire.Format
+	if *formats != "" {
+		for _, name := range strings.Split(*formats, ",") {
+			f, err := flowwire.ParseFormat(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			allow = append(allow, f)
+		}
 	}
 
 	f, err := os.Open(*train)
@@ -105,6 +123,7 @@ func main() {
 
 	srv, err := server.New(run, server.Config{
 		UDPAddr:            *listen,
+		Formats:            allow,
 		HTTPAddr:           *httpAddr,
 		Epoch:              uint32(*epoch),
 		Grace:              *grace,
@@ -135,10 +154,20 @@ func main() {
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening for NetFlow v5 on %s (%d bins trained, %d OD pairs)",
-		srv.UDPAddr(), run.Bins(), run.Dataset().NumODPairs())
+	names := make([]string, 0, 4)
+	if len(allow) == 0 {
+		for _, f := range flowwire.AllFormats() {
+			names = append(names, f.String())
+		}
+	} else {
+		for _, f := range allow {
+			names = append(names, f.String())
+		}
+	}
+	log.Printf("listening for %s on %s (%d bins trained, %d OD pairs)",
+		strings.Join(names, "/"), srv.UDPAddr(), run.Bins(), run.Dataset().NumODPairs())
 	if a := srv.HTTPAddr(); a != nil {
-		log.Printf("status endpoint on http://%s (/healthz /stats /anomalies)", a)
+		log.Printf("status endpoint on http://%s (/api/v1/{healthz,stats,anomalies}; unversioned aliases)", a)
 	}
 
 	sig := make(chan os.Signal, 1)

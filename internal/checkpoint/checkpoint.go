@@ -41,7 +41,12 @@ const Magic = "NWCPv1\r\n"
 // restore error (and therefore a cold start), not a migration: the
 // snapshot is a cache of recoverable state, so the safe response to an
 // unknown format is to rebuild from scratch.
-const Version = 1
+//
+// Version 2 generalized the collector's wire layer from NetFlow v5 to the
+// format-agnostic flowwire decoders: engine cursors became (format, 32-bit
+// engine) keyed, per-protocol ingest counters were added, and v9/IPFIX
+// template caches became restore state. Version 1 snapshots cold-start.
+const Version = 2
 
 // Fault injection points consulted by WriteFile.
 const (
@@ -64,13 +69,46 @@ type OpenBin struct {
 	Flows   []float64
 }
 
-// EngineState is one export engine's v5 sequence cursor: the expected next
-// flow sequence and the recent-packet ring used for duplicate detection.
+// EngineState is one export engine's sequence cursor: the expected next
+// sequence value and the recent-sequence ring used for duplicate
+// detection. Cursors are independent per wire format — a v5 engine 3 and
+// an IPFIX observation domain 3 are different streams — so the format is
+// part of the identity.
 type EngineState struct {
-	ID     uint8
+	Format uint8 // flowwire.Format value
+	ID     uint32
 	Next   uint32
 	Recent []uint32 // valid ring entries, in ring index order
 	Pos    int      // next ring slot to overwrite
+}
+
+// ProtoState is one wire format's cumulative ingest counters.
+type ProtoState struct {
+	Format     uint8 // flowwire.Format value
+	Packets    uint64
+	BadPackets uint64
+	Duplicates uint64
+	Records    uint64
+	LostUnits  uint64
+}
+
+// TemplateField mirrors flowwire.FieldSpec as plain checkpoint data (this
+// package stays import-light; the server translates both ways).
+type TemplateField struct {
+	ID         uint16
+	Enterprise uint32
+	Length     uint16
+}
+
+// TemplateState is one cached v9/IPFIX template. Restore revalidates each
+// definition exactly like a hostile wire template, so a tampered snapshot
+// is rejected rather than trusted.
+type TemplateState struct {
+	Format uint8  // flowwire.Format value
+	Source uint32 // exporter identity (v9 source ID / IPFIX observation domain)
+	ID     uint16
+	Scope  uint16
+	Fields []TemplateField
 }
 
 // ServerState mirrors the ingest daemon's recovery state: the cumulative
@@ -94,6 +132,8 @@ type ServerState struct {
 
 	OpenBins     []OpenBin
 	Engines      []EngineState
+	Protocols    []ProtoState
+	Templates    []TemplateState
 	BehindStreak int
 }
 
@@ -111,6 +151,10 @@ type State struct {
 	K        int
 	Alpha    float64
 	Epoch    uint32
+	// Formats is the sorted allowlist of enabled wire formats (flowwire
+	// Format values). Engine cursors and template caches only make sense
+	// under the same decoder set, so a different allowlist cold-starts.
+	Formats []uint8
 
 	Server ServerState
 	// Stream is the detector's own recovery state (models, refit windows,

@@ -1,0 +1,354 @@
+// Package flowwire is the format-agnostic wire layer of the collector: one
+// decoder API over the four flow-export formats the daemon speaks (NetFlow
+// v5, template-based NetFlow v9 and IPFIX, sampled sFlow v5), plus the
+// matching exporters the replay tooling uses to put any dataset back on the
+// wire in any of them.
+//
+// The subspace method itself is wire-format-agnostic — it consumes per-OD
+// byte/packet/flow bins — so every decoder normalizes down to the same two
+// types: a Batch (the per-datagram envelope: engine identity, export
+// timestamp, sampling rate, sequence position) and a flat slice of Records
+// (src/dst address and the three counters). The server aggregates those and
+// never looks at wire bytes again.
+//
+// Sequence accounting is deliberately per-protocol: the formats count
+// different things in their sequence fields, and conflating them corrupts
+// loss estimates. Batch carries a SequenceModel naming the unit plus the
+// (Seq, SeqAdvance) pair, so one generic cursor on the collector side
+// handles all four:
+//
+//	NetFlow v5  counts exported flow records   (SeqFlows)
+//	NetFlow v9  counts export packets          (SeqPackets)
+//	IPFIX       counts exported data records   (SeqRecords, RFC 7011 §3.1)
+//	sFlow v5    counts generated flow samples  (SeqSamples)
+//
+// Every decoder treats the packet as hostile input, in the house style the
+// v5 codec established: counts, set lengths and template definitions are
+// validated against the buffer before they drive any allocation or read,
+// and template caches are bounded (LRU + expiry) so a spoofed exporter
+// cannot grow collector memory without bound.
+package flowwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"netwide/internal/ipaddr"
+)
+
+// Format identifies one wire format the layer speaks.
+type Format uint8
+
+// The supported wire formats. FormatUnknown is the zero value and never
+// decodes.
+const (
+	FormatUnknown Format = iota
+	FormatNetFlowV5
+	FormatNetFlowV9
+	FormatIPFIX
+	FormatSFlow
+
+	// NumFormats bounds Format values; useful for flat per-format arrays.
+	NumFormats
+)
+
+// String names the format the way the CLI flags and stats JSON spell it.
+func (f Format) String() string {
+	switch f {
+	case FormatNetFlowV5:
+		return "netflow5"
+	case FormatNetFlowV9:
+		return "netflow9"
+	case FormatIPFIX:
+		return "ipfix"
+	case FormatSFlow:
+		return "sflow"
+	default:
+		return fmt.Sprintf("format(%d)", uint8(f))
+	}
+}
+
+// ParseFormat parses a format name as spelled by String.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "netflow5", "v5":
+		return FormatNetFlowV5, nil
+	case "netflow9", "v9":
+		return FormatNetFlowV9, nil
+	case "ipfix":
+		return FormatIPFIX, nil
+	case "sflow":
+		return FormatSFlow, nil
+	}
+	return FormatUnknown, fmt.Errorf("flowwire: unknown format %q (want netflow5, netflow9, ipfix or sflow)", s)
+}
+
+// AllFormats lists every supported format in wire-version order.
+func AllFormats() []Format {
+	return []Format{FormatNetFlowV5, FormatNetFlowV9, FormatIPFIX, FormatSFlow}
+}
+
+// SequenceModel reports the sequence semantics the format's decoder stamps
+// on its batches (a fixed property of each format; see the package doc).
+func (f Format) SequenceModel() SequenceModel {
+	switch f {
+	case FormatNetFlowV5:
+		return SeqFlows
+	case FormatNetFlowV9:
+		return SeqPackets
+	case FormatIPFIX:
+		return SeqRecords
+	case FormatSFlow:
+		return SeqSamples
+	default:
+		return SeqNone
+	}
+}
+
+// Errors shared across the decoders. Format-specific failures wrap these,
+// so callers can classify hostile input without caring about the format.
+var (
+	ErrTruncated   = errors.New("flowwire: truncated packet")
+	ErrBadVersion  = errors.New("flowwire: unsupported version")
+	ErrBadCount    = errors.New("flowwire: record count does not match packet length")
+	ErrBadTemplate = errors.New("flowwire: invalid template definition")
+	ErrNoTemplate  = errors.New("flowwire: data set references unknown template")
+	ErrDisabled    = errors.New("flowwire: format not enabled on this registry")
+)
+
+// SequenceModel names what a format's sequence counter counts. The unit
+// matters for loss accounting: a gap of N means N lost units, and only
+// flow-counting units translate directly into lost records.
+type SequenceModel uint8
+
+const (
+	// SeqNone marks a batch that carries no sequence information.
+	SeqNone SequenceModel = iota
+	// SeqFlows: the counter advances by the flow records in each packet
+	// (NetFlow v5).
+	SeqFlows
+	// SeqPackets: the counter advances by one per export packet (NetFlow
+	// v9, RFC 3954 §5.1).
+	SeqPackets
+	// SeqRecords: the counter advances by the data records in each message
+	// (IPFIX, RFC 7011 §3.1 — template records do not count).
+	SeqRecords
+	// SeqSamples: the counter advances by the flow samples in each
+	// datagram (sFlow v5's per-source sample sequence numbers).
+	SeqSamples
+)
+
+// Unit names the sequence unit for counters and log lines.
+func (m SequenceModel) Unit() string {
+	switch m {
+	case SeqFlows:
+		return "flows"
+	case SeqPackets:
+		return "packets"
+	case SeqRecords:
+		return "records"
+	case SeqSamples:
+		return "samples"
+	default:
+		return "none"
+	}
+}
+
+// CountsRecords reports whether one sequence unit is one flow record, i.e.
+// whether a sequence gap is directly an estimate of lost records.
+func (m SequenceModel) CountsRecords() bool { return m == SeqFlows || m == SeqRecords }
+
+// Record is one normalized flow record: exactly what the OD aggregation
+// layer needs and nothing else. Decoders produce it from whatever the wire
+// carried; per-flow attributes the detector never reads (ports, protocol,
+// AS numbers, timestamps) are dropped at this boundary.
+type Record struct {
+	Src, Dst ipaddr.Addr
+	// Bytes, Packets and Flows are the record's contribution to the three
+	// per-OD measures. Flow-export formats carry per-flow aggregates
+	// (Flows == 1); sFlow samples estimate them from the sampling rate
+	// unless the exporter provided exact counters.
+	Bytes, Packets, Flows uint64
+}
+
+// Batch is the per-datagram envelope: everything the collector needs to
+// sequence, deduplicate, bin and attribute the records that came with it.
+type Batch struct {
+	// Format is the wire format the packet arrived in.
+	Format Format
+	// Engine identifies the export engine: the v5 engine ID, the v9/IPFIX
+	// observation domain (source ID), or the sFlow sub-agent ID. The
+	// collector maps it to the origin PoP.
+	Engine uint32
+	// UnixSecs is the export timestamp driving bin placement. sFlow
+	// datagrams carry no wall clock, so there it is derived from the agent
+	// uptime field (see the sFlow decoder for the contract).
+	UnixSecs uint32
+	// SysUptime is the exporter's uptime in milliseconds at export time.
+	SysUptime uint32
+	// SampleRate is the 1-in-N packet sampling rate in effect (0 =
+	// unknown). For v9/IPFIX it is learned from options data records.
+	SampleRate uint32
+	// Seq is the batch's sequence number and SeqAdvance how many SeqModel
+	// units the batch consumes: the next batch from the same engine should
+	// carry Seq+SeqAdvance. A gap is SeqModel-unit loss.
+	Seq        uint32
+	SeqAdvance uint32
+	SeqModel   SequenceModel
+}
+
+// Decoder turns one export packet into a Batch plus normalized records
+// appended to dst. On error dst is returned unextended. Decoders may be
+// stateful (v9/IPFIX template caches) and are not safe for concurrent use;
+// give each collector goroutine its own Registry.
+type Decoder interface {
+	// Format reports the single wire format this decoder speaks.
+	Format() Format
+	// Decode parses pkt, appending normalized records to dst.
+	Decode(pkt []byte, dst []Record) (Batch, []Record, error)
+}
+
+// Exporter is the encode side: it batches full-fidelity flow records into
+// wire packets of one format, maintaining the format's sequence counters
+// and (for template formats) emitting template sets inline. Implementations
+// accumulate packets in an internal arena; Drain detaches them.
+type Exporter interface {
+	// Format reports the wire format this exporter emits.
+	Format() Format
+	// Add queues one flow record, flushing a packet when the batch fills.
+	Add(f Flow) error
+	// Flush emits any pending records as a packet.
+	Flush() error
+	// Drain returns and clears the accumulated packets; the returned
+	// slices own their bytes.
+	Drain() [][]byte
+}
+
+// NewExporter builds an exporter for the format. engine is the export
+// engine identity (v5 engine ID — must fit uint8 there — v9/IPFIX source
+// ID, sFlow sub-agent ID); sampleRate the 1-in-N packet sampling rate
+// stamped on the wire; clock supplies (sysUptime ms, unixSecs) per flushed
+// packet and may be nil for a fixed zero clock.
+func NewExporter(format Format, engine uint32, sampleRate uint32, clock func() (uint32, uint32)) (Exporter, error) {
+	if clock == nil {
+		clock = func() (uint32, uint32) { return 0, 0 }
+	}
+	switch format {
+	case FormatNetFlowV5:
+		if engine > 0xFF {
+			return nil, fmt.Errorf("flowwire: v5 engine ID %d exceeds 8 bits", engine)
+		}
+		if sampleRate > 0x3FFF {
+			return nil, fmt.Errorf("flowwire: v5 sampling interval %d exceeds 14 bits", sampleRate)
+		}
+		return &v5ExportAdapter{NewV5Exporter(uint8(engine), uint16(sampleRate), clock)}, nil
+	case FormatNetFlowV9:
+		return newTemplateExporter(FormatNetFlowV9, engine, sampleRate, clock), nil
+	case FormatIPFIX:
+		return newTemplateExporter(FormatIPFIX, engine, sampleRate, clock), nil
+	case FormatSFlow:
+		return newSFlowExporter(engine, sampleRate, clock), nil
+	}
+	return nil, fmt.Errorf("flowwire: no exporter for %v", format)
+}
+
+// DetectFormat classifies a packet by its version word without decoding
+// it. The formats are unambiguous on the first four bytes: NetFlow puts a
+// 16-bit version (5, 9 or 10) first, while sFlow opens with a 32-bit
+// version 5 — whose first two bytes are zero, which no NetFlow version
+// uses.
+func DetectFormat(pkt []byte) (Format, error) {
+	if len(pkt) < 4 {
+		return FormatUnknown, fmt.Errorf("%w: %d bytes, need 4 to detect the format", ErrTruncated, len(pkt))
+	}
+	switch binary.BigEndian.Uint16(pkt) {
+	case 5:
+		return FormatNetFlowV5, nil
+	case 9:
+		return FormatNetFlowV9, nil
+	case 10:
+		return FormatIPFIX, nil
+	case 0:
+		if binary.BigEndian.Uint32(pkt) == sflowVersion {
+			return FormatSFlow, nil
+		}
+	}
+	return FormatUnknown, fmt.Errorf("%w: no known format starts %x", ErrBadVersion, pkt[:4])
+}
+
+// Registry is the collector-side front door: one decoder per enabled
+// format, dispatched by DetectFormat. It owns the template caches of its
+// v9/IPFIX decoders, so one Registry corresponds to one collector socket;
+// it is not safe for concurrent use.
+type Registry struct {
+	decoders [NumFormats]Decoder
+}
+
+// NewRegistry builds a registry speaking the given formats (none = all).
+func NewRegistry(formats ...Format) (*Registry, error) {
+	if len(formats) == 0 {
+		formats = AllFormats()
+	}
+	r := &Registry{}
+	for _, f := range formats {
+		switch f {
+		case FormatNetFlowV5:
+			r.decoders[f] = v5Decoder{}
+		case FormatNetFlowV9:
+			r.decoders[f] = newTemplateDecoder(FormatNetFlowV9)
+		case FormatIPFIX:
+			r.decoders[f] = newTemplateDecoder(FormatIPFIX)
+		case FormatSFlow:
+			r.decoders[f] = sflowDecoder{}
+		default:
+			return nil, fmt.Errorf("flowwire: cannot enable %v", f)
+		}
+	}
+	return r, nil
+}
+
+// Enabled reports whether the registry decodes the format.
+func (r *Registry) Enabled(f Format) bool {
+	return f < NumFormats && r.decoders[f] != nil
+}
+
+// Decode detects pkt's format and decodes it with the matching decoder,
+// appending normalized records to dst. Even on error the returned Batch
+// carries the detected Format when detection succeeded, so callers can
+// attribute bad packets per protocol.
+func (r *Registry) Decode(pkt []byte, dst []Record) (Batch, []Record, error) {
+	f, err := DetectFormat(pkt)
+	if err != nil {
+		return Batch{}, dst, err
+	}
+	d := r.decoders[f]
+	if d == nil {
+		return Batch{Format: f}, dst, fmt.Errorf("%w: %v", ErrDisabled, f)
+	}
+	b, out, err := d.Decode(pkt, dst)
+	b.Format = f
+	return b, out, err
+}
+
+// TemplateSnapshots exports the live template-cache state of every
+// template-based decoder, for checkpointing. The slices are detached
+// copies in recency order (most recently used first).
+func (r *Registry) TemplateSnapshots(f Format) []TemplateSnapshot {
+	if td, ok := r.decoders[f].(*templateDecoder); ok {
+		return td.snapshots()
+	}
+	return nil
+}
+
+// RestoreTemplates refills a template-based decoder's cache from
+// checkpointed snapshots, validating each exactly as if it had arrived on
+// the wire. It fails when the format is not an enabled template format or
+// any snapshot is invalid — the caller should treat that as a cold start.
+func (r *Registry) RestoreTemplates(f Format, snaps []TemplateSnapshot) error {
+	td, ok := r.decoders[f].(*templateDecoder)
+	if !ok {
+		return fmt.Errorf("flowwire: %v is not an enabled template-based format", f)
+	}
+	return td.restore(snaps)
+}

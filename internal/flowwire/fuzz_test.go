@@ -1,0 +1,170 @@
+package flowwire
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The decoder fuzz harness: every target feeds arbitrary bytes through a
+// persistent Registry — persistent so mutated template packets poison the
+// cache that later data packets hit, exercising the stateful paths a
+// per-call registry never would — and asserts the two hostile-input
+// invariants every decoder guarantees: no panic, and dst is never extended
+// when Decode reports an error.
+
+// fuzzDecode is the shared fuzz body; version pins the first bytes so each
+// target stays on its decoder instead of wandering the dispatch table.
+func fuzzDecode(f *testing.F, reg *Registry, format Format) {
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		dst := make([]Record, 1, 8) // sentinel occupies index 0
+		b, out, err := reg.Decode(pkt, dst)
+		if err != nil {
+			if len(out) != 1 {
+				t.Fatalf("dst length %d after error, want untouched 1", len(out))
+			}
+			return
+		}
+		if got := len(out) - 1; got > len(pkt) {
+			t.Fatalf("%d records from a %d-byte packet", got, len(pkt))
+		}
+		if b.Format != format && format != FormatUnknown {
+			// Mutation may flip the version word to another format; that
+			// is fine, but the batch must say so.
+			if !reg.Enabled(b.Format) {
+				t.Fatalf("decode succeeded for disabled format %v", b.Format)
+			}
+		}
+	})
+}
+
+// seedPackets drains an exporter fed a couple of flows, yielding one
+// template-bearing and one data-only packet for template formats.
+func seedPackets(format Format) [][]byte {
+	exp, err := NewExporter(format, 1, 4, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, fl := range testFlows(2) {
+		exp.Add(fl)
+		exp.Flush()
+	}
+	return exp.Drain()
+}
+
+func FuzzDecodeV9(f *testing.F) {
+	for _, p := range seedPackets(FormatNetFlowV9) {
+		f.Add(p)
+	}
+	be := binary.BigEndian
+	hdr := func() []byte {
+		p := be.AppendUint16(nil, v9Version)
+		p = be.AppendUint16(p, 1)
+		p = append(p, make([]byte, 12)...)
+		return be.AppendUint32(p, 1)
+	}
+	// Truncated template: declares 8 fields, carries 1.
+	p := hdr()
+	p = be.AppendUint16(p, 0)
+	p = be.AppendUint16(p, 12)
+	p = be.AppendUint16(p, 256)
+	p = be.AppendUint16(p, 8)
+	p = be.AppendUint32(p, uint32(ieOctets)<<16|4)
+	f.Add(p)
+	// Field-count overflow.
+	p = hdr()
+	p = be.AppendUint16(p, 0)
+	p = be.AppendUint16(p, 8)
+	p = be.AppendUint16(p, 256)
+	p = be.AppendUint16(p, 0xFFFF)
+	f.Add(p)
+	// Zero-length field.
+	p = hdr()
+	p = be.AppendUint16(p, 0)
+	p = be.AppendUint16(p, 12)
+	p = be.AppendUint16(p, 256)
+	p = be.AppendUint16(p, 1)
+	p = be.AppendUint16(p, ieOctets)
+	p = be.AppendUint16(p, 0)
+	f.Add(p)
+	// Template/data ID collision: a data flowset whose ID shadows the
+	// template flowset number range boundary.
+	p = hdr()
+	p = be.AppendUint16(p, 256)
+	p = be.AppendUint16(p, 8)
+	p = be.AppendUint32(p, 0xDEADBEEF)
+	f.Add(p)
+	reg, _ := NewRegistry(FormatNetFlowV9)
+	fuzzDecode(f, reg, FormatNetFlowV9)
+}
+
+func FuzzDecodeIPFIX(f *testing.F) {
+	for _, p := range seedPackets(FormatIPFIX) {
+		f.Add(p)
+	}
+	be := binary.BigEndian
+	hdr := func(msgLen int) []byte {
+		p := be.AppendUint16(nil, ipfixVersion)
+		p = be.AppendUint16(p, uint16(msgLen))
+		p = append(p, make([]byte, 8)...)
+		return be.AppendUint32(p, 1)
+	}
+	// Withdrawal of a reserved ID.
+	p := hdr(24)
+	p = be.AppendUint16(p, ipfixTemplateSet)
+	p = be.AppendUint16(p, 8)
+	p = be.AppendUint16(p, 100)
+	p = be.AppendUint16(p, 0)
+	f.Add(p)
+	// Enterprise field with missing enterprise number.
+	p = hdr(24)
+	p = be.AppendUint16(p, ipfixTemplateSet)
+	p = be.AppendUint16(p, 8)
+	p = be.AppendUint16(p, 256)
+	p = be.AppendUint16(p, 1)
+	f.Add(append(p, 0x80, byte(ieOctets), 0, 4))
+	// Options template with zero scope fields.
+	p = hdr(26)
+	p = be.AppendUint16(p, ipfixOptionsSet)
+	p = be.AppendUint16(p, 10)
+	p = be.AppendUint16(p, 256)
+	p = be.AppendUint16(p, 1)
+	p = be.AppendUint16(p, 0)
+	p = be.AppendUint16(p, ieSampling)
+	p = be.AppendUint16(p, 4)
+	f.Add(p)
+	// Message length lying about the buffer.
+	f.Add(hdr(0xFFFF))
+	reg, _ := NewRegistry(FormatIPFIX)
+	fuzzDecode(f, reg, FormatIPFIX)
+}
+
+func FuzzDecodeSFlow(f *testing.F) {
+	for _, p := range seedPackets(FormatSFlow) {
+		f.Add(p)
+	}
+	be := binary.BigEndian
+	// Sample count lying about the buffer.
+	p := be.AppendUint32(nil, sflowVersion)
+	p = be.AppendUint32(p, sflowAddrIPv4)
+	p = append(p, make([]byte, 16)...)
+	p = be.AppendUint32(p, 1<<30)
+	f.Add(p)
+	// Record count lying inside a flow sample.
+	p = be.AppendUint32(nil, sflowVersion)
+	p = be.AppendUint32(p, sflowAddrIPv4)
+	p = append(p, make([]byte, 16)...)
+	p = be.AppendUint32(p, 1)
+	p = be.AppendUint32(p, sflowFlowSample)
+	p = be.AppendUint32(p, 32)
+	p = append(p, make([]byte, 28)...)
+	p = be.AppendUint32(p, 1<<30)
+	f.Add(p)
+	// IPv6 agent address path.
+	p = be.AppendUint32(nil, sflowVersion)
+	p = be.AppendUint32(p, sflowAddrIPv6)
+	p = append(p, make([]byte, 28)...)
+	p = be.AppendUint32(p, 0)
+	f.Add(p)
+	reg, _ := NewRegistry(FormatSFlow)
+	fuzzDecode(f, reg, FormatSFlow)
+}

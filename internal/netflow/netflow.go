@@ -1,363 +1,111 @@
-// Package netflow implements the measurement-plane wire format of the
-// simulator: a NetFlow v5 compatible binary codec plus an exporter/collector
-// pair.
+// Package netflow is the NetFlow v5 compatibility shim over the
+// format-agnostic wire layer in netwide/internal/flowwire, which now owns
+// the codec (byte-identical semantics) alongside NetFlow v9, IPFIX and
+// sFlow decoders behind one Decoder API.
 //
-// The paper's data was collected with Juniper Traffic Sampling, which (like
-// Cisco NetFlow, referenced in the paper's introduction) exports sampled
-// flow records from every router. Reproducing the export/collect hop keeps
-// the pipeline honest: the OD aggregation layer consumes exactly what a
-// collector could have parsed off the wire, nothing more.
-//
-// Layout (all fields big-endian, as on the wire):
-//
-//	header (24 bytes): version, count, sysUptime, unixSecs, unixNsecs,
-//	                   flowSequence, engineType, engineID, samplingInterval
-//	record (48 bytes): srcAddr, dstAddr, nextHop, input, output, dPkts,
-//	                   dOctets, first, last, srcPort, dstPort, pad, tcpFlags,
-//	                   proto, tos, srcAS, dstAS, srcMask, dstMask, pad
+// Deprecated: new code should use netwide/internal/flowwire — the
+// flowwire.Registry for decoding (any format, auto-detected) and
+// flowwire.NewExporter for encoding. This package remains so existing
+// callers, tests and benchmarks compile unchanged; every identifier is an
+// alias for or a thin delegation to its flowwire counterpart, so values
+// interoperate freely between the two packages.
 package netflow
 
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"slices"
+import "netwide/internal/flowwire"
 
-	"netwide/internal/flow"
-	"netwide/internal/ipaddr"
-)
-
-// Version is the only export format version the codec speaks.
-const Version = 5
+// Version is the NetFlow version this codec speaks.
+//
+// Deprecated: use flowwire.V5Version.
+const Version = flowwire.V5Version
 
 // HeaderLen and RecordLen are the NetFlow v5 wire sizes.
+//
+// Deprecated: use flowwire.V5HeaderLen and flowwire.V5RecordLen.
 const (
-	HeaderLen = 24
-	RecordLen = 48
+	HeaderLen = flowwire.V5HeaderLen
+	RecordLen = flowwire.V5RecordLen
 	// MaxRecordsPerPacket is the v5 limit (a full packet stays under the
 	// common 1500-byte MTU).
-	MaxRecordsPerPacket = 30
+	//
+	// Deprecated: use flowwire.V5MaxRecordsPerPacket.
+	MaxRecordsPerPacket = flowwire.V5MaxRecordsPerPacket
 )
 
-// Errors returned by the decoder.
+// Decode errors.
+//
+// Deprecated: use the flowwire errors, which these now alias; errors.Is
+// matches across both names.
 var (
-	ErrTruncated  = errors.New("netflow: truncated packet")
-	ErrBadVersion = errors.New("netflow: unsupported version")
-	ErrBadCount   = errors.New("netflow: record count does not match packet length")
+	ErrTruncated  = flowwire.ErrTruncated
+	ErrBadVersion = flowwire.ErrBadVersion
+	ErrBadCount   = flowwire.ErrBadCount
 )
 
-// Header is the decoded packet header.
-type Header struct {
-	Count            uint16
-	SysUptime        uint32
-	UnixSecs         uint32
-	UnixNsecs        uint32
-	FlowSequence     uint32
-	EngineType       uint8
-	EngineID         uint8
-	SamplingInterval uint16 // low 14 bits: 1-in-N packet sampling
-}
+// Header is the decoded v5 packet header.
+//
+// Deprecated: use flowwire.V5Header.
+type Header = flowwire.V5Header
 
-// Record is one decoded flow record. It carries the subset of v5 fields the
-// pipeline uses plus the raw extras so that re-encoding is lossless.
-type Record struct {
-	Key          flow.Key
-	Packets      uint64
-	Bytes        uint64
-	First, Last  uint32 // router uptime at first/last packet of the flow
-	TCPFlags     uint8
-	InputSNMP    uint16
-	OutputSNMP   uint16
-	SrcAS, DstAS uint16
-}
+// Record is one full-fidelity flow record.
+//
+// Deprecated: use flowwire.Flow.
+type Record = flowwire.Flow
 
 // EncodePacket serializes a header and up to MaxRecordsPerPacket records.
+//
+// Deprecated: use flowwire.EncodeV5Packet.
 func EncodePacket(h Header, recs []Record) ([]byte, error) {
-	return AppendPacket(nil, h, recs)
+	return flowwire.EncodeV5Packet(h, recs)
 }
 
 // AppendPacket encodes the packet onto dst and returns the extended slice,
-// reusing dst's capacity. It is the allocation-free form of EncodePacket for
-// callers that batch many packets into one arena.
-func AppendPacket(dst []byte, h Header, recs []Record) ([]byte, error) {
-	if len(recs) > MaxRecordsPerPacket {
-		return dst, fmt.Errorf("netflow: %d records exceeds packet limit %d", len(recs), MaxRecordsPerPacket)
-	}
-	h.Count = uint16(len(recs))
-	base := len(dst)
-	dst = slices.Grow(dst, HeaderLen+RecordLen*len(recs))
-	dst = dst[:base+HeaderLen+RecordLen*len(recs)]
-	buf := dst[base:]
-	clear(buf) // unwritten fields (nextHop, padding) must be zero on the wire
-	be := binary.BigEndian
-	be.PutUint16(buf[0:], Version)
-	be.PutUint16(buf[2:], h.Count)
-	be.PutUint32(buf[4:], h.SysUptime)
-	be.PutUint32(buf[8:], h.UnixSecs)
-	be.PutUint32(buf[12:], h.UnixNsecs)
-	be.PutUint32(buf[16:], h.FlowSequence)
-	buf[20] = h.EngineType
-	buf[21] = h.EngineID
-	be.PutUint16(buf[22:], h.SamplingInterval)
-
-	for i, r := range recs {
-		off := HeaderLen + i*RecordLen
-		if r.Packets > 0xFFFFFFFF || r.Bytes > 0xFFFFFFFF {
-			return dst[:base], fmt.Errorf("netflow: record %d counters exceed 32 bits", i)
-		}
-		be.PutUint32(buf[off+0:], uint32(r.Key.Src))
-		be.PutUint32(buf[off+4:], uint32(r.Key.Dst))
-		// nextHop (off+8) left zero: the simulator does not model it.
-		be.PutUint16(buf[off+12:], r.InputSNMP)
-		be.PutUint16(buf[off+14:], r.OutputSNMP)
-		be.PutUint32(buf[off+16:], uint32(r.Packets))
-		be.PutUint32(buf[off+20:], uint32(r.Bytes))
-		be.PutUint32(buf[off+24:], r.First)
-		be.PutUint32(buf[off+28:], r.Last)
-		be.PutUint16(buf[off+32:], r.Key.SrcPort)
-		be.PutUint16(buf[off+34:], r.Key.DstPort)
-		buf[off+37] = r.TCPFlags
-		buf[off+38] = uint8(r.Key.Proto)
-		be.PutUint16(buf[off+40:], r.SrcAS)
-		be.PutUint16(buf[off+42:], r.DstAS)
-	}
-	return dst, nil
-}
-
-// decodeHeader parses and validates the header of one export packet. The
-// validation order is deliberate for hostile input: fixed-size header first,
-// then version, then the record count against the v5 packet limit, and only
-// then the count-vs-length consistency check — so an attacker-controlled
-// count can never drive an allocation or a read past the buffer.
-func decodeHeader(buf []byte) (Header, error) {
-	if len(buf) < HeaderLen {
-		return Header{}, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(buf), HeaderLen)
-	}
-	be := binary.BigEndian
-	if v := be.Uint16(buf[0:]); v != Version {
-		return Header{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
-	}
-	h := Header{
-		Count:            be.Uint16(buf[2:]),
-		SysUptime:        be.Uint32(buf[4:]),
-		UnixSecs:         be.Uint32(buf[8:]),
-		UnixNsecs:        be.Uint32(buf[12:]),
-		FlowSequence:     be.Uint32(buf[16:]),
-		EngineType:       buf[20],
-		EngineID:         buf[21],
-		SamplingInterval: be.Uint16(buf[22:]),
-	}
-	if h.Count > MaxRecordsPerPacket {
-		return Header{}, fmt.Errorf("%w: count %d exceeds v5 packet limit %d", ErrBadCount, h.Count, MaxRecordsPerPacket)
-	}
-	want := HeaderLen + int(h.Count)*RecordLen
-	if len(buf) != want {
-		if len(buf) < want {
-			return Header{}, fmt.Errorf("%w: %d bytes, count %d needs %d", ErrTruncated, len(buf), h.Count, want)
-		}
-		return Header{}, fmt.Errorf("%w: %d trailing bytes after %d records", ErrBadCount, len(buf)-want, h.Count)
-	}
-	return h, nil
-}
-
-// decodeRecord parses the RecordLen bytes at buf into a Record.
-func decodeRecord(buf []byte) Record {
-	be := binary.BigEndian
-	return Record{
-		Key: flow.Key{
-			Src:     ipaddr.Addr(be.Uint32(buf[0:])),
-			Dst:     ipaddr.Addr(be.Uint32(buf[4:])),
-			SrcPort: be.Uint16(buf[32:]),
-			DstPort: be.Uint16(buf[34:]),
-			Proto:   flow.Proto(buf[38]),
-		},
-		InputSNMP:  be.Uint16(buf[12:]),
-		OutputSNMP: be.Uint16(buf[14:]),
-		Packets:    uint64(be.Uint32(buf[16:])),
-		Bytes:      uint64(be.Uint32(buf[20:])),
-		First:      be.Uint32(buf[24:]),
-		Last:       be.Uint32(buf[28:]),
-		TCPFlags:   buf[37],
-		SrcAS:      be.Uint16(buf[40:]),
-		DstAS:      be.Uint16(buf[42:]),
-	}
-}
-
-// DecodePacket parses one export packet. The packet is validated as a whole
-// before any record is decoded: a truncated buffer, an unsupported version,
-// a record count above the v5 packet limit, or a count inconsistent with the
-// packet length all return an error without touching the record bytes, so
-// hostile datagrams can neither over-allocate nor read out of bounds.
-func DecodePacket(buf []byte) (Header, []Record, error) {
-	return DecodePacketAppend(nil, buf)
-}
-
-// DecodePacketAppend is DecodePacket decoding into dst's spare capacity. It
-// is the allocation-free form for long-running collectors: reuse one record
-// slice across packets (truncate to [:0] between them) and the per-packet
-// decode settles into zero allocations.
-func DecodePacketAppend(dst []Record, buf []byte) (Header, []Record, error) {
-	h, err := decodeHeader(buf)
-	if err != nil {
-		return Header{}, dst, err
-	}
-	dst = slices.Grow(dst, int(h.Count))
-	for i := 0; i < int(h.Count); i++ {
-		dst = append(dst, decodeRecord(buf[HeaderLen+i*RecordLen:]))
-	}
-	return h, dst, nil
-}
-
-// Exporter batches flow records into export packets, maintaining the v5
-// flow sequence counter. One Exporter models one router's export engine.
+// reusing dst's capacity.
 //
-// Encoded packets accumulate in a single contiguous arena whose capacity
-// survives Reset, so a hot loop that exports millions of records through one
-// Exporter settles into zero per-packet allocations.
-type Exporter struct {
-	EngineID         uint8
-	SamplingInterval uint16
-	seq              uint32
-	pending          []Record
-	// arena holds the encoded packets back to back; ends[i] is the offset
-	// one past packet i, so packet i spans arena[ends[i-1]:ends[i]].
-	arena []byte
-	ends  []int
-	now   func() (sysUptime, unixSecs uint32)
+// Deprecated: use flowwire.AppendV5Packet.
+func AppendPacket(dst []byte, h Header, recs []Record) ([]byte, error) {
+	return flowwire.AppendV5Packet(dst, h, recs)
 }
 
-// NewExporter creates an exporter; clock supplies (sysUptime, unixSecs) for
-// packet headers and may be nil for a fixed zero clock (useful in tests).
+// DecodePacket parses one export packet, validating it as a whole before
+// any record is decoded.
+//
+// Deprecated: use flowwire.DecodeV5Packet, or a flowwire.Registry for
+// format-agnostic decoding.
+func DecodePacket(buf []byte) (Header, []Record, error) {
+	return flowwire.DecodeV5Packet(buf)
+}
+
+// DecodePacketAppend is DecodePacket decoding into dst's spare capacity.
+//
+// Deprecated: use flowwire.DecodeV5PacketAppend.
+func DecodePacketAppend(dst []Record, buf []byte) (Header, []Record, error) {
+	return flowwire.DecodeV5PacketAppend(dst, buf)
+}
+
+// Exporter batches flow records into v5 export packets.
+//
+// Deprecated: use flowwire.V5Exporter, or flowwire.NewExporter to emit any
+// supported format.
+type Exporter = flowwire.V5Exporter
+
+// NewExporter creates an exporter; clock supplies (sysUptime, unixSecs)
+// for packet headers and may be nil for a fixed zero clock.
+//
+// Deprecated: use flowwire.NewV5Exporter.
 func NewExporter(engineID uint8, samplingInterval uint16, clock func() (uint32, uint32)) *Exporter {
-	if clock == nil {
-		clock = func() (uint32, uint32) { return 0, 0 }
-	}
-	return &Exporter{EngineID: engineID, SamplingInterval: samplingInterval, now: clock}
+	return flowwire.NewV5Exporter(engineID, samplingInterval, clock)
 }
 
-// Add queues a record, flushing a packet when the batch is full.
-func (e *Exporter) Add(r Record) error {
-	e.pending = append(e.pending, r)
-	if len(e.pending) >= MaxRecordsPerPacket {
-		return e.Flush()
-	}
-	return nil
-}
-
-// Flush emits any pending records as a packet.
-func (e *Exporter) Flush() error {
-	if len(e.pending) == 0 {
-		return nil
-	}
-	up, secs := e.now()
-	h := Header{
-		SysUptime:        up,
-		UnixSecs:         secs,
-		FlowSequence:     e.seq,
-		EngineID:         e.EngineID,
-		SamplingInterval: e.SamplingInterval,
-	}
-	arena, err := AppendPacket(e.arena, h, e.pending)
-	if err != nil {
-		return err
-	}
-	e.arena = arena
-	e.ends = append(e.ends, len(e.arena))
-	e.seq += uint32(len(e.pending))
-	e.pending = e.pending[:0]
-	return nil
-}
-
-// ForEachPacket visits every accumulated packet without copying or clearing
-// it. The slices alias the exporter's internal arena: they are valid until
-// the next Reset and must not be retained past it. This is the zero-copy
-// path a collector loop should prefer over Drain.
-func (e *Exporter) ForEachPacket(fn func(pkt []byte) error) error {
-	start := 0
-	for _, end := range e.ends {
-		if err := fn(e.arena[start:end:end]); err != nil {
-			return err
-		}
-		start = end
-	}
-	return nil
-}
-
-// Drain returns and clears the accumulated packets. The returned slices own
-// the arena they alias: the exporter detaches it and allocates fresh on the
-// next Flush, so drained packets stay valid indefinitely.
-func (e *Exporter) Drain() [][]byte {
-	if len(e.ends) == 0 {
-		return nil
-	}
-	out := make([][]byte, len(e.ends))
-	start := 0
-	for i, end := range e.ends {
-		out[i] = e.arena[start:end:end]
-		start = end
-	}
-	e.arena = nil
-	e.ends = e.ends[:0]
-	return out
-}
-
-// Reset reconfigures the exporter for a new engine and clears all batching
-// state (sequence counter, pending records, accumulated packets) while
-// keeping the allocated buffers for reuse. Packets previously obtained from
-// ForEachPacket are invalidated; packets obtained from Drain are not.
-func (e *Exporter) Reset(engineID uint8, samplingInterval uint16) {
-	e.EngineID = engineID
-	e.SamplingInterval = samplingInterval
-	e.seq = 0
-	e.pending = e.pending[:0]
-	e.arena = e.arena[:0]
-	e.ends = e.ends[:0]
-}
-
-// Collector parses export packets and tracks per-engine sequence numbers to
-// count records lost in transit (v5's only loss signal).
-type Collector struct {
-	Records    []Record
-	Lost       uint64
-	nextSeq    map[uint8]uint32
-	seqStarted map[uint8]bool
-}
+// Collector parses v5 export packets and tracks per-engine sequence
+// numbers to count records lost in transit.
+//
+// Deprecated: use flowwire.V5Collector, or a flowwire.Registry with
+// per-protocol sequence accounting.
+type Collector = flowwire.V5Collector
 
 // NewCollector returns an empty collector.
+//
+// Deprecated: use flowwire.NewV5Collector.
 func NewCollector() *Collector {
-	return &Collector{nextSeq: map[uint8]uint32{}, seqStarted: map[uint8]bool{}}
-}
-
-// Reset clears the collected records, loss counter and per-engine sequence
-// state while keeping the allocated capacity, readying the collector for the
-// next batch of packets.
-func (c *Collector) Reset() {
-	c.Records = c.Records[:0]
-	c.Lost = 0
-	clear(c.nextSeq)
-	clear(c.seqStarted)
-}
-
-// Ingest parses one packet, appending its records. Records are decoded
-// directly into the collector's Records slice, reusing its capacity.
-func (c *Collector) Ingest(pkt []byte) error {
-	h, err := decodeHeader(pkt)
-	if err != nil {
-		return err
-	}
-	n := int(h.Count)
-	if c.seqStarted[h.EngineID] {
-		if exp := c.nextSeq[h.EngineID]; h.FlowSequence != exp {
-			// Sequence gap: records were dropped between collector and
-			// exporter (uint32 arithmetic handles wraparound).
-			c.Lost += uint64(h.FlowSequence - exp)
-		}
-	}
-	c.seqStarted[h.EngineID] = true
-	c.nextSeq[h.EngineID] = h.FlowSequence + uint32(n)
-	c.Records = slices.Grow(c.Records, n)
-	for i := 0; i < n; i++ {
-		c.Records = append(c.Records, decodeRecord(pkt[HeaderLen+i*RecordLen:]))
-	}
-	return nil
+	return flowwire.NewV5Collector()
 }

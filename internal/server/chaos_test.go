@@ -21,6 +21,7 @@ import (
 	"netwide/internal/checkpoint"
 	"netwide/internal/dataset"
 	"netwide/internal/fault"
+	"netwide/internal/flowwire"
 	"netwide/internal/stream"
 	"netwide/internal/traffic"
 )
@@ -35,7 +36,10 @@ import (
 // packets of bin to itself — the mid-bin crash shape.
 func feedBins(t *testing.T, srv *Server, ds *dataset.Dataset, from, to, partial int) {
 	t.Helper()
-	be := newBinExporters(ds)
+	be, err := newBinExporters(ds, flowwire.FormatNetFlowV5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for bin := 0; bin < to; bin++ {
 		pkts, _, err := be.encodeBin(bin, 0)
 		if err != nil {

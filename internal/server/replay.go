@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"netwide/internal/dataset"
-	"netwide/internal/netflow"
+	"netwide/internal/flowwire"
 	"netwide/internal/topology"
 	"netwide/internal/traffic"
 )
@@ -15,6 +15,10 @@ import (
 type ReplayConfig struct {
 	// Addr is the collector's UDP address.
 	Addr string
+	// Format is the wire format to replay in (the zero value means
+	// NetFlow v5). Any saved scenario replays in any supported format;
+	// the collector normalizes them all to the same records.
+	Format flowwire.Format
 	// From and To bound the replayed bins [From, To); To <= 0 means the
 	// whole dataset.
 	From, To int
@@ -24,6 +28,9 @@ type ReplayConfig struct {
 	PacketsPerSecond int
 	// Epoch is the Unix time stamped into bin From's packet headers (bin b
 	// is stamped Epoch + (b)*300); it must match the collector's Epoch.
+	// sFlow datagrams carry no wall clock: there the timestamp rides the
+	// agent-uptime field in milliseconds, which caps Epoch+To*300 at
+	// 2^32/1000 seconds (~49 days' worth) — use Epoch 0 for sFlow replays.
 	Epoch uint32
 }
 
@@ -37,11 +44,12 @@ type ReplayStats struct {
 
 // Replay regenerates the resolved flow records of bins [From, To) — the
 // exact records the generator folded into the dataset's matrices — and
-// exports them as NetFlow v5 over UDP, one export engine per origin PoP,
-// packet headers stamped with the bin's timestamp. Replaying into an
-// ingest Server whose detector was trained on the same dataset therefore
-// reconstructs the generator's matrices bit for bit on the collector side:
-// any scenario the scenario engine can generate becomes a live load test.
+// exports them over UDP in cfg.Format (NetFlow v5 by default), one export
+// engine per origin PoP, packets stamped with the bin's timestamp.
+// Replaying into an ingest Server whose detector was trained on the same
+// dataset therefore reconstructs the generator's matrices bit for bit on
+// the collector side, in every supported format: any scenario the scenario
+// engine can generate becomes a live load test.
 func Replay(ds *dataset.Dataset, cfg ReplayConfig) (ReplayStats, error) {
 	var st ReplayStats
 	if cfg.To <= 0 || cfg.To > ds.Bins {
@@ -50,6 +58,10 @@ func Replay(ds *dataset.Dataset, cfg ReplayConfig) (ReplayStats, error) {
 	if cfg.From < 0 || cfg.From >= cfg.To {
 		return st, fmt.Errorf("server: replay range [%d,%d) outside dataset of %d bins", cfg.From, cfg.To, ds.Bins)
 	}
+	exps, err := newBinExporters(ds, cfg.Format)
+	if err != nil {
+		return st, err
+	}
 	conn, err := net.Dial("udp", cfg.Addr)
 	if err != nil {
 		return st, fmt.Errorf("server: replay dial: %w", err)
@@ -57,7 +69,6 @@ func Replay(ds *dataset.Dataset, cfg ReplayConfig) (ReplayStats, error) {
 	defer conn.Close()
 
 	pace := newPacer(cfg.PacketsPerSecond)
-	exps := newBinExporters(ds)
 	for bin := cfg.From; bin < cfg.To; bin++ {
 		pkts, records, err := exps.encodeBin(bin, cfg.Epoch)
 		if err != nil {
@@ -77,33 +88,42 @@ func Replay(ds *dataset.Dataset, cfg ReplayConfig) (ReplayStats, error) {
 	return st, nil
 }
 
-// binExporters regenerates and encodes one bin at a time: one NetFlow
-// export engine per origin PoP, sequence counters running across bins just
-// like a real router's export engine. Shared by Replay and the ingest
-// benchmark (which feeds the packets straight to IngestPacket).
+// binExporters regenerates and encodes one bin at a time: one export
+// engine per origin PoP, sequence counters running across bins just like a
+// real router's export engine. Shared by Replay and the ingest benchmark
+// (which feeds the packets straight to IngestPacket).
 type binExporters struct {
 	ds   *dataset.Dataset
-	exps []*netflow.Exporter
+	exps []flowwire.Exporter
 	// binTime is read by the exporter clocks when packets flush.
 	binTime uint32
 }
 
-func newBinExporters(ds *dataset.Dataset) *binExporters {
+func newBinExporters(ds *dataset.Dataset, format flowwire.Format) (*binExporters, error) {
+	if format == flowwire.FormatUnknown {
+		format = flowwire.FormatNetFlowV5
+	}
 	be := &binExporters{ds: ds}
-	interval := uint16(1 / ds.Cfg.SamplingRate)
-	be.exps = make([]*netflow.Exporter, ds.Top.NumPoPs())
+	rate := uint32(1 / ds.Cfg.SamplingRate)
+	be.exps = make([]flowwire.Exporter, ds.Top.NumPoPs())
 	for i := range be.exps {
-		be.exps[i] = netflow.NewExporter(uint8(i), interval, func() (uint32, uint32) {
+		exp, err := flowwire.NewExporter(format, uint32(i), rate, func() (uint32, uint32) {
+			// sFlow derives its timestamp from the uptime field; the
+			// exporter handles that mapping, so one clock serves all four.
 			return be.binTime, be.binTime
 		})
+		if err != nil {
+			return nil, fmt.Errorf("server: replay exporter: %w", err)
+		}
+		be.exps[i] = exp
 	}
-	return be
+	return be, nil
 }
 
 // encodeBin regenerates bin's resolved records across every OD pair and
-// returns them encoded as v5 packets (headers stamped epoch + bin*300),
-// plus the record count. Every exporter flushes at the end of the bin, so
-// no record ever straddles a bin boundary; the returned packets own their
+// returns them encoded as export packets (stamped epoch + bin*300), plus
+// the record count. Every exporter flushes at the end of the bin, so no
+// record ever straddles a bin boundary; the returned packets own their
 // bytes (Drain detaches the arena).
 func (be *binExporters) encodeBin(bin int, epoch uint32) ([][]byte, int, error) {
 	be.binTime = epoch + uint32(bin)*traffic.BinSeconds
@@ -112,7 +132,7 @@ func (be *binExporters) encodeBin(bin int, epoch uint32) ([][]byte, int, error) 
 	for i := 0; i < be.ds.Top.NumODPairs(); i++ {
 		od := be.ds.Top.ODAt(i)
 		exp := be.exps[od.Origin]
-		be.ds.ForEachResolvedRecord(od, bin, func(_ topology.ODPair, rec netflow.Record) {
+		be.ds.ForEachResolvedRecord(od, bin, func(_ topology.ODPair, rec flowwire.Flow) {
 			if addErr != nil {
 				return
 			}

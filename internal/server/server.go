@@ -1,16 +1,18 @@
 // Package server is the live front door of the reproduction: a long-running
 // ingest daemon that stands where the paper's collection infrastructure
-// stood — between the routers exporting sampled NetFlow v5 and the subspace
-// detector consuming OD-aggregated timebins.
+// stood — between the routers exporting sampled flow telemetry and the
+// subspace detector consuming OD-aggregated timebins.
 //
-// One Server owns one UDP socket. Every datagram is decoded with the
-// hardened internal/netflow codec (hostile bytes are counted and dropped,
-// never trusted), deduplicated by per-engine flow sequence, and each record
-// is resolved to an origin-destination PoP pair exactly as the offline
-// pipeline does it: the origin from the export engine ID (interface-based
-// configuration resolution), the egress by longest-prefix match on the
-// anonymized destination address (internal/routing). Resolved records
-// accumulate into per-bin byte/packet/flow vectors — the same three
+// One Server owns one UDP socket. Every datagram is decoded through a
+// flowwire.Registry — NetFlow v5, NetFlow v9, IPFIX and sFlow v5, detected
+// by version word, with hostile bytes counted and dropped, never trusted —
+// and deduplicated by a per-(format, engine) sequence cursor honoring each
+// format's own sequence semantics (flowwire.SequenceModel). Each normalized
+// record is resolved to an origin-destination PoP pair exactly as the
+// offline pipeline does it: the origin from the export engine identity
+// (interface-based configuration resolution), the egress by longest-prefix
+// match on the anonymized destination address (internal/routing). Resolved
+// records accumulate into per-bin byte/packet/flow vectors — the same three
 // measures, the same 5-minute binning, the same accumulation arithmetic as
 // dataset.Generate — and when the reorder grace window moves past a bin,
 // the bin is closed and submitted to a StreamDetector, which scores,
@@ -25,9 +27,11 @@
 // characterized anomalies match the batch Characterize output on the same
 // bins (the loopback end-to-end test pins this).
 //
-// The HTTP side is deliberately small: /healthz (liveness, 503 once the
-// detector has recorded a background error), /stats (ingest counters as
-// JSON) and /anomalies (the characterized anomaly log as JSON).
+// The HTTP side is deliberately small: healthz (liveness, 503 once the
+// detector has recorded a background error), stats (ingest counters as
+// JSON, including a per-protocol breakdown) and anomalies (the
+// characterized anomaly log as JSON). Each endpoint is served both under
+// the versioned /api/v1/ prefix and at its original unversioned path.
 package server
 
 import (
@@ -39,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -47,7 +52,7 @@ import (
 	"netwide/internal/checkpoint"
 	"netwide/internal/dataset"
 	"netwide/internal/fault"
-	"netwide/internal/netflow"
+	"netwide/internal/flowwire"
 	"netwide/internal/routing"
 	"netwide/internal/topology"
 	"netwide/internal/traffic"
@@ -56,9 +61,13 @@ import (
 // Config tunes an ingest daemon. The zero value listens on an ephemeral
 // loopback UDP port with no HTTP endpoint.
 type Config struct {
-	// UDPAddr is the NetFlow listen address (default "127.0.0.1:0"; the
-	// standard NetFlow port is 2055).
+	// UDPAddr is the flow-export listen address (default "127.0.0.1:0";
+	// the standard NetFlow port is 2055).
 	UDPAddr string
+	// Formats is the wire-format allowlist (nil or empty enables all four:
+	// NetFlow v5, NetFlow v9, IPFIX, sFlow v5). A datagram in a disabled
+	// format is counted as a bad packet and dropped.
+	Formats []flowwire.Format
 	// HTTPAddr is the status endpoint listen address ("" disables HTTP).
 	HTTPAddr string
 	// Epoch is the Unix time of bin 0: a record exported at UnixSecs lands
@@ -150,13 +159,19 @@ type Stats struct {
 	BadPackets uint64 `json:"bad_packets"`
 	Duplicates uint64 `json:"duplicate_packets"`
 	// Records counts decoded flow records accepted for aggregation.
-	// LostRecords is the v5 sequence-gap estimate of records dropped in
-	// transit; LateRecords arrived for bins already closed; Unroutable
-	// records carried an unknown engine ID or an unresolvable destination.
+	// LostRecords is the sequence-gap estimate of records dropped in
+	// transit, summed over the formats whose sequence unit is a record
+	// (NetFlow v5 flows, IPFIX data records); the per-protocol breakdown
+	// carries every format's loss in its own unit. LateRecords arrived for
+	// bins already closed; Unroutable records carried an unknown engine
+	// identity or an unresolvable destination.
 	Records     uint64 `json:"records"`
 	LostRecords uint64 `json:"lost_records"`
 	LateRecords uint64 `json:"late_records"`
 	Unroutable  uint64 `json:"unroutable_records"`
+	// Protocols breaks the ingest counters down per wire format; only
+	// formats that have received at least one datagram appear.
+	Protocols map[string]ProtoStats `json:"protocols,omitempty"`
 	// WildRecords carried bin timestamps the daemon refused to trust: more
 	// than MaxAhead bins past the watermark, or needing an open bin beyond
 	// MaxOpenBins. WatermarkResets counts stranded-watermark recoveries
@@ -206,6 +221,27 @@ type Stats struct {
 	DegradedErr string `json:"degraded_err,omitempty"`
 }
 
+// ProtoStats is one wire format's slice of the ingest counters, keyed in
+// Stats.Protocols by the format name ("netflow5", "netflow9", "ipfix",
+// "sflow").
+type ProtoStats struct {
+	Packets    uint64 `json:"packets"`
+	BadPackets uint64 `json:"bad_packets"`
+	Duplicates uint64 `json:"duplicate_packets"`
+	Records    uint64 `json:"records"`
+	// LostUnits is the sequence-gap loss estimate in the format's own
+	// sequence unit — flows for v5, export packets for v9, data records
+	// for IPFIX, flow samples for sFlow — named by SeqUnit.
+	LostUnits uint64 `json:"lost_units"`
+	SeqUnit   string `json:"seq_unit"`
+}
+
+// protoCounters is the internal mutable form of ProtoStats, held in a flat
+// per-format array on the hot path.
+type protoCounters struct {
+	packets, badPackets, duplicates, records, lostUnits uint64
+}
+
 // binAcc accumulates one open timebin: the three per-OD vectors the
 // detector scores. The slices are handed to the detector at close (which
 // retains them), so a bin is never reused after submission.
@@ -252,12 +288,16 @@ type Server struct {
 	// holds every anomaly emitted before its barrier.
 	ledgerCond *sync.Cond
 
+	// reg decodes every datagram; it owns the v9/IPFIX template caches, so
+	// it is ingestMu state (the checkpoint snapshots those caches).
+	reg *flowwire.Registry
 	// recs is the reusable per-packet record buffer; the read loop is the
 	// only goroutine that touches it.
-	recs []netflow.Record
-	// seq tracks the per-engine v5 flow sequence cursor (engine IDs are 8
-	// bits, so a flat array beats a map on the per-packet path).
-	seq [256]engineSeq
+	recs []flowwire.Record
+	// seq tracks one sequence cursor per (format, engine) export stream.
+	// The key space is attacker-influenced (v9/IPFIX source IDs are 32
+	// bits on the wire), so the map is capped at maxEngineCursors.
+	seq map[engineKey]*engineSeq
 
 	// mu guards everything below. It is never held across a detector
 	// Submit: backpressure from the pipeline must not deadlock against the
@@ -266,6 +306,10 @@ type Server struct {
 	mu    sync.Mutex
 	bins  map[int]*binAcc
 	stats Stats
+	// proto is the per-format counter array behind Stats.Protocols
+	// (index FormatUnknown stays zero; undetectable garbage only reaches
+	// the global BadPackets).
+	proto [flowwire.NumFormats]protoCounters
 	anoms []netwide.Anomaly
 	// behindStreak counts consecutive routable packets landing more than
 	// MaxAhead bins below the watermark — the stranded-watermark signal.
@@ -299,11 +343,17 @@ func New(run *netwide.Run, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: build resolver: %w", err)
 	}
+	reg, err := flowwire.NewRegistry(cfg.Formats...)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		cfg:        cfg,
 		run:        run,
 		top:        ds.Top,
 		res:        res,
+		reg:        reg,
+		seq:        map[engineKey]*engineSeq{},
 		bins:       map[int]*binAcc{},
 		readerDone: make(chan struct{}),
 	}
@@ -324,6 +374,10 @@ func New(run *netwide.Run, cfg Config) (*Server, error) {
 			s.stats.CheckpointFallbacks++
 			s.stats.RestoreErr = err.Error()
 			s.det = nil // discard any partially built detector
+			// Discard any template-cache state a partial restore left in
+			// the registry: a cold start must not trust checkpoint bytes.
+			s.reg, _ = flowwire.NewRegistry(cfg.Formats...)
+			s.seq = map[engineKey]*engineSeq{}
 		}
 	}
 	if s.det == nil {
@@ -364,8 +418,23 @@ func (s *Server) fingerprint(st *checkpoint.State) error {
 		return fmt.Errorf("snapshot detector (K=%d, alpha=%v), daemon configured (K=%d, alpha=%v)", st.K, st.Alpha, opts.K, opts.Alpha)
 	case st.Epoch != s.cfg.Epoch:
 		return fmt.Errorf("snapshot epoch %d, daemon epoch %d", st.Epoch, s.cfg.Epoch)
+	case !slices.Equal(st.Formats, s.enabledFormats()):
+		return fmt.Errorf("snapshot formats %v, daemon enables %v", st.Formats, s.enabledFormats())
 	}
 	return nil
+}
+
+// enabledFormats lists the registry's enabled wire formats in wire-version
+// order — checkpoint fingerprint material, since engine cursors and
+// template caches only make sense under the same decoder set.
+func (s *Server) enabledFormats() []uint8 {
+	var out []uint8
+	for _, f := range flowwire.AllFormats() {
+		if s.reg.Enabled(f) {
+			out = append(out, uint8(f))
+		}
+	}
+	return out
 }
 
 // restore rebuilds the daemon's state from a verified snapshot. Every
@@ -417,22 +486,66 @@ func (s *Server) restore(st *checkpoint.State) error {
 			records: ob.Records,
 		}
 	}
-	var seq [256]engineSeq
-	seen := map[uint8]bool{}
+	if len(sv.Engines) > maxEngineCursors {
+		return fmt.Errorf("snapshot holds %d engine cursors, cap is %d", len(sv.Engines), maxEngineCursors)
+	}
+	seq := make(map[engineKey]*engineSeq, len(sv.Engines))
 	for _, es := range sv.Engines {
-		if seen[es.ID] {
-			return fmt.Errorf("snapshot lists engine %d twice", es.ID)
+		f := flowwire.Format(es.Format)
+		if f == flowwire.FormatUnknown || f >= flowwire.NumFormats || !s.reg.Enabled(f) {
+			return fmt.Errorf("snapshot engine cursor for unknown or disabled format %d", es.Format)
 		}
-		seen[es.ID] = true
+		key := engineKey{f, es.ID}
+		if seq[key] != nil {
+			return fmt.Errorf("snapshot lists engine %v/%d twice", f, es.ID)
+		}
 		if len(es.Recent) > dedupeWindow || es.Pos < 0 || es.Pos >= dedupeWindow {
-			return fmt.Errorf("snapshot engine %d dedupe ring out of shape (%d entries, pos %d)", es.ID, len(es.Recent), es.Pos)
+			return fmt.Errorf("snapshot engine %v/%d dedupe ring out of shape (%d entries, pos %d)", f, es.ID, len(es.Recent), es.Pos)
 		}
-		e := &seq[es.ID]
-		e.started = true
-		e.next = es.Next
-		e.fill = len(es.Recent)
-		e.pos = es.Pos
+		e := &engineSeq{started: true, next: es.Next, fill: len(es.Recent), pos: es.Pos}
 		copy(e.recent[:], es.Recent)
+		seq[key] = e
+	}
+	var proto [flowwire.NumFormats]protoCounters
+	protoSeen := map[uint8]bool{}
+	for _, ps := range sv.Protocols {
+		f := flowwire.Format(ps.Format)
+		if f == flowwire.FormatUnknown || f >= flowwire.NumFormats {
+			return fmt.Errorf("snapshot protocol counters for unknown format %d", ps.Format)
+		}
+		if protoSeen[ps.Format] {
+			return fmt.Errorf("snapshot lists protocol %v twice", f)
+		}
+		protoSeen[ps.Format] = true
+		proto[f] = protoCounters{
+			packets:    ps.Packets,
+			badPackets: ps.BadPackets,
+			duplicates: ps.Duplicates,
+			records:    ps.Records,
+			lostUnits:  ps.LostUnits,
+		}
+	}
+	tmpl := map[flowwire.Format][]flowwire.TemplateSnapshot{}
+	for _, ts := range sv.Templates {
+		f := flowwire.Format(ts.Format)
+		if f != flowwire.FormatNetFlowV9 && f != flowwire.FormatIPFIX {
+			return fmt.Errorf("snapshot template for non-template format %d", ts.Format)
+		}
+		fields := make([]flowwire.FieldSpec, len(ts.Fields))
+		for i, fd := range ts.Fields {
+			fields[i] = flowwire.FieldSpec{ID: fd.ID, Enterprise: fd.Enterprise, Length: fd.Length}
+		}
+		tmpl[f] = append(tmpl[f], flowwire.TemplateSnapshot{
+			Source: ts.Source, ID: ts.ID, Scope: ts.Scope, Fields: fields,
+		})
+	}
+	// The registry revalidates every definition exactly like a hostile wire
+	// template; a failure here (or below) makes New rebuild the registry,
+	// so a partially restored cache never survives into a cold start.
+	for f, snaps := range tmpl {
+		if err := s.reg.RestoreTemplates(f, snaps); err != nil {
+			return fmt.Errorf("snapshot template restore (%v): %w", f, err)
+		}
 	}
 
 	det, err := s.run.RestoreStreamDetector(st.Stream, s.cfg.Stream)
@@ -442,6 +555,7 @@ func (s *Server) restore(st *checkpoint.State) error {
 	s.det = det
 	s.bins = bins
 	s.seq = seq
+	s.proto = proto
 	s.anoms = append([]netwide.Anomaly(nil), st.Anomalies...)
 	s.behindStreak = sv.BehindStreak
 	s.stats.Packets = sv.Packets
@@ -515,6 +629,7 @@ func (s *Server) snapshotLocked(cp netwide.StreamCheckpoint) *checkpoint.State {
 		K:         opts.K,
 		Alpha:     opts.Alpha,
 		Epoch:     s.cfg.Epoch,
+		Formats:   s.enabledFormats(),
 		Stream:    cp,
 		Anomalies: append([]netwide.Anomaly(nil), s.anoms[:cp.Emitted]...),
 	}
@@ -544,19 +659,62 @@ func (s *Server) snapshotLocked(cp netwide.StreamCheckpoint) *checkpoint.State {
 		})
 	}
 	sort.Slice(sv.OpenBins, func(i, j int) bool { return sv.OpenBins[i].Bin < sv.OpenBins[j].Bin })
-	for id := range s.seq {
-		e := &s.seq[id]
-		if !e.started {
-			continue
+	keys := make([]engineKey, 0, len(s.seq))
+	for k, e := range s.seq {
+		if e.started {
+			keys = append(keys, k)
 		}
+	}
+	// The map iterates in random order; the snapshot must not.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].format != keys[j].format {
+			return keys[i].format < keys[j].format
+		}
+		return keys[i].engine < keys[j].engine
+	})
+	for _, k := range keys {
+		e := s.seq[k]
 		// recent[:fill] is exactly the valid ring entries: the ring fills
 		// from slot 0 and pos only wraps once fill reaches the window.
 		sv.Engines = append(sv.Engines, checkpoint.EngineState{
-			ID:     uint8(id),
+			Format: uint8(k.format),
+			ID:     k.engine,
 			Next:   e.next,
 			Recent: append([]uint32(nil), e.recent[:e.fill]...),
 			Pos:    e.pos,
 		})
+	}
+	for f := flowwire.Format(1); f < flowwire.NumFormats; f++ {
+		pc := s.proto[f]
+		if pc == (protoCounters{}) {
+			continue
+		}
+		sv.Protocols = append(sv.Protocols, checkpoint.ProtoState{
+			Format:     uint8(f),
+			Packets:    pc.packets,
+			BadPackets: pc.badPackets,
+			Duplicates: pc.duplicates,
+			Records:    pc.records,
+			LostUnits:  pc.lostUnits,
+		})
+	}
+	// Template caches are decode state a mid-stream restart cannot relearn
+	// until the exporters resend, so they checkpoint too. Callers hold
+	// ingestMu, which is what makes reading the registry here safe.
+	for _, f := range []flowwire.Format{flowwire.FormatNetFlowV9, flowwire.FormatIPFIX} {
+		for _, ts := range s.reg.TemplateSnapshots(f) {
+			fields := make([]checkpoint.TemplateField, len(ts.Fields))
+			for i, fd := range ts.Fields {
+				fields[i] = checkpoint.TemplateField{ID: fd.ID, Enterprise: fd.Enterprise, Length: fd.Length}
+			}
+			sv.Templates = append(sv.Templates, checkpoint.TemplateState{
+				Format: uint8(f),
+				Source: ts.Source,
+				ID:     ts.ID,
+				Scope:  ts.Scope,
+				Fields: fields,
+			})
+		}
 	}
 	return st
 }
@@ -649,10 +807,19 @@ func (s *Server) Start() error {
 		}
 		s.httpLn = ln
 		mux := http.NewServeMux()
-		mux.HandleFunc("/healthz", s.handleHealthz)
-		mux.HandleFunc("/stats", s.handleStats)
-		mux.HandleFunc("/anomalies", s.handleAnomalies)
-		// The status port faces the same network as the NetFlow socket, so
+		// Every endpoint lives under the versioned /api/v1/ prefix; the
+		// original unversioned paths remain as aliases so existing probes
+		// and dashboards keep working.
+		for _, p := range []string{"/api/v1/healthz", "/healthz"} {
+			mux.HandleFunc(p, s.handleHealthz)
+		}
+		for _, p := range []string{"/api/v1/stats", "/stats"} {
+			mux.HandleFunc(p, s.handleStats)
+		}
+		for _, p := range []string{"/api/v1/anomalies", "/anomalies"} {
+			mux.HandleFunc(p, s.handleAnomalies)
+		}
+		// The status port faces the same network as the flow socket, so
 		// it gets the same hostile-input posture: a client that dribbles a
 		// header, stalls mid-request or parks an idle connection must not
 		// pin a daemon goroutine forever.
@@ -679,7 +846,7 @@ func (s *Server) Start() error {
 	return nil
 }
 
-// UDPAddr returns the bound NetFlow listen address (nil before Start).
+// UDPAddr returns the bound flow-export listen address (nil before Start).
 func (s *Server) UDPAddr() net.Addr {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -700,10 +867,11 @@ func (s *Server) HTTPAddr() net.Addr {
 	return s.httpLn.Addr()
 }
 
-// readLoop receives datagrams until the socket is closed by Drain. A v5
-// packet is at most 1464 bytes; the buffer leaves headroom so an overlong
-// datagram arrives intact and is rejected by the decoder instead of being
-// silently truncated into a "valid" prefix.
+// readLoop receives datagrams until the socket is closed by Drain. Every
+// supported format keeps its export packets under the common 1500-byte
+// MTU; the buffer leaves headroom so an overlong datagram arrives intact
+// and is rejected by the decoder instead of being silently truncated into
+// a "valid" prefix.
 func (s *Server) readLoop(conn *net.UDPConn) {
 	defer close(s.readerDone)
 	buf := make([]byte, 4096)
@@ -725,27 +893,39 @@ func (s *Server) readLoop(conn *net.UDPConn) {
 func (s *Server) IngestPacket(pkt []byte) {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
-	h, recs, err := netflow.DecodePacketAppend(s.recs[:0], pkt)
+	b, recs, err := s.reg.Decode(pkt, s.recs[:0])
 	s.recs = recs
 	s.mu.Lock()
 	s.stats.Packets++
+	// Decode attributes even failed packets to a format when the version
+	// word detected one; garbage that detects as nothing only reaches the
+	// global counters.
+	var pc *protoCounters
+	if b.Format != flowwire.FormatUnknown && b.Format < flowwire.NumFormats {
+		pc = &s.proto[b.Format]
+		pc.packets++
+	}
 	if err != nil {
 		s.stats.BadPackets++
+		if pc != nil {
+			pc.badPackets++
+		}
 		s.mu.Unlock()
 		return
 	}
-	if !s.sequenceCheck(h) {
+	if !s.sequenceCheck(b) {
 		s.stats.Duplicates++
+		pc.duplicates++
 		s.mu.Unlock()
 		return
 	}
-	if int64(h.UnixSecs) < int64(s.cfg.Epoch) {
+	if int64(b.UnixSecs) < int64(s.cfg.Epoch) {
 		// Before bin 0 — and integer division would truncate it INTO bin 0.
 		s.stats.LateRecords += uint64(len(recs))
 		s.mu.Unlock()
 		return
 	}
-	bin := int(int64(h.UnixSecs)-int64(s.cfg.Epoch)) / traffic.BinSeconds
+	bin := int(int64(b.UnixSecs)-int64(s.cfg.Epoch)) / traffic.BinSeconds
 	if bin <= s.stats.LastClosed {
 		s.stats.LateRecords += uint64(len(recs))
 		s.mu.Unlock()
@@ -760,7 +940,8 @@ func (s *Server) IngestPacket(pkt []byte) {
 		s.mu.Unlock()
 		return
 	}
-	accepted := s.accumulate(bin, h, recs)
+	accepted := s.accumulate(bin, b, recs)
+	pc.records += uint64(accepted)
 	var closed []submittedBin
 	switch {
 	case accepted == 0:
@@ -805,60 +986,101 @@ const (
 	// than the window slips through — the window trades a little replay
 	// protection for not discarding merely-reordered traffic.
 	dedupeWindow = 64
-	// reorderTolerance is how far (in records) behind the cursor a packet
-	// may fall and still be network reordering; anything further back is
-	// an exporter restart and resets the cursor, so a spoofed wild
-	// sequence number can never permanently wedge an engine's stream.
+	// reorderTolerance is how far (in the stream's sequence units) behind
+	// the cursor a packet may fall and still be network reordering;
+	// anything further back is an exporter restart and resets the cursor,
+	// so a spoofed wild sequence number can never permanently wedge an
+	// engine's stream.
 	reorderTolerance = 1 << 20
+	// maxEngineCursors caps the sequence-cursor map. The v9/IPFIX exporter
+	// identity is a 32-bit field in attacker-influenced packets; beyond
+	// the cap, packets from new streams are accepted without sequence
+	// accounting rather than growing daemon memory without bound.
+	maxEngineCursors = 4096
 )
 
-// sequenceCheck updates per-engine v5 sequence state and reports whether
-// the packet should be ingested. In-order packets advance the cursor; a
-// gap ahead of the cursor estimates records lost in transit (v5's only
-// loss signal). A packet behind the cursor is, in order of precedence: a
-// replayed duplicate if its sequence number was recently seen (dropped —
-// counting it twice would corrupt the bin); plain network reordering if
-// it is within reorderTolerance (accepted, and the loss the earlier gap
-// charged for it is refunded); otherwise an exporter restart, which
-// resets the cursor. Callers hold mu.
-func (s *Server) sequenceCheck(h netflow.Header) bool {
-	e := &s.seq[h.EngineID]
-	if !e.started {
-		e.started = true
-		e.next = h.FlowSequence + uint32(h.Count)
-		e.remember(h.FlowSequence)
+// engineKey identifies one export stream. Sequence spaces are independent
+// per wire format — a v5 engine 3 and an IPFIX observation domain 3 are
+// different streams — so the format is part of the identity.
+type engineKey struct {
+	format flowwire.Format
+	engine uint32
+}
+
+// sequenceCheck updates the batch's per-stream sequence state and reports
+// whether the packet should be ingested, honoring the batch's own sequence
+// semantics: the cursor advances by SeqAdvance units of SeqModel's unit
+// (flows, packets, records or samples), and a gap ahead of the cursor is
+// that many units lost in transit — credited to the stream's format in
+// Stats.Protocols, and folded into the global LostRecords only when the
+// unit is a record (v5, IPFIX). A batch behind the cursor is, in order of
+// precedence: a replayed duplicate if its sequence number was recently
+// seen (dropped — counting it twice would corrupt the bin); plain network
+// reordering if it is within reorderTolerance (accepted, and the loss the
+// earlier gap charged for it is refunded); otherwise an exporter restart,
+// which resets the cursor. Batches without sequence information (SeqNone)
+// pass through untracked. Callers hold mu.
+func (s *Server) sequenceCheck(b flowwire.Batch) bool {
+	if b.SeqModel == flowwire.SeqNone {
 		return true
 	}
-	delta := int32(h.FlowSequence - e.next) // uint32 arithmetic handles wraparound
+	key := engineKey{b.Format, b.Engine}
+	e := s.seq[key]
+	if e == nil {
+		if len(s.seq) >= maxEngineCursors {
+			return true // accept, untracked: see maxEngineCursors
+		}
+		e = &engineSeq{}
+		s.seq[key] = e
+	}
+	pc := &s.proto[b.Format]
+	countsRecords := b.SeqModel.CountsRecords()
+	if !e.started {
+		e.started = true
+		e.next = b.Seq + b.SeqAdvance
+		e.remember(b.Seq)
+		return true
+	}
+	delta := int32(b.Seq - e.next) // uint32 arithmetic handles wraparound
 	switch {
 	case delta >= 0:
 		if delta > reorderTolerance {
 			// A forward jump too wild to be transit loss is the same event
 			// as the backward one: an exporter restart (or a spoofed
 			// sequence) — resynchronize rather than charging a phantom
-			// multi-billion-record gap to the loss counter.
+			// multi-billion-unit gap to the loss counters.
 			e.clear()
 		} else {
-			s.stats.LostRecords += uint64(delta)
+			pc.lostUnits += uint64(delta)
+			if countsRecords {
+				s.stats.LostRecords += uint64(delta)
+			}
 		}
-		e.next = h.FlowSequence + uint32(h.Count)
-	case e.seen(h.FlowSequence):
+		e.next = b.Seq + b.SeqAdvance
+	case e.seen(b.Seq):
 		return false
 	case delta >= -reorderTolerance:
-		// Reordered delivery: the gap this packet left was already counted
+		// Reordered delivery: the gap this batch left was already counted
 		// lost when its successor arrived first, so refund it. The cursor
 		// stays where the stream's front is.
-		refund := uint64(h.Count)
-		if refund > s.stats.LostRecords {
-			refund = s.stats.LostRecords
+		refund := uint64(b.SeqAdvance)
+		if refund > pc.lostUnits {
+			refund = pc.lostUnits
 		}
-		s.stats.LostRecords -= refund
+		pc.lostUnits -= refund
+		if countsRecords {
+			refund = uint64(b.SeqAdvance)
+			if refund > s.stats.LostRecords {
+				refund = s.stats.LostRecords
+			}
+			s.stats.LostRecords -= refund
+		}
 	default:
 		// Exporter restart (or a spoofed wild sequence): resynchronize.
-		e.next = h.FlowSequence + uint32(h.Count)
+		e.next = b.Seq + b.SeqAdvance
 		e.clear()
 	}
-	e.remember(h.FlowSequence)
+	e.remember(b.Seq)
 	return true
 }
 
@@ -868,8 +1090,8 @@ func (s *Server) sequenceCheck(h netflow.Header) bool {
 // and therefore the same (OD, bin) cell, as the offline generator. It
 // returns how many records were actually folded in; a packet that
 // contributes nothing must not advance the watermark. Callers hold mu.
-func (s *Server) accumulate(bin int, h netflow.Header, recs []netflow.Record) (accepted int) {
-	origin := topology.PoP(h.EngineID)
+func (s *Server) accumulate(bin int, b flowwire.Batch, recs []flowwire.Record) (accepted int) {
+	origin := topology.PoP(b.Engine)
 	originOK := s.top.ContainsPoP(origin)
 	acc := s.bins[bin]
 	for _, rec := range recs {
@@ -877,7 +1099,7 @@ func (s *Server) accumulate(bin int, h netflow.Header, recs []netflow.Record) (a
 			s.stats.Unroutable++
 			continue
 		}
-		egress, ok := s.res.ResolveDst(rec.Key.Dst)
+		egress, ok := s.res.ResolveDst(rec.Dst)
 		if !ok {
 			s.stats.Unroutable++
 			continue
@@ -901,7 +1123,10 @@ func (s *Server) accumulate(bin int, h netflow.Header, recs []netflow.Record) (a
 		col := s.top.Index(topology.ODPair{Origin: origin, Dest: egress})
 		acc.bytes[col] += float64(rec.Bytes)
 		acc.packets[col] += float64(rec.Packets)
-		acc.flows[col]++
+		// Flow-export records each carry one flow (Flows == 1), keeping
+		// bit-for-bit parity with the v5-era `flows[col]++`; sFlow samples
+		// estimate flow counts, and the estimate rides the same field.
+		acc.flows[col] += float64(rec.Flows)
 		acc.records++
 		s.stats.Records++
 		accepted++
@@ -931,7 +1156,7 @@ func (s *Server) resetWatermark(bin int) {
 	s.behindStreak = 0
 }
 
-// engineSeq is one engine's v5 sequence cursor plus a small ring of
+// engineSeq is one export stream's sequence cursor plus a small ring of
 // recently seen packet sequence numbers for duplicate detection.
 type engineSeq struct {
 	next    uint32
@@ -1030,6 +1255,23 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	st.Draining = s.draining
 	st.BinsOpen = len(s.bins)
+	for f := flowwire.Format(1); f < flowwire.NumFormats; f++ {
+		pc := s.proto[f]
+		if pc == (protoCounters{}) {
+			continue
+		}
+		if st.Protocols == nil {
+			st.Protocols = make(map[string]ProtoStats, 4)
+		}
+		st.Protocols[f.String()] = ProtoStats{
+			Packets:    pc.packets,
+			BadPackets: pc.badPackets,
+			Duplicates: pc.duplicates,
+			Records:    pc.records,
+			LostUnits:  pc.lostUnits,
+			SeqUnit:    f.SequenceModel().Unit(),
+		}
+	}
 	if s.firstError != nil {
 		st.Err = s.firstError.Error()
 	}

@@ -24,12 +24,12 @@
 # baseline (record mode) when the reference hardware changes.
 #
 # Usage:
-#   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR7.json)
-#   scripts/bench.sh --check BENCH_PR7.json      # gate against the committed baseline
-#   scripts/bench.sh --check BENCH_PR5.json BENCH_PR7.json  # gate against several
+#   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR8.json)
+#   scripts/bench.sh --check BENCH_PR8.json      # gate against the committed baseline
+#   scripts/bench.sh --check BENCH_PR7.json BENCH_PR8.json  # gate against several
 #   BENCH='SimulateWeek|Detect' scripts/bench.sh # restrict the suite
 #   BENCHTIME=3x scripts/bench.sh                # more iterations per benchmark
-#   MAX_REGRESSION=50 scripts/bench.sh --check BENCH_PR7.json  # looser gate
+#   MAX_REGRESSION=50 scripts/bench.sh --check BENCH_PR8.json  # looser gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,7 +47,7 @@ if [[ "${1:-}" == "--check" ]]; then
     done
     set --
 fi
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 bench="${BENCH:-.}"
 benchtime="${BENCHTIME:-1x}"
 max_regression="${MAX_REGRESSION:-20}"
