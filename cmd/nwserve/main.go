@@ -33,10 +33,24 @@
 // characterized, the final snapshot is written, and the final anomaly
 // table prints before exit.
 //
+// With -receivers and/or -shards the daemon runs its sharded ingest tier:
+// N receiver goroutines on SO_REUSEPORT sockets (where the platform has
+// it; elsewhere one socket fans out to the pool), each with its own
+// decoder state, routing whole datagrams by export-engine hash to M shard
+// workers that each own a disjoint partition of the OD pairs — bin
+// accumulators, sequence cursors and dedupe rings included — while a
+// watermark-driven merge layer closes a bin only once every shard has
+// sealed it and feeds the single central detector. Scoring stays central:
+// the subspace method is a network-wide decomposition, so the detector
+// must see each bin's complete OD vector. Anomaly output is bit-identical
+// to the single-threaded path. Snapshots capture the per-shard partitions;
+// a snapshot taken under one shard count cold-starts under another.
+//
 // Usage:
 //
 //	nwserve -train abilene.nwds [-listen 127.0.0.1:2055] [-http 127.0.0.1:8080]
 //	        [-formats netflow5,netflow9,ipfix,sflow]
+//	        [-receivers 1] [-shards 1]
 //	        [-trainbins 0] [-k 4] [-alpha 0.001] [-refit 0] [-window 0]
 //	        [-batch 16] [-grace 1] [-epoch 0]
 //	        [-checkpoint daemon.nwcp] [-checkpoint-every 1] [-checkpoint-interval 0]
@@ -68,6 +82,8 @@ func main() {
 		train     = flag.String("train", "", "dataset file (.nwds) providing topology, baselines and training traffic (required)")
 		listen    = flag.String("listen", "127.0.0.1:2055", "UDP listen address for flow export packets")
 		formats   = flag.String("formats", "", "comma-separated wire-format allowlist: netflow5, netflow9, ipfix, sflow (empty = all)")
+		receivers = flag.Int("receivers", 1, "UDP receiver goroutines on SO_REUSEPORT sockets (>1 enables the sharded ingest tier)")
+		shards    = flag.Int("shards", 1, "OD-partition bin-accumulation workers (>1 enables the sharded ingest tier)")
 		httpAddr  = flag.String("http", "", "HTTP status listen address (empty disables /healthz, /stats, /anomalies)")
 		trainBins = flag.Int("trainbins", 0, "leading bins of the dataset to train on (0 = all bins)")
 		k         = flag.Int("k", 4, "normal subspace dimension")
@@ -125,6 +141,8 @@ func main() {
 		UDPAddr:            *listen,
 		Formats:            allow,
 		HTTPAddr:           *httpAddr,
+		Receivers:          *receivers,
+		Shards:             *shards,
 		Epoch:              uint32(*epoch),
 		Grace:              *grace,
 		CheckpointPath:     *ckpt,
@@ -166,6 +184,9 @@ func main() {
 	}
 	log.Printf("listening for %s on %s (%d bins trained, %d OD pairs)",
 		strings.Join(names, "/"), srv.UDPAddr(), run.Bins(), run.Dataset().NumODPairs())
+	if *receivers > 1 || *shards > 1 {
+		log.Printf("sharded ingest tier: %d receivers, %d shards, central scorer", *receivers, *shards)
+	}
 	if a := srv.HTTPAddr(); a != nil {
 		log.Printf("status endpoint on http://%s (/api/v1/{healthz,stats,anomalies}; unversioned aliases)", a)
 	}

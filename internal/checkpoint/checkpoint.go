@@ -46,7 +46,14 @@ const Magic = "NWCPv1\r\n"
 // format-agnostic flowwire decoders: engine cursors became (format, 32-bit
 // engine) keyed, per-protocol ingest counters were added, and v9/IPFIX
 // template caches became restore state. Version 1 snapshots cold-start.
-const Version = 2
+//
+// Version 3 sharded the accumulation state: open bins, engine cursors and
+// the behind-streak moved from ServerState into per-shard ShardState
+// entries, and the shard count joined the fingerprint (binning partitions
+// OD pairs by export engine, so a snapshot only restores into a daemon
+// with the same shard layout — a mismatch cold-starts). Version 2
+// snapshots cold-start.
+const Version = 3
 
 // Fault injection points consulted by WriteFile.
 const (
@@ -111,6 +118,18 @@ type TemplateState struct {
 	Fields []TemplateField
 }
 
+// ShardState is one binning shard's in-flight accumulation: the bins it
+// is still filling, its engine sequence cursors, the highest bin it has
+// sealed toward the merge layer, and its watermark-reset streak. The
+// single-threaded collector writes exactly one ShardState; a sharded
+// daemon writes one per shard worker, in shard order.
+type ShardState struct {
+	OpenBins      []OpenBin
+	Engines       []EngineState
+	SealedThrough int
+	BehindStreak  int
+}
+
 // ServerState mirrors the ingest daemon's recovery state: the cumulative
 // counters it serves on /stats plus the in-flight accumulation a restart
 // must pick back up. It is a plain-data mirror (the server package imports
@@ -130,11 +149,9 @@ type ServerState struct {
 	LastClosed      int
 	AlarmBins       int
 
-	OpenBins     []OpenBin
-	Engines      []EngineState
-	Protocols    []ProtoState
-	Templates    []TemplateState
-	BehindStreak int
+	Shards    []ShardState
+	Protocols []ProtoState
+	Templates []TemplateState
 }
 
 // State is one complete snapshot.
@@ -155,6 +172,11 @@ type State struct {
 	// Format values). Engine cursors and template caches only make sense
 	// under the same decoder set, so a different allowlist cold-starts.
 	Formats []uint8
+	// Shards is the binning shard count the snapshot was captured under.
+	// Open bins and engine cursors are partitioned by engine hash, so a
+	// daemon with a different shard layout cannot adopt them in place: a
+	// mismatch cold-starts.
+	Shards int
 
 	Server ServerState
 	// Stream is the detector's own recovery state (models, refit windows,

@@ -31,18 +31,22 @@ func sampleState() *State {
 		K:        10,
 		Alpha:    0.001,
 		Epoch:    1700000000,
+		Shards:   1,
 		Server: ServerState{
 			Packets:    12345,
 			Records:    67890,
 			Watermark:  412,
 			LastClosed: 411,
 			BinsClosed: 412,
-			OpenBins: []OpenBin{
-				{Bin: 412, Records: 7, Bytes: []float64{1, 2}, Packets: []float64{3, 4}, Flows: []float64{5, 6}},
-			},
-			Engines: []EngineState{
-				{ID: 3, Next: 90001, Recent: []uint32{88000, 89000, 90000}, Pos: 0},
-			},
+			Shards: []ShardState{{
+				OpenBins: []OpenBin{
+					{Bin: 412, Records: 7, Bytes: []float64{1, 2}, Packets: []float64{3, 4}, Flows: []float64{5, 6}},
+				},
+				Engines: []EngineState{
+					{ID: 3, Next: 90001, Recent: []uint32{88000, 89000, 90000}, Pos: 0},
+				},
+				SealedThrough: 411,
+			}},
 		},
 	}
 }
@@ -68,11 +72,18 @@ func TestRoundTrip(t *testing.T) {
 	if st.Server.Records != want.Server.Records || st.Server.Watermark != want.Server.Watermark {
 		t.Fatalf("counters mangled: %+v", st.Server)
 	}
-	if len(st.Server.OpenBins) != 1 || st.Server.OpenBins[0].Bytes[1] != 2 {
-		t.Fatalf("open bins mangled: %+v", st.Server.OpenBins)
+	if len(st.Server.Shards) != 1 || st.Shards != 1 {
+		t.Fatalf("shard state mangled: %+v", st.Server.Shards)
 	}
-	if len(st.Server.Engines) != 1 || st.Server.Engines[0].Next != 90001 {
-		t.Fatalf("engine cursors mangled: %+v", st.Server.Engines)
+	sh := st.Server.Shards[0]
+	if len(sh.OpenBins) != 1 || sh.OpenBins[0].Bytes[1] != 2 {
+		t.Fatalf("open bins mangled: %+v", sh.OpenBins)
+	}
+	if len(sh.Engines) != 1 || sh.Engines[0].Next != 90001 {
+		t.Fatalf("engine cursors mangled: %+v", sh.Engines)
+	}
+	if sh.SealedThrough != 411 {
+		t.Fatalf("sealed-through mangled: %+v", sh)
 	}
 }
 

@@ -49,7 +49,7 @@ func feedBins(t *testing.T, srv *Server, ds *dataset.Dataset, from, to, partial 
 			continue
 		}
 		for _, p := range pkts {
-			srv.IngestPacket(p)
+			srv.IngestPacket(p.data)
 		}
 	}
 	if partial > 0 {
@@ -61,7 +61,7 @@ func feedBins(t *testing.T, srv *Server, ds *dataset.Dataset, from, to, partial 
 			partial = len(pkts)
 		}
 		for _, p := range pkts[:partial] {
-			srv.IngestPacket(p)
+			srv.IngestPacket(p.data)
 		}
 	}
 }
@@ -527,7 +527,7 @@ func TestChaosCorruptCheckpointColdStarts(t *testing.T) {
 		{"wrong topology", mutate(func(st *checkpoint.State) { st.Topology = "geant" })},
 		{"ledger shorter than emitted", mutate(func(st *checkpoint.State) { st.Stream.Emitted += 3 })},
 		{"open bin behind cursor", mutate(func(st *checkpoint.State) {
-			st.Server.OpenBins = append(st.Server.OpenBins, checkpoint.OpenBin{
+			st.Server.Shards[0].OpenBins = append(st.Server.Shards[0].OpenBins, checkpoint.OpenBin{
 				Bin:     st.Server.LastClosed,
 				Bytes:   make([]float64, st.ODPairs),
 				Packets: make([]float64, st.ODPairs),
@@ -535,7 +535,11 @@ func TestChaosCorruptCheckpointColdStarts(t *testing.T) {
 			})
 		})},
 		{"dedupe ring out of shape", mutate(func(st *checkpoint.State) {
-			st.Server.Engines = []checkpoint.EngineState{{ID: 0, Recent: make([]uint32, 200), Pos: 0}}
+			st.Server.Shards[0].Engines = []checkpoint.EngineState{{ID: 0, Recent: make([]uint32, 200), Pos: 0}}
+		})},
+		{"wrong shard count", mutate(func(st *checkpoint.State) {
+			st.Shards = 4
+			st.Server.Shards = make([]checkpoint.ShardState, 4)
 		})},
 	}
 	for _, tc := range cases {

@@ -26,6 +26,13 @@ type ReplayConfig struct {
 	// them). Pacing matters on loopback too: an unpaced replay can overrun
 	// the collector's socket buffer, and UDP loss breaks replay parity.
 	PacketsPerSecond int
+	// Conns sprays the replay across that many source sockets (default 1).
+	// Each export engine's packets stick to one socket — SO_REUSEPORT
+	// collectors hash datagrams to receivers by the connection 4-tuple, so
+	// distinct source ports are what actually spread load across a
+	// receiver pool, while per-engine affinity keeps every engine's
+	// sequence stream in order on its one path.
+	Conns int
 	// Epoch is the Unix time stamped into bin From's packet headers (bin b
 	// is stamped Epoch + (b)*300); it must match the collector's Epoch.
 	// sFlow datagrams carry no wall clock: there the timestamp rides the
@@ -62,11 +69,26 @@ func Replay(ds *dataset.Dataset, cfg ReplayConfig) (ReplayStats, error) {
 	if err != nil {
 		return st, err
 	}
-	conn, err := net.Dial("udp", cfg.Addr)
-	if err != nil {
-		return st, fmt.Errorf("server: replay dial: %w", err)
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
 	}
-	defer conn.Close()
+	conns := make([]*net.UDPConn, 0, cfg.Conns)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return st, fmt.Errorf("server: replay addr: %w", err)
+	}
+	for i := 0; i < cfg.Conns; i++ {
+		c, err := net.DialUDP("udp", nil, raddr)
+		if err != nil {
+			return st, fmt.Errorf("server: replay dial (conn %d/%d): %w", i+1, cfg.Conns, err)
+		}
+		conns = append(conns, c)
+	}
 
 	pace := newPacer(cfg.PacketsPerSecond)
 	for bin := cfg.From; bin < cfg.To; bin++ {
@@ -76,11 +98,11 @@ func Replay(ds *dataset.Dataset, cfg ReplayConfig) (ReplayStats, error) {
 		}
 		for _, pkt := range pkts {
 			pace.wait()
-			if _, err := conn.Write(pkt); err != nil {
+			if _, err := conns[int(pkt.engine)%len(conns)].Write(pkt.data); err != nil {
 				return st, fmt.Errorf("server: replay send bin %d: %w", bin, err)
 			}
 			st.Packets++
-			st.Bytes += int64(len(pkt))
+			st.Bytes += int64(len(pkt.data))
 		}
 		st.Records += records
 		st.Bins++
@@ -120,12 +142,20 @@ func newBinExporters(ds *dataset.Dataset, format flowwire.Format) (*binExporters
 	return be, nil
 }
 
+// replayPacket is one encoded export packet tagged with the engine that
+// produced it, so Replay can pin each engine's sequence stream to one
+// source socket.
+type replayPacket struct {
+	engine uint32
+	data   []byte
+}
+
 // encodeBin regenerates bin's resolved records across every OD pair and
-// returns them encoded as export packets (stamped epoch + bin*300), plus
-// the record count. Every exporter flushes at the end of the bin, so no
-// record ever straddles a bin boundary; the returned packets own their
-// bytes (Drain detaches the arena).
-func (be *binExporters) encodeBin(bin int, epoch uint32) ([][]byte, int, error) {
+// returns them encoded as export packets (stamped epoch + bin*300) tagged
+// by engine, plus the record count. Every exporter flushes at the end of
+// the bin, so no record ever straddles a bin boundary; the returned
+// packets own their bytes (Drain detaches the arena).
+func (be *binExporters) encodeBin(bin int, epoch uint32) ([]replayPacket, int, error) {
 	be.binTime = epoch + uint32(bin)*traffic.BinSeconds
 	records := 0
 	var addErr error
@@ -146,12 +176,14 @@ func (be *binExporters) encodeBin(bin int, epoch uint32) ([][]byte, int, error) 
 			return nil, 0, fmt.Errorf("server: replay bin %d: %w", bin, addErr)
 		}
 	}
-	var pkts [][]byte
-	for _, exp := range be.exps {
+	var pkts []replayPacket
+	for i, exp := range be.exps {
 		if err := exp.Flush(); err != nil {
 			return nil, 0, fmt.Errorf("server: replay flush bin %d: %w", bin, err)
 		}
-		pkts = append(pkts, exp.Drain()...)
+		for _, data := range exp.Drain() {
+			pkts = append(pkts, replayPacket{engine: uint32(i), data: data})
+		}
 	}
 	return pkts, records, nil
 }

@@ -1,0 +1,8 @@
+//go:build darwin
+
+package server
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT, which darwin's syscall package exports.
+const soReusePort = syscall.SO_REUSEPORT

@@ -1,0 +1,8 @@
+//go:build linux
+
+package server
+
+// soReusePort is SO_REUSEPORT on Linux (kernel 3.9+). The frozen syscall
+// package predates the option on this platform, so the value is spelled
+// out; it is part of the stable kernel ABI.
+const soReusePort = 0xf

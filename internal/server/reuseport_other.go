@@ -1,0 +1,20 @@
+//go:build !linux && !darwin
+
+package server
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortSupported: no SO_REUSEPORT here — the receiver pool falls back
+// to one shared socket drained by every receiver goroutine. (The fallback
+// can split a v9/IPFIX exporter's packets across receivers, so a template
+// may be learned by a different receiver than the data that needs it; the
+// exporter's periodic template resends converge it. Linux and darwin,
+// the supported production platforms, do not take this path.)
+const reusePortSupported = false
+
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	return nil, errors.New("server: SO_REUSEPORT not supported on this platform")
+}

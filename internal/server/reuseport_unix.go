@@ -1,0 +1,43 @@
+//go:build linux || darwin
+
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported reports whether this platform can bind multiple UDP
+// sockets to one address with SO_REUSEPORT, letting the kernel spread
+// datagrams across the receiver pool by flow hash.
+const reusePortSupported = true
+
+// listenReusePort binds one UDP socket with SO_REUSEPORT set before bind
+// — the option must be on the socket when bind runs, hence the
+// ListenConfig control hook rather than a post-bind setsockopt.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	var sockErr error
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			return c.Control(func(fd uintptr) {
+				sockErr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if sockErr != nil {
+		pc.Close()
+		return nil, fmt.Errorf("set SO_REUSEPORT: %w", sockErr)
+	}
+	conn, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("unexpected packet conn type %T", pc)
+	}
+	return conn, nil
+}

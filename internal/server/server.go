@@ -3,33 +3,48 @@
 // stood — between the routers exporting sampled flow telemetry and the
 // subspace detector consuming OD-aggregated timebins.
 //
-// One Server owns one UDP socket. Every datagram is decoded through a
-// flowwire.Registry — NetFlow v5, NetFlow v9, IPFIX and sFlow v5, detected
-// by version word, with hostile bytes counted and dropped, never trusted —
-// and deduplicated by a per-(format, engine) sequence cursor honoring each
-// format's own sequence semantics (flowwire.SequenceModel). Each normalized
-// record is resolved to an origin-destination PoP pair exactly as the
-// offline pipeline does it: the origin from the export engine identity
-// (interface-based configuration resolution), the egress by longest-prefix
-// match on the anonymized destination address (internal/routing). Resolved
-// records accumulate into per-bin byte/packet/flow vectors — the same three
-// measures, the same 5-minute binning, the same accumulation arithmetic as
-// dataset.Generate — and when the reorder grace window moves past a bin,
-// the bin is closed and submitted to a StreamDetector, which scores,
-// attributes, aggregates and classifies at streaming time. Characterized
-// anomalies collect on the server and stream out of the /anomalies
-// endpoint.
+// The daemon runs one of two ingest paths around the same decode and
+// accumulation arithmetic:
+//
+//   - The synchronous path (Receivers and Shards both 1, the default): one
+//     UDP socket, one goroutine chain. Every datagram is decoded through a
+//     flowwire.Registry — NetFlow v5, NetFlow v9, IPFIX and sFlow v5,
+//     detected by version word, with hostile bytes counted and dropped,
+//     never trusted — deduplicated by a per-(format, engine) sequence
+//     cursor honoring each format's own sequence semantics
+//     (flowwire.SequenceModel), resolved to an origin-destination PoP pair
+//     exactly as the offline pipeline does it, and accumulated into
+//     per-bin byte/packet/flow vectors. When the reorder grace window
+//     moves past a bin, the bin closes and is submitted to a
+//     StreamDetector.
+//
+//   - The sharded pipeline (Receivers > 1 or Shards > 1): a pool of
+//     SO_REUSEPORT receiver sockets (single shared socket where the
+//     platform lacks the option), each with its own decoder registry and
+//     template cache, routing decoded batches by export engine to a set
+//     of shard workers that each own a disjoint partition of the OD
+//     space — bin accumulators, dedupe rings and sequence cursors stay
+//     shard-local, so no lock is shared across the hot path. A central
+//     coordinator advances the watermark, seals every shard's slice of a
+//     closing bin at a barrier, merges the per-shard vectors into the
+//     dense OD vector (exact: the partition is by origin PoP, so each OD
+//     column is written by exactly one shard) and submits it to the one
+//     central StreamDetector. Scoring stays central because the subspace
+//     method is global: network-wide anomalies only appear in the full OD
+//     matrix. See DESIGN.md E18.
 //
 // Batch parity: every per-record sum the server computes is an integer
 // count below 2^53 folded into a float64, so the accumulated vectors are
-// exact regardless of packet arrival order; a replayed dataset therefore
-// reproduces the generator's matrices bit for bit, and the daemon's
-// characterized anomalies match the batch Characterize output on the same
-// bins (the loopback end-to-end test pins this).
+// exact regardless of packet arrival order or shard interleaving; a
+// replayed dataset therefore reproduces the generator's matrices bit for
+// bit, and the daemon's characterized anomalies match the batch
+// Characterize output on the same bins (the loopback end-to-end test pins
+// this for both paths).
 //
 // The HTTP side is deliberately small: healthz (liveness, 503 once the
-// detector has recorded a background error), stats (ingest counters as
-// JSON, including a per-protocol breakdown) and anomalies (the
+// detector has recorded an error), stats (ingest counters as JSON,
+// including a per-protocol breakdown and — when sharded — per-receiver
+// and per-shard counters with channel-depth gauges) and anomalies (the
 // characterized anomaly log as JSON). Each endpoint is served both under
 // the versioned /api/v1/ prefix and at its original unversioned path.
 package server
@@ -46,6 +61,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netwide"
@@ -86,16 +102,39 @@ type Config struct {
 	// bound, one spoofed far-future datagram would force-close every open
 	// bin with partial data and park the watermark where no legitimate bin
 	// could ever close again. Packets beyond the bound are dropped and
-	// counted (Stats.WildRecords).
+	// counted (Stats.WildRecords). Values at or below Grace are raised to
+	// 2*Grace: the bound must clear the reorder window, or a warm restart
+	// (restored watermark Grace ahead of the resuming stream) would look
+	// like a stranded watermark and discard restored bins.
 	MaxAhead int
 	// MaxOpenBins caps the accumulating (not yet closed) bins (default
-	// 256). Records that would open a bin beyond the cap are dropped and
-	// counted wild — bounding the daemon's memory even against spoofed
-	// timestamps that scatter records across arbitrary bins.
+	// 256; per shard when sharded). Records that would open a bin beyond
+	// the cap are dropped and counted wild — bounding the daemon's memory
+	// even against spoofed timestamps that scatter records across
+	// arbitrary bins.
 	MaxOpenBins int
-	// ReadBuffer is the UDP socket receive buffer in bytes (default 4MB —
-	// the socket must absorb export bursts while a bin close runs).
+	// ReadBuffer is the UDP socket receive buffer in bytes, applied to
+	// every receiver socket (default 4MB — the sockets must absorb export
+	// bursts while a bin close runs).
 	ReadBuffer int
+	// Receivers sizes the UDP receiver pool (default 1). With more than
+	// one, the daemon binds that many sockets to the same address with
+	// SO_REUSEPORT so the kernel spreads datagrams across them by flow
+	// hash; on platforms without the option it falls back to one shared
+	// socket drained by Receivers reader goroutines. Each receiver owns
+	// its own decoder registry (and therefore its own v9/IPFIX template
+	// cache — exporters resend templates periodically, so every receiver
+	// converges on the set it needs).
+	Receivers int
+	// Shards sizes the binning tier (default 1). With Receivers or Shards
+	// above 1 the daemon runs the sharded pipeline: decoded batches are
+	// routed by export engine to Shards workers, each owning a disjoint
+	// hash-partition of the OD space with its own accumulators, dedupe
+	// rings and sequence cursors; a central coordinator seals, merges and
+	// submits closing bins to the single detector. The shard count is part
+	// of the checkpoint fingerprint — restarting with a different count
+	// cold-starts.
+	Shards int
 	// CheckpointPath enables crash-safe operation: the daemon periodically
 	// snapshots its full recovery state (model generations, open events,
 	// open bins, sequence cursors, watermark, anomaly ledger) to this file,
@@ -134,11 +173,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxAhead <= 0 {
 		c.MaxAhead = 64
 	}
+	// The wild-timestamp bound must clear the reorder window: after a warm
+	// restart the restored watermark sits up to Grace bins ahead of where
+	// the live stream resumes, and a MaxAhead at or below Grace would read
+	// that as a stranded watermark — resetting it and discarding restored
+	// open bins on every resume. Widening the bound is safe (it only
+	// loosens a spoofing defense, never drops traffic); honoring a
+	// too-small explicit value would break restarts silently.
+	if c.MaxAhead <= c.Grace {
+		c.MaxAhead = 2 * c.Grace
+	}
 	if c.MaxOpenBins <= 0 {
 		c.MaxOpenBins = 256
 	}
 	if c.ReadBuffer <= 0 {
 		c.ReadBuffer = 4 << 20
+	}
+	if c.Receivers <= 0 {
+		c.Receivers = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	if c.CheckpointPath != "" && c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 1
@@ -193,6 +248,14 @@ type Stats struct {
 	// Generations is the per-measure model generation (B, P, F): the number
 	// of completed background refits.
 	Generations [dataset.NumMeasures]uint64 `json:"generations"`
+	// Receivers and Shards break the ingest down across the sharded
+	// pipeline (absent on the synchronous path): per-receiver datagram
+	// counters and per-shard record counters with queue-depth gauges.
+	// MergeQueueLen is the seal-reply queue depth between the shards and
+	// the coordinator.
+	Receivers     []ReceiverStats `json:"receivers,omitempty"`
+	Shards        []ShardStats    `json:"shards,omitempty"`
+	MergeQueueLen int             `json:"merge_queue_len,omitempty"`
 	// Checkpointing state. CheckpointsWritten / CheckpointErrors count
 	// snapshot attempts; LastCheckpointBin is the highest closed bin the
 	// latest snapshot covers (-1 before the first). Restored reports this
@@ -236,10 +299,80 @@ type ProtoStats struct {
 	SeqUnit   string `json:"seq_unit"`
 }
 
+// ReceiverStats is one receiver socket's slice of the ingest counters.
+type ReceiverStats struct {
+	Packets    uint64 `json:"packets"`
+	BadPackets uint64 `json:"bad_packets"`
+	Bytes      uint64 `json:"bytes"`
+}
+
+// ShardStats is one binning shard's slice of the ingest counters plus its
+// queue gauges: QueueLen/QueueCap expose the receiver→shard channel depth
+// (a persistently full queue means the shard is the bottleneck);
+// SealedThrough is the highest bin the shard has handed to the merge
+// layer.
+type ShardStats struct {
+	Records       uint64 `json:"records"`
+	Duplicates    uint64 `json:"duplicate_packets"`
+	LateRecords   uint64 `json:"late_records"`
+	WildRecords   uint64 `json:"wild_records"`
+	Unroutable    uint64 `json:"unroutable_records"`
+	BinsOpen      int    `json:"bins_open"`
+	SealedThrough int    `json:"sealed_through"`
+	QueueLen      int    `json:"queue_len"`
+	QueueCap      int    `json:"queue_cap"`
+}
+
+// counters is the daemon's hot counter block. Everything here is mutated
+// on the ingest path — by the one ingest goroutine on the synchronous
+// path, by receivers, shard workers and the coordinator concurrently on
+// the sharded one — and read lock-free by the /stats handler, so every
+// field is atomic. The watermark and lastClosed gauges have a single
+// writer (the ingest goroutine or the coordinator); the rest are add-only
+// except for the saturating loss refunds.
+type counters struct {
+	packets, badPackets, duplicates, records,
+	lostRecords, lateRecords, unroutable,
+	wildRecords, watermarkResets atomic.Uint64
+	binsClosed, binsOpen, watermark, lastClosed atomic.Int64
+}
+
 // protoCounters is the internal mutable form of ProtoStats, held in a flat
-// per-format array on the hot path.
+// per-format array. The counters are shared across receivers and shards
+// (a format is not shard-local), hence atomic.
 type protoCounters struct {
-	packets, badPackets, duplicates, records, lostUnits uint64
+	packets, badPackets, duplicates, records, lostUnits atomic.Uint64
+}
+
+// state snapshots the per-format counters, reporting whether any is
+// nonzero (zero-valued formats are omitted from /stats and checkpoints).
+func (p *protoCounters) state(f flowwire.Format) (checkpoint.ProtoState, bool) {
+	ps := checkpoint.ProtoState{
+		Format:     uint8(f),
+		Packets:    p.packets.Load(),
+		BadPackets: p.badPackets.Load(),
+		Duplicates: p.duplicates.Load(),
+		Records:    p.records.Load(),
+		LostUnits:  p.lostUnits.Load(),
+	}
+	seen := ps.Packets != 0 || ps.BadPackets != 0 || ps.Duplicates != 0 || ps.Records != 0 || ps.LostUnits != 0
+	return ps, seen
+}
+
+// satSub subtracts up to n from c, saturating at zero — the sequence
+// refund path, where two concurrent refunds against a shared per-format
+// counter must never wrap below zero.
+func satSub(c *atomic.Uint64, n uint64) {
+	for {
+		cur := c.Load()
+		sub := n
+		if sub > cur {
+			sub = cur
+		}
+		if c.CompareAndSwap(cur, cur-sub) {
+			return
+		}
+	}
 }
 
 // binAcc accumulates one open timebin: the three per-OD vectors the
@@ -251,7 +384,7 @@ type binAcc struct {
 }
 
 // Server is a running ingest daemon. Construct with New (trains the
-// detector), call Start (binds sockets, spawns the reader), and stop with
+// detector), call Start (binds sockets, spawns the readers), and stop with
 // Drain, which flushes every in-flight bin through the detector before
 // returning — no accepted record is ever dropped by a shutdown.
 type Server struct {
@@ -261,24 +394,24 @@ type Server struct {
 	top *topology.Topology
 	res *routing.Resolver
 
-	conn    *net.UDPConn
+	conns   []*net.UDPConn
 	httpLn  net.Listener
 	httpSrv *http.Server
 
-	readerDone chan struct{} // closed when the UDP read loop exits
+	readersWG  sync.WaitGroup
 	consumerWG sync.WaitGroup
 
-	// ingestMu serializes the states a checkpoint must see whole: the full
-	// IngestPacket path (including the out-of-mu detector submit), the
-	// drain flush, and checkpoint capture itself. It is always taken
-	// before mu and never by the verdict consumer or the HTTP handlers, so
-	// holding it across a detector submit cannot deadlock. The read loop
-	// is IngestPacket's only production caller, so in the healthy path the
-	// lock is uncontended.
+	// ingestMu serializes the synchronous ingest path: the full
+	// IngestPacket body (including the out-of-mu detector submit), the
+	// drain flush, and checkpoint capture. It is always taken before mu
+	// and never by the verdict consumer or the HTTP handlers, so holding
+	// it across a detector submit cannot deadlock. Unused by the sharded
+	// pipeline, which serializes per shard instead.
 	ingestMu sync.Mutex
 	// binsSinceCp counts bins closed since the last snapshot — the
-	// bin-driven checkpoint cadence. Guarded by ingestMu.
-	binsSinceCp int
+	// bin-driven checkpoint cadence. Atomic because the coordinator
+	// increments it while the checkpointer goroutine resets it.
+	binsSinceCp atomic.Int64
 	// cpTimerStop ends the wall-clock checkpoint timer goroutine.
 	cpTimerStop chan struct{}
 	timerWG     sync.WaitGroup
@@ -288,35 +421,106 @@ type Server struct {
 	// holds every anomaly emitted before its barrier.
 	ledgerCond *sync.Cond
 
-	// reg decodes every datagram; it owns the v9/IPFIX template caches, so
-	// it is ingestMu state (the checkpoint snapshots those caches).
+	// reg decodes every datagram on the synchronous path; it owns the
+	// v9/IPFIX template caches there, so it is ingestMu state. The sharded
+	// pipeline decodes on per-receiver registries instead (flowwire
+	// registries are not safe for concurrent use) and keeps this one only
+	// for the enabled-format fingerprint.
 	reg *flowwire.Registry
-	// recs is the reusable per-packet record buffer; the read loop is the
-	// only goroutine that touches it.
+	// recs is the synchronous path's reusable record buffer.
 	recs []flowwire.Record
 	// seq tracks one sequence cursor per (format, engine) export stream.
 	// The key space is attacker-influenced (v9/IPFIX source IDs are 32
 	// bits on the wire), so the map is capped at maxEngineCursors.
+	// Synchronous path only; shard workers own their own maps.
 	seq map[engineKey]*engineSeq
+	// bins holds the open accumulators (synchronous path only).
+	bins map[int]*binAcc
+	// behindStreak counts consecutive routable packets landing more than
+	// MaxAhead bins below the watermark — the stranded-watermark signal.
+	// Synchronous path only; shard workers count their own.
+	behindStreak int
+
+	ctr counters
+	// proto is the per-format counter array behind Stats.Protocols
+	// (index FormatUnknown stays zero; undetectable garbage only reaches
+	// the global BadPackets).
+	proto [flowwire.NumFormats]protoCounters
+
+	// Sharded pipeline state (empty on the synchronous path). See shard.go
+	// for the moving parts and DESIGN.md E18 for the architecture.
+	recvs     []*receiver
+	shards    []*shardWorker
+	mergeCh   chan sealReply
+	coordBell chan struct{}
+	coordCtl  chan coordMsg
+	coordDone chan struct{}
+	shardWG   sync.WaitGroup
+	// pauseMu freezes the receiver pool for a consistent sharded
+	// checkpoint capture: receivers hold the read side per datagram, the
+	// capture takes the write side.
+	pauseMu sync.RWMutex
+	// pendingObs is the highest bin any shard has accepted routable
+	// traffic for (CAS-max); the coordinator folds it into the watermark.
+	pendingObs atomic.Int64
+	// resetReq/resetBin carry a shard's stranded-watermark quorum signal
+	// to the coordinator.
+	resetReq atomic.Bool
+	resetBin atomic.Int64
+	// cpMu serializes sharded checkpoint captures against each other and
+	// against the drain teardown.
+	cpMu   sync.Mutex
+	cpBell chan struct{}
+	cpStop chan struct{}
+	cpWG   sync.WaitGroup
 
 	// mu guards everything below. It is never held across a detector
 	// Submit: backpressure from the pipeline must not deadlock against the
 	// verdict consumer (which takes mu to append anomalies) or block the
 	// HTTP handlers.
-	mu    sync.Mutex
-	bins  map[int]*binAcc
-	stats Stats
-	// proto is the per-format counter array behind Stats.Protocols
-	// (index FormatUnknown stays zero; undetectable garbage only reaches
-	// the global BadPackets).
-	proto [flowwire.NumFormats]protoCounters
-	anoms []netwide.Anomaly
-	// behindStreak counts consecutive routable packets landing more than
-	// MaxAhead bins below the watermark — the stranded-watermark signal.
-	behindStreak int
-	started      bool
-	draining     bool
-	firstError   error
+	mu          sync.Mutex
+	anoms       []netwide.Anomaly
+	gens        [dataset.NumMeasures]uint64
+	alarmBins   int
+	cpWritten   uint64
+	cpErrors    uint64
+	lastCpBin   int
+	restored    bool
+	restoredBin int
+	cpFallbacks uint64
+	restoreErr  string
+	cpErr       string
+	started     bool
+	draining    bool
+	firstError  error
+}
+
+// sharded reports whether the daemon runs the receiver→shard→merge
+// pipeline (Receivers or Shards above 1) rather than the synchronous
+// single-goroutine path.
+func (s *Server) sharded() bool { return len(s.shards) > 0 }
+
+// numShards is the binning partition count (1 on the synchronous path) —
+// checkpoint fingerprint material.
+func (s *Server) numShards() int {
+	if len(s.shards) > 0 {
+		return len(s.shards)
+	}
+	return 1
+}
+
+// shardOf maps an export engine to its binning shard. The engine is the
+// origin PoP, and the OD index space is partitioned by origin, so routing
+// whole engines keeps every OD column (and every sequence cursor) owned
+// by exactly one shard. Fibonacci hashing spreads dense small engine IDs;
+// the mapping is deterministic for a given shard count, which is what
+// lets checkpointed shard state restore in place.
+func (s *Server) shardOf(engine uint32) int {
+	n := len(s.shards)
+	if n <= 1 {
+		return 0
+	}
+	return int(uint64(engine*0x9E3779B1) * uint64(n) >> 32)
 }
 
 // New trains one detector lane per traffic measure on the run (see
@@ -324,14 +528,17 @@ type Server struct {
 // matrices) and assembles the daemon around it. The run doubles as the
 // daemon's network model: its topology resolves engine IDs and destination
 // prefixes, its seasonal baselines classify the anomalies the detector
-// finds. No sockets are bound until Start.
+// finds. No sockets are bound until Start, but the sharded pipeline's
+// workers start here so tests and benchmarks can drive ingest without a
+// socket.
 // New also attempts crash recovery when cfg.CheckpointPath names an
-// existing snapshot: if the file verifies (checksum, version, fingerprint)
-// the daemon resumes from it — restored models, reopened events, refilled
-// open bins, sequence cursors, watermark, anomaly ledger — and is at most
-// CheckpointEvery bins stale. A snapshot that fails any check triggers a
-// cold start instead, with the reason on Stats.RestoreErr: a bad file on
-// disk must never keep the collector down.
+// existing snapshot: if the file verifies (checksum, version, fingerprint
+// — including the shard count) the daemon resumes from it — restored
+// models, reopened events, refilled open bins, sequence cursors,
+// watermark, anomaly ledger — and is at most CheckpointEvery bins stale.
+// A snapshot that fails any check triggers a cold start instead, with the
+// reason on Stats.RestoreErr: a bad file on disk must never keep the
+// collector down.
 func New(run *netwide.Run, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	cfg.Stream.Faults = cfg.Faults
@@ -348,36 +555,43 @@ func New(run *netwide.Run, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
-		cfg:        cfg,
-		run:        run,
-		top:        ds.Top,
-		res:        res,
-		reg:        reg,
-		seq:        map[engineKey]*engineSeq{},
-		bins:       map[int]*binAcc{},
-		readerDone: make(chan struct{}),
+		cfg:  cfg,
+		run:  run,
+		top:  ds.Top,
+		res:  res,
+		reg:  reg,
+		seq:  map[engineKey]*engineSeq{},
+		bins: map[int]*binAcc{},
 	}
 	s.ledgerCond = sync.NewCond(&s.mu)
-	s.stats.LastClosed = -1
-	s.stats.Watermark = -1
-	s.stats.LastCheckpointBin = -1
+	s.ctr.watermark.Store(-1)
+	s.ctr.lastClosed.Store(-1)
+	s.lastCpBin = -1
+	if cfg.Receivers > 1 || cfg.Shards > 1 {
+		if err := s.buildPipeline(); err != nil {
+			return nil, err
+		}
+	}
 
 	if cfg.CheckpointPath != "" {
 		if st, err := checkpoint.ReadFile(cfg.CheckpointPath); err != nil {
 			if !errors.Is(err, os.ErrNotExist) {
 				// A snapshot exists but cannot be trusted: cold-start and
 				// say why, rather than crash-loop on a bad file.
-				s.stats.CheckpointFallbacks++
-				s.stats.RestoreErr = err.Error()
+				s.cpFallbacks++
+				s.restoreErr = err.Error()
 			}
 		} else if err := s.restore(st); err != nil {
-			s.stats.CheckpointFallbacks++
-			s.stats.RestoreErr = err.Error()
+			s.cpFallbacks++
+			s.restoreErr = err.Error()
 			s.det = nil // discard any partially built detector
 			// Discard any template-cache state a partial restore left in
-			// the registry: a cold start must not trust checkpoint bytes.
+			// the registries: a cold start must not trust checkpoint bytes.
 			s.reg, _ = flowwire.NewRegistry(cfg.Formats...)
 			s.seq = map[engineKey]*engineSeq{}
+			for _, r := range s.recvs {
+				r.reg, _ = flowwire.NewRegistry(cfg.Formats...)
+			}
 		}
 	}
 	if s.det == nil {
@@ -386,6 +600,9 @@ func New(run *netwide.Run, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: train detector: %w", err)
 		}
 		s.det = det
+	}
+	if s.sharded() {
+		s.startPipeline()
 	}
 	s.consumerWG.Add(1)
 	go s.consumeVerdicts()
@@ -403,7 +620,8 @@ func (s *Server) detectOpts() netwide.DetectOptions {
 }
 
 // fingerprint checks that a snapshot was written by a daemon built around
-// the same network model and detector configuration as this one.
+// the same network model, detector configuration and shard layout as this
+// one.
 func (s *Server) fingerprint(st *checkpoint.State) error {
 	ds := s.run.Dataset()
 	opts := s.detectOpts()
@@ -420,6 +638,10 @@ func (s *Server) fingerprint(st *checkpoint.State) error {
 		return fmt.Errorf("snapshot epoch %d, daemon epoch %d", st.Epoch, s.cfg.Epoch)
 	case !slices.Equal(st.Formats, s.enabledFormats()):
 		return fmt.Errorf("snapshot formats %v, daemon enables %v", st.Formats, s.enabledFormats())
+	case st.Shards != s.numShards():
+		// Open bins and cursors are partitioned by engine hash under the
+		// snapshot's shard count; a different layout cannot adopt them.
+		return fmt.Errorf("snapshot captured with %d shards, daemon runs %d", st.Shards, s.numShards())
 	}
 	return nil
 }
@@ -441,7 +663,8 @@ func (s *Server) enabledFormats() []uint8 {
 // stored field is cross-validated before it is believed — the snapshot
 // passed the checksum, but shape and invariants are this layer's job (the
 // detector's own state validates inside RestoreStreamDetector). Any error
-// leaves the caller to cold-start.
+// leaves the caller to cold-start. Runs before any pipeline goroutine
+// starts, so plain assignment into shard workers is safe.
 func (s *Server) restore(st *checkpoint.State) error {
 	if err := s.fingerprint(st); err != nil {
 		return err
@@ -457,56 +680,72 @@ func (s *Server) restore(st *checkpoint.State) error {
 	} else if sv.LastClosed != -1 {
 		return fmt.Errorf("snapshot closed bins through %d but detector never started", sv.LastClosed)
 	}
-	if len(sv.OpenBins) > s.cfg.MaxOpenBins {
-		return fmt.Errorf("snapshot holds %d open bins, cap is %d", len(sv.OpenBins), s.cfg.MaxOpenBins)
+	if len(sv.Shards) != s.numShards() {
+		return fmt.Errorf("snapshot holds %d shard states, daemon runs %d shards", len(sv.Shards), s.numShards())
 	}
 	p := s.top.NumODPairs()
-	bins := make(map[int]*binAcc, len(sv.OpenBins))
-	for _, ob := range sv.OpenBins {
-		if ob.Bin <= sv.LastClosed {
-			return fmt.Errorf("snapshot open bin %d at or behind last closed %d", ob.Bin, sv.LastClosed)
+	shBins := make([]map[int]*binAcc, len(sv.Shards))
+	shSeq := make([]map[engineKey]*engineSeq, len(sv.Shards))
+	for i := range sv.Shards {
+		ss := &sv.Shards[i]
+		if ss.SealedThrough < sv.LastClosed {
+			return fmt.Errorf("snapshot shard %d sealed through %d, behind last closed %d", i, ss.SealedThrough, sv.LastClosed)
 		}
-		if len(ob.Bytes) != p || len(ob.Packets) != p || len(ob.Flows) != p {
-			return fmt.Errorf("snapshot open bin %d vectors sized (%d,%d,%d), want %d", ob.Bin, len(ob.Bytes), len(ob.Packets), len(ob.Flows), p)
+		if len(ss.OpenBins) > s.cfg.MaxOpenBins {
+			return fmt.Errorf("snapshot shard %d holds %d open bins, cap is %d", i, len(ss.OpenBins), s.cfg.MaxOpenBins)
 		}
-		for _, vec := range [][]float64{ob.Bytes, ob.Packets, ob.Flows} {
-			for _, v := range vec {
-				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-					return fmt.Errorf("snapshot open bin %d carries non-finite or negative traffic", ob.Bin)
+		bins := make(map[int]*binAcc, len(ss.OpenBins))
+		for _, ob := range ss.OpenBins {
+			if ob.Bin <= ss.SealedThrough {
+				return fmt.Errorf("snapshot shard %d open bin %d at or behind its seal point %d", i, ob.Bin, ss.SealedThrough)
+			}
+			if len(ob.Bytes) != p || len(ob.Packets) != p || len(ob.Flows) != p {
+				return fmt.Errorf("snapshot open bin %d vectors sized (%d,%d,%d), want %d", ob.Bin, len(ob.Bytes), len(ob.Packets), len(ob.Flows), p)
+			}
+			for _, vec := range [][]float64{ob.Bytes, ob.Packets, ob.Flows} {
+				for _, v := range vec {
+					if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+						return fmt.Errorf("snapshot open bin %d carries non-finite or negative traffic", ob.Bin)
+					}
 				}
 			}
+			if bins[ob.Bin] != nil {
+				return fmt.Errorf("snapshot shard %d lists open bin %d twice", i, ob.Bin)
+			}
+			bins[ob.Bin] = &binAcc{
+				bytes:   append([]float64(nil), ob.Bytes...),
+				packets: append([]float64(nil), ob.Packets...),
+				flows:   append([]float64(nil), ob.Flows...),
+				records: ob.Records,
+			}
 		}
-		if bins[ob.Bin] != nil {
-			return fmt.Errorf("snapshot lists open bin %d twice", ob.Bin)
+		if len(ss.Engines) > maxEngineCursors {
+			return fmt.Errorf("snapshot shard %d holds %d engine cursors, cap is %d", i, len(ss.Engines), maxEngineCursors)
 		}
-		bins[ob.Bin] = &binAcc{
-			bytes:   append([]float64(nil), ob.Bytes...),
-			packets: append([]float64(nil), ob.Packets...),
-			flows:   append([]float64(nil), ob.Flows...),
-			records: ob.Records,
+		seq := make(map[engineKey]*engineSeq, len(ss.Engines))
+		for _, es := range ss.Engines {
+			f := flowwire.Format(es.Format)
+			if f == flowwire.FormatUnknown || f >= flowwire.NumFormats || !s.reg.Enabled(f) {
+				return fmt.Errorf("snapshot engine cursor for unknown or disabled format %d", es.Format)
+			}
+			if len(sv.Shards) > 1 && s.shardOf(es.ID) != i {
+				return fmt.Errorf("snapshot shard %d holds cursor for engine %d, which hashes to shard %d", i, es.ID, s.shardOf(es.ID))
+			}
+			key := engineKey{f, es.ID}
+			if seq[key] != nil {
+				return fmt.Errorf("snapshot lists engine %v/%d twice", f, es.ID)
+			}
+			if len(es.Recent) > dedupeWindow || es.Pos < 0 || es.Pos >= dedupeWindow {
+				return fmt.Errorf("snapshot engine %v/%d dedupe ring out of shape (%d entries, pos %d)", f, es.ID, len(es.Recent), es.Pos)
+			}
+			e := &engineSeq{started: true, next: es.Next, fill: len(es.Recent), pos: es.Pos}
+			copy(e.recent[:], es.Recent)
+			seq[key] = e
 		}
+		shBins[i], shSeq[i] = bins, seq
 	}
-	if len(sv.Engines) > maxEngineCursors {
-		return fmt.Errorf("snapshot holds %d engine cursors, cap is %d", len(sv.Engines), maxEngineCursors)
-	}
-	seq := make(map[engineKey]*engineSeq, len(sv.Engines))
-	for _, es := range sv.Engines {
-		f := flowwire.Format(es.Format)
-		if f == flowwire.FormatUnknown || f >= flowwire.NumFormats || !s.reg.Enabled(f) {
-			return fmt.Errorf("snapshot engine cursor for unknown or disabled format %d", es.Format)
-		}
-		key := engineKey{f, es.ID}
-		if seq[key] != nil {
-			return fmt.Errorf("snapshot lists engine %v/%d twice", f, es.ID)
-		}
-		if len(es.Recent) > dedupeWindow || es.Pos < 0 || es.Pos >= dedupeWindow {
-			return fmt.Errorf("snapshot engine %v/%d dedupe ring out of shape (%d entries, pos %d)", f, es.ID, len(es.Recent), es.Pos)
-		}
-		e := &engineSeq{started: true, next: es.Next, fill: len(es.Recent), pos: es.Pos}
-		copy(e.recent[:], es.Recent)
-		seq[key] = e
-	}
-	var proto [flowwire.NumFormats]protoCounters
+	type protoVals struct{ packets, badPackets, duplicates, records, lostUnits uint64 }
+	var proto [flowwire.NumFormats]protoVals
 	protoSeen := map[uint8]bool{}
 	for _, ps := range sv.Protocols {
 		f := flowwire.Format(ps.Format)
@@ -517,13 +756,7 @@ func (s *Server) restore(st *checkpoint.State) error {
 			return fmt.Errorf("snapshot lists protocol %v twice", f)
 		}
 		protoSeen[ps.Format] = true
-		proto[f] = protoCounters{
-			packets:    ps.Packets,
-			badPackets: ps.BadPackets,
-			duplicates: ps.Duplicates,
-			records:    ps.Records,
-			lostUnits:  ps.LostUnits,
-		}
+		proto[f] = protoVals{ps.Packets, ps.BadPackets, ps.Duplicates, ps.Records, ps.LostUnits}
 	}
 	tmpl := map[flowwire.Format][]flowwire.TemplateSnapshot{}
 	for _, ts := range sv.Templates {
@@ -539,12 +772,19 @@ func (s *Server) restore(st *checkpoint.State) error {
 			Source: ts.Source, ID: ts.ID, Scope: ts.Scope, Fields: fields,
 		})
 	}
-	// The registry revalidates every definition exactly like a hostile wire
-	// template; a failure here (or below) makes New rebuild the registry,
-	// so a partially restored cache never survives into a cold start.
+	// The registries revalidate every definition exactly like a hostile
+	// wire template; a failure here (or below) makes New rebuild them, so
+	// a partially restored cache never survives into a cold start. Every
+	// receiver gets the full set — the kernel may hash any engine's
+	// packets to any socket.
 	for f, snaps := range tmpl {
 		if err := s.reg.RestoreTemplates(f, snaps); err != nil {
 			return fmt.Errorf("snapshot template restore (%v): %w", f, err)
+		}
+		for _, r := range s.recvs {
+			if err := r.reg.RestoreTemplates(f, snaps); err != nil {
+				return fmt.Errorf("snapshot template restore (%v): %w", f, err)
+			}
 		}
 	}
 
@@ -553,40 +793,58 @@ func (s *Server) restore(st *checkpoint.State) error {
 		return err
 	}
 	s.det = det
-	s.bins = bins
-	s.seq = seq
-	s.proto = proto
+	if s.sharded() {
+		for i, w := range s.shards {
+			w.bins = shBins[i]
+			w.seq = shSeq[i]
+			w.sealedThrough = sv.Shards[i].SealedThrough
+			w.behindStreak = sv.Shards[i].BehindStreak
+			w.binsOpen.Store(int64(len(w.bins)))
+			w.sealed.Store(int64(w.sealedThrough))
+		}
+	} else {
+		s.bins = shBins[0]
+		s.seq = shSeq[0]
+		s.behindStreak = sv.Shards[0].BehindStreak
+		s.ctr.binsOpen.Store(int64(len(s.bins)))
+	}
+	for f := flowwire.Format(1); f < flowwire.NumFormats; f++ {
+		pv := proto[f]
+		s.proto[f].packets.Store(pv.packets)
+		s.proto[f].badPackets.Store(pv.badPackets)
+		s.proto[f].duplicates.Store(pv.duplicates)
+		s.proto[f].records.Store(pv.records)
+		s.proto[f].lostUnits.Store(pv.lostUnits)
+	}
 	s.anoms = append([]netwide.Anomaly(nil), st.Anomalies...)
-	s.behindStreak = sv.BehindStreak
-	s.stats.Packets = sv.Packets
-	s.stats.BadPackets = sv.BadPackets
-	s.stats.Duplicates = sv.Duplicates
-	s.stats.Records = sv.Records
-	s.stats.LostRecords = sv.LostRecords
-	s.stats.LateRecords = sv.LateRecords
-	s.stats.Unroutable = sv.Unroutable
-	s.stats.WildRecords = sv.WildRecords
-	s.stats.WatermarkResets = sv.WatermarkResets
-	s.stats.BinsClosed = sv.BinsClosed
-	s.stats.BinsOpen = len(bins)
-	s.stats.Watermark = sv.Watermark
-	s.stats.LastClosed = sv.LastClosed
-	s.stats.AlarmBins = sv.AlarmBins
-	s.stats.Anomalies = len(s.anoms)
-	s.stats.Restored = true
-	s.stats.RestoredBin = sv.LastClosed
-	s.stats.LastCheckpointBin = sv.LastClosed
+	s.ctr.packets.Store(sv.Packets)
+	s.ctr.badPackets.Store(sv.BadPackets)
+	s.ctr.duplicates.Store(sv.Duplicates)
+	s.ctr.records.Store(sv.Records)
+	s.ctr.lostRecords.Store(sv.LostRecords)
+	s.ctr.lateRecords.Store(sv.LateRecords)
+	s.ctr.unroutable.Store(sv.Unroutable)
+	s.ctr.wildRecords.Store(sv.WildRecords)
+	s.ctr.watermarkResets.Store(sv.WatermarkResets)
+	s.ctr.binsClosed.Store(int64(sv.BinsClosed))
+	s.ctr.watermark.Store(int64(sv.Watermark))
+	s.ctr.lastClosed.Store(int64(sv.LastClosed))
+	s.alarmBins = sv.AlarmBins
+	s.restored = true
+	s.restoredBin = sv.LastClosed
+	s.lastCpBin = sv.LastClosed
 	return nil
 }
 
-// checkpointLocked takes one snapshot: barrier the detector, wait for the
-// anomaly ledger to catch up to the barrier, freeze the ingest state, and
-// atomically replace the snapshot file. Callers hold ingestMu, which is
-// what makes the frozen state consistent — no bin can be accumulated,
-// closed or submitted while the capture runs. Write failures (a full disk,
-// an injected fault) are counted and surfaced on /stats, never fatal: the
-// daemon keeps collecting, one snapshot staler.
-func (s *Server) checkpointLocked() error {
+// persist takes one snapshot around the caller-supplied assembler: barrier
+// the detector, wait for the anomaly ledger to catch up to the barrier,
+// assemble the on-disk state (under mu; the caller guarantees the ingest
+// state it reads is frozen — ingestMu on the synchronous path, a paused
+// and quiesced pipeline on the sharded one), and atomically replace the
+// snapshot file. Write failures (a full disk, an injected fault) are
+// counted and surfaced on /stats, never fatal: the daemon keeps
+// collecting, one snapshot staler.
+func (s *Server) persist(assemble func(netwide.StreamCheckpoint) *checkpoint.State) error {
 	cp, err := s.det.Checkpoint()
 	if err == nil {
 		s.mu.Lock()
@@ -596,30 +854,30 @@ func (s *Server) checkpointLocked() error {
 		for uint64(len(s.anoms)) < cp.Emitted {
 			s.ledgerCond.Wait()
 		}
-		st := s.snapshotLocked(cp)
+		st := assemble(cp)
 		s.mu.Unlock()
 		err = checkpoint.WriteFile(s.cfg.CheckpointPath, st, s.cfg.Faults)
 	}
 	s.mu.Lock()
 	if err != nil {
-		s.stats.CheckpointErrors++
-		s.stats.CheckpointErr = err.Error()
+		s.cpErrors++
+		s.cpErr = err.Error()
 	} else {
-		s.stats.CheckpointsWritten++
-		s.stats.LastCheckpointBin = s.stats.LastClosed
-		s.stats.CheckpointErr = ""
+		s.cpWritten++
+		s.lastCpBin = int(s.ctr.lastClosed.Load())
+		s.cpErr = ""
 	}
 	s.mu.Unlock()
 	if err == nil {
-		s.binsSinceCp = 0
+		s.binsSinceCp.Store(0)
 	}
 	return err
 }
 
-// snapshotLocked assembles the full on-disk snapshot around a detector
-// checkpoint. Callers hold mu (for the ledger and counters) and ingestMu
-// (which freezes the open bins and sequence cursors).
-func (s *Server) snapshotLocked(cp netwide.StreamCheckpoint) *checkpoint.State {
+// baseState assembles the snapshot fields common to both ingest paths:
+// fingerprint, counters, per-protocol breakdown and the anomaly ledger as
+// of the detector barrier. Callers hold mu (via persist).
+func (s *Server) baseState(cp netwide.StreamCheckpoint) *checkpoint.State {
 	ds := s.run.Dataset()
 	opts := s.detectOpts()
 	st := &checkpoint.State{
@@ -630,27 +888,40 @@ func (s *Server) snapshotLocked(cp netwide.StreamCheckpoint) *checkpoint.State {
 		Alpha:     opts.Alpha,
 		Epoch:     s.cfg.Epoch,
 		Formats:   s.enabledFormats(),
+		Shards:    s.numShards(),
 		Stream:    cp,
 		Anomalies: append([]netwide.Anomaly(nil), s.anoms[:cp.Emitted]...),
 	}
 	sv := &st.Server
-	sv.Packets = s.stats.Packets
-	sv.BadPackets = s.stats.BadPackets
-	sv.Duplicates = s.stats.Duplicates
-	sv.Records = s.stats.Records
-	sv.LostRecords = s.stats.LostRecords
-	sv.LateRecords = s.stats.LateRecords
-	sv.Unroutable = s.stats.Unroutable
-	sv.WildRecords = s.stats.WildRecords
-	sv.WatermarkResets = s.stats.WatermarkResets
-	sv.BinsClosed = s.stats.BinsClosed
-	sv.Watermark = s.stats.Watermark
-	sv.LastClosed = s.stats.LastClosed
-	sv.AlarmBins = s.stats.AlarmBins
-	sv.BehindStreak = s.behindStreak
-	sv.OpenBins = make([]checkpoint.OpenBin, 0, len(s.bins))
-	for bin, acc := range s.bins {
-		sv.OpenBins = append(sv.OpenBins, checkpoint.OpenBin{
+	sv.Packets = s.ctr.packets.Load()
+	sv.BadPackets = s.ctr.badPackets.Load()
+	sv.Duplicates = s.ctr.duplicates.Load()
+	sv.Records = s.ctr.records.Load()
+	sv.LostRecords = s.ctr.lostRecords.Load()
+	sv.LateRecords = s.ctr.lateRecords.Load()
+	sv.Unroutable = s.ctr.unroutable.Load()
+	sv.WildRecords = s.ctr.wildRecords.Load()
+	sv.WatermarkResets = s.ctr.watermarkResets.Load()
+	sv.BinsClosed = int(s.ctr.binsClosed.Load())
+	sv.Watermark = int(s.ctr.watermark.Load())
+	sv.LastClosed = int(s.ctr.lastClosed.Load())
+	sv.AlarmBins = s.alarmBins
+	for f := flowwire.Format(1); f < flowwire.NumFormats; f++ {
+		if ps, seen := s.proto[f].state(f); seen {
+			sv.Protocols = append(sv.Protocols, ps)
+		}
+	}
+	return st
+}
+
+// shardStateOf deep-copies one binning partition's in-flight state into
+// its checkpoint form: open bins sorted by bin, started engine cursors in
+// (format, engine) order.
+func shardStateOf(bins map[int]*binAcc, seq map[engineKey]*engineSeq, sealedThrough, behindStreak int) checkpoint.ShardState {
+	sh := checkpoint.ShardState{SealedThrough: sealedThrough, BehindStreak: behindStreak}
+	sh.OpenBins = make([]checkpoint.OpenBin, 0, len(bins))
+	for bin, acc := range bins {
+		sh.OpenBins = append(sh.OpenBins, checkpoint.OpenBin{
 			Bin:     bin,
 			Records: acc.records,
 			Bytes:   append([]float64(nil), acc.bytes...),
@@ -658,9 +929,9 @@ func (s *Server) snapshotLocked(cp netwide.StreamCheckpoint) *checkpoint.State {
 			Flows:   append([]float64(nil), acc.flows...),
 		})
 	}
-	sort.Slice(sv.OpenBins, func(i, j int) bool { return sv.OpenBins[i].Bin < sv.OpenBins[j].Bin })
-	keys := make([]engineKey, 0, len(s.seq))
-	for k, e := range s.seq {
+	sort.Slice(sh.OpenBins, func(i, j int) bool { return sh.OpenBins[i].Bin < sh.OpenBins[j].Bin })
+	keys := make([]engineKey, 0, len(seq))
+	for k, e := range seq {
 		if e.started {
 			keys = append(keys, k)
 		}
@@ -673,10 +944,10 @@ func (s *Server) snapshotLocked(cp netwide.StreamCheckpoint) *checkpoint.State {
 		return keys[i].engine < keys[j].engine
 	})
 	for _, k := range keys {
-		e := s.seq[k]
+		e := seq[k]
 		// recent[:fill] is exactly the valid ring entries: the ring fills
 		// from slot 0 and pos only wraps once fill reaches the window.
-		sv.Engines = append(sv.Engines, checkpoint.EngineState{
+		sh.Engines = append(sh.Engines, checkpoint.EngineState{
 			Format: uint8(k.format),
 			ID:     k.engine,
 			Next:   e.next,
@@ -684,39 +955,59 @@ func (s *Server) snapshotLocked(cp netwide.StreamCheckpoint) *checkpoint.State {
 			Pos:    e.pos,
 		})
 	}
-	for f := flowwire.Format(1); f < flowwire.NumFormats; f++ {
-		pc := s.proto[f]
-		if pc == (protoCounters{}) {
-			continue
-		}
-		sv.Protocols = append(sv.Protocols, checkpoint.ProtoState{
-			Format:     uint8(f),
-			Packets:    pc.packets,
-			BadPackets: pc.badPackets,
-			Duplicates: pc.duplicates,
-			Records:    pc.records,
-			LostUnits:  pc.lostUnits,
-		})
+	return sh
+}
+
+// templatesOf snapshots the v9/IPFIX template caches of the given
+// registries, deduplicated by (format, source, template ID) — with
+// multiple receivers, several registries typically hold the same
+// definitions. Template caches are decode state a mid-stream restart
+// cannot relearn until the exporters resend, so they checkpoint too.
+func templatesOf(regs ...*flowwire.Registry) []checkpoint.TemplateState {
+	type tmplKey struct {
+		f   flowwire.Format
+		src uint32
+		id  uint16
 	}
-	// Template caches are decode state a mid-stream restart cannot relearn
-	// until the exporters resend, so they checkpoint too. Callers hold
-	// ingestMu, which is what makes reading the registry here safe.
-	for _, f := range []flowwire.Format{flowwire.FormatNetFlowV9, flowwire.FormatIPFIX} {
-		for _, ts := range s.reg.TemplateSnapshots(f) {
-			fields := make([]checkpoint.TemplateField, len(ts.Fields))
-			for i, fd := range ts.Fields {
-				fields[i] = checkpoint.TemplateField{ID: fd.ID, Enterprise: fd.Enterprise, Length: fd.Length}
+	seen := map[tmplKey]bool{}
+	var out []checkpoint.TemplateState
+	for _, reg := range regs {
+		for _, f := range []flowwire.Format{flowwire.FormatNetFlowV9, flowwire.FormatIPFIX} {
+			for _, ts := range reg.TemplateSnapshots(f) {
+				k := tmplKey{f, ts.Source, ts.ID}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				fields := make([]checkpoint.TemplateField, len(ts.Fields))
+				for i, fd := range ts.Fields {
+					fields[i] = checkpoint.TemplateField{ID: fd.ID, Enterprise: fd.Enterprise, Length: fd.Length}
+				}
+				out = append(out, checkpoint.TemplateState{
+					Format: uint8(f),
+					Source: ts.Source,
+					ID:     ts.ID,
+					Scope:  ts.Scope,
+					Fields: fields,
+				})
 			}
-			sv.Templates = append(sv.Templates, checkpoint.TemplateState{
-				Format: uint8(f),
-				Source: ts.Source,
-				ID:     ts.ID,
-				Scope:  ts.Scope,
-				Fields: fields,
-			})
 		}
 	}
-	return st
+	return out
+}
+
+// checkpointSync takes one synchronous-path snapshot. Callers hold
+// ingestMu, which is what freezes the open bins, sequence cursors and
+// template cache the assembler reads.
+func (s *Server) checkpointSync() error {
+	return s.persist(func(cp netwide.StreamCheckpoint) *checkpoint.State {
+		st := s.baseState(cp)
+		st.Server.Shards = []checkpoint.ShardState{
+			shardStateOf(s.bins, s.seq, int(s.ctr.lastClosed.Load()), s.behindStreak),
+		}
+		st.Server.Templates = templatesOf(s.reg)
+		return st
+	})
 }
 
 // CheckpointNow takes a snapshot immediately, outside the bin-driven
@@ -727,6 +1018,17 @@ func (s *Server) CheckpointNow() error {
 	if s.cfg.CheckpointPath == "" {
 		return errors.New("server: checkpointing disabled (no CheckpointPath)")
 	}
+	if s.sharded() {
+		s.cpMu.Lock()
+		defer s.cpMu.Unlock()
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return errors.New("server: draining; the drain writes the final checkpoint")
+		}
+		return s.captureSharded(false)
+	}
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	s.mu.Lock()
@@ -735,7 +1037,7 @@ func (s *Server) CheckpointNow() error {
 	if draining {
 		return errors.New("server: draining; the drain writes the final checkpoint")
 	}
-	return s.checkpointLocked()
+	return s.checkpointSync()
 }
 
 // checkpointTimer snapshots every CheckpointInterval of wall-clock time —
@@ -763,46 +1065,37 @@ func (s *Server) consumeVerdicts() {
 	for v := range s.det.Verdicts() {
 		s.mu.Lock()
 		if v.Alarm() {
-			s.stats.AlarmBins++
+			s.alarmBins++
 		}
-		s.stats.Generations = v.Generations
+		s.gens = v.Generations
 		s.anoms = append(s.anoms, v.Anomalies...)
-		s.stats.Anomalies = len(s.anoms)
 		s.ledgerCond.Broadcast()
 		s.mu.Unlock()
 	}
 	tail := s.det.TailAnomalies()
 	s.mu.Lock()
 	s.anoms = append(s.anoms, tail...)
-	s.stats.Anomalies = len(s.anoms)
 	s.ledgerCond.Broadcast()
 	s.mu.Unlock()
 }
 
-// Start binds the UDP and HTTP sockets and launches the read loop.
+// Start binds the UDP and HTTP sockets and launches the reader goroutines.
 func (s *Server) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.started {
 		return errors.New("server: already started")
 	}
-	addr, err := net.ResolveUDPAddr("udp", s.cfg.UDPAddr)
-	if err != nil {
-		return fmt.Errorf("server: udp addr: %w", err)
+	if err := s.bindSockets(); err != nil {
+		return err
 	}
-	conn, err := net.ListenUDP("udp", addr)
-	if err != nil {
-		return fmt.Errorf("server: listen udp: %w", err)
-	}
-	// Best effort: the kernel may clamp to rmem_max, which still beats the
-	// default. A too-small buffer shows up as LostRecords, not silence.
-	_ = conn.SetReadBuffer(s.cfg.ReadBuffer)
-	s.conn = conn
 	if s.cfg.HTTPAddr != "" {
 		ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
 		if err != nil {
-			conn.Close()
-			s.conn = nil
+			for _, c := range s.conns {
+				c.Close()
+			}
+			s.conns = nil
 			return fmt.Errorf("server: listen http: %w", err)
 		}
 		s.httpLn = ln
@@ -842,7 +1135,70 @@ func (s *Server) Start() error {
 		go s.checkpointTimer(s.cpTimerStop)
 	}
 	s.started = true
-	go s.readLoop(conn)
+	if s.sharded() {
+		for i, r := range s.recvs {
+			r.conn = s.conns[i%len(s.conns)]
+		}
+		s.readersWG.Add(len(s.recvs))
+		for _, r := range s.recvs {
+			go s.receiverLoop(r)
+		}
+	} else {
+		s.readersWG.Add(1)
+		go s.readLoop(s.conns[0])
+	}
+	return nil
+}
+
+// bindSockets binds the receiver sockets: one plain socket on the
+// synchronous path or with a single receiver; Receivers SO_REUSEPORT
+// sockets on the same address when the platform supports the option (the
+// kernel then spreads datagrams across them by flow hash); one shared
+// socket drained by every receiver goroutine otherwise.
+func (s *Server) bindSockets() error {
+	n := 1
+	if s.sharded() && reusePortSupported {
+		n = s.cfg.Receivers
+	}
+	if n <= 1 {
+		addr, err := net.ResolveUDPAddr("udp", s.cfg.UDPAddr)
+		if err != nil {
+			return fmt.Errorf("server: udp addr: %w", err)
+		}
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			return fmt.Errorf("server: listen udp: %w", err)
+		}
+		// Best effort: the kernel may clamp to rmem_max, which still beats
+		// the default. A too-small buffer shows up as LostRecords, not
+		// silence.
+		_ = conn.SetReadBuffer(s.cfg.ReadBuffer)
+		s.conns = []*net.UDPConn{conn}
+		return nil
+	}
+	conns := make([]*net.UDPConn, 0, n)
+	first, err := listenReusePort(s.cfg.UDPAddr)
+	if err != nil {
+		return fmt.Errorf("server: listen udp (reuseport): %w", err)
+	}
+	conns = append(conns, first)
+	// The configured address may carry port 0; the remaining sockets must
+	// bind the port the kernel actually picked.
+	actual := first.LocalAddr().String()
+	for i := 1; i < n; i++ {
+		c, err := listenReusePort(actual)
+		if err != nil {
+			for _, pc := range conns {
+				pc.Close()
+			}
+			return fmt.Errorf("server: listen udp (reuseport %d/%d): %w", i+1, n, err)
+		}
+		conns = append(conns, c)
+	}
+	for _, c := range conns {
+		_ = c.SetReadBuffer(s.cfg.ReadBuffer)
+	}
+	s.conns = conns
 	return nil
 }
 
@@ -850,10 +1206,10 @@ func (s *Server) Start() error {
 func (s *Server) UDPAddr() net.Addr {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.conn == nil {
+	if len(s.conns) == 0 {
 		return nil
 	}
-	return s.conn.LocalAddr()
+	return s.conns[0].LocalAddr()
 }
 
 // HTTPAddr returns the bound status endpoint address (nil before Start or
@@ -873,7 +1229,7 @@ func (s *Server) HTTPAddr() net.Addr {
 // and is rejected by the decoder instead of being silently truncated into
 // a "valid" prefix.
 func (s *Server) readLoop(conn *net.UDPConn) {
-	defer close(s.readerDone)
+	defer s.readersWG.Done()
 	buf := make([]byte, 4096)
 	for {
 		n, _, err := conn.ReadFromUDP(buf)
@@ -889,69 +1245,80 @@ func (s *Server) readLoop(conn *net.UDPConn) {
 // checkpoint cadence — synchronously on the caller's goroutine. The read
 // loop is its only caller in production; tests and benchmarks call it
 // directly to drive the daemon without a socket. ingestMu serializes
-// concurrent callers and excludes checkpoint capture mid-packet.
+// concurrent callers and excludes checkpoint capture mid-packet. On a
+// sharded daemon the packet enters the pipeline through receiver 0
+// instead, and the accumulation happens asynchronously.
 func (s *Server) IngestPacket(pkt []byte) {
+	if s.sharded() {
+		s.ingestOn(s.recvs[0], pkt)
+		return
+	}
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	b, recs, err := s.reg.Decode(pkt, s.recs[:0])
 	s.recs = recs
-	s.mu.Lock()
-	s.stats.Packets++
+	s.ctr.packets.Add(1)
 	// Decode attributes even failed packets to a format when the version
 	// word detected one; garbage that detects as nothing only reaches the
 	// global counters.
 	var pc *protoCounters
 	if b.Format != flowwire.FormatUnknown && b.Format < flowwire.NumFormats {
 		pc = &s.proto[b.Format]
-		pc.packets++
+		pc.packets.Add(1)
 	}
 	if err != nil {
-		s.stats.BadPackets++
+		s.ctr.badPackets.Add(1)
 		if pc != nil {
-			pc.badPackets++
+			pc.badPackets.Add(1)
 		}
-		s.mu.Unlock()
 		return
 	}
-	if !s.sequenceCheck(b) {
-		s.stats.Duplicates++
-		pc.duplicates++
-		s.mu.Unlock()
+	if !s.sequenceCheck(s.seq, b) {
+		s.ctr.duplicates.Add(1)
+		pc.duplicates.Add(1)
 		return
 	}
 	if int64(b.UnixSecs) < int64(s.cfg.Epoch) {
 		// Before bin 0 — and integer division would truncate it INTO bin 0.
-		s.stats.LateRecords += uint64(len(recs))
-		s.mu.Unlock()
+		s.ctr.lateRecords.Add(uint64(len(recs)))
 		return
 	}
 	bin := int(int64(b.UnixSecs)-int64(s.cfg.Epoch)) / traffic.BinSeconds
-	if bin <= s.stats.LastClosed {
-		s.stats.LateRecords += uint64(len(recs))
-		s.mu.Unlock()
+	if bin <= int(s.ctr.lastClosed.Load()) {
+		s.ctr.lateRecords.Add(uint64(len(recs)))
 		return
 	}
-	if s.stats.Watermark >= 0 && bin > s.stats.Watermark+s.cfg.MaxAhead {
+	wm := int(s.ctr.watermark.Load())
+	if wm >= 0 && bin > wm+s.cfg.MaxAhead {
 		// The bin timestamp is untrusted input and it drives every bin
 		// close: refusing wild jumps keeps one spoofed datagram from
 		// force-closing partial bins and parking the watermark out of
 		// legitimate traffic's reach.
-		s.stats.WildRecords += uint64(len(recs))
-		s.mu.Unlock()
+		s.ctr.wildRecords.Add(uint64(len(recs)))
 		return
 	}
-	accepted := s.accumulate(bin, b, recs)
-	pc.records += uint64(accepted)
+	accepted, unroutable, wild := s.accumulateInto(s.bins, bin, b, recs)
+	if unroutable > 0 {
+		s.ctr.unroutable.Add(uint64(unroutable))
+	}
+	if wild > 0 {
+		s.ctr.wildRecords.Add(uint64(wild))
+	}
+	if accepted > 0 {
+		s.ctr.records.Add(uint64(accepted))
+		pc.records.Add(uint64(accepted))
+	}
+	s.ctr.binsOpen.Store(int64(len(s.bins)))
 	var closed []submittedBin
 	switch {
 	case accepted == 0:
 		// Only routable traffic moves the watermark: a datagram that
 		// contributed nothing to any bin gets no say in when bins close.
-	case bin > s.stats.Watermark:
-		s.stats.Watermark = bin
+	case bin > wm:
+		s.ctr.watermark.Store(int64(bin))
 		s.behindStreak = 0
-		closed = s.detachThrough(bin - s.cfg.Grace)
-	case s.stats.Watermark-bin > s.cfg.MaxAhead:
+		closed = detachBins(s.bins, bin-s.cfg.Grace)
+	case wm-bin > s.cfg.MaxAhead:
 		// Routable traffic consistently far below the watermark means the
 		// watermark is stranded — a far-future first packet or an exporter
 		// clock jump (MaxAhead can't bound the first packet: there is
@@ -962,20 +1329,22 @@ func (s *Server) IngestPacket(pkt []byte) {
 		// stream that is actually flowing, unwedging bin close.
 		s.behindStreak++
 		if s.behindStreak >= watermarkQuorum {
-			s.resetWatermark(bin)
+			s.resetWatermarkSync(bin)
 		}
 	default:
 		s.behindStreak = 0
 	}
-	s.mu.Unlock()
-	// Submit outside mu: pipeline backpressure must not wedge the HTTP
-	// handlers or deadlock the verdict consumer (ingestMu is still held,
-	// which is safe — the consumer and the handlers never take it).
+	if len(closed) > 0 {
+		// detachBins returns ascending bins, all above the previous
+		// LastClosed (anything at or below was dropped late above).
+		s.ctr.lastClosed.Store(int64(closed[len(closed)-1].bin))
+		s.ctr.binsClosed.Add(int64(len(closed)))
+		s.ctr.binsOpen.Store(int64(len(s.bins)))
+	}
 	s.submit(closed)
 	if s.cfg.CheckpointPath != "" && len(closed) > 0 {
-		s.binsSinceCp += len(closed)
-		if s.binsSinceCp >= s.cfg.CheckpointEvery {
-			s.checkpointLocked()
+		if s.binsSinceCp.Add(int64(len(closed))) >= int64(s.cfg.CheckpointEvery) {
+			s.checkpointSync()
 		}
 	}
 }
@@ -992,10 +1361,11 @@ const (
 	// so a spoofed wild sequence number can never permanently wedge an
 	// engine's stream.
 	reorderTolerance = 1 << 20
-	// maxEngineCursors caps the sequence-cursor map. The v9/IPFIX exporter
-	// identity is a 32-bit field in attacker-influenced packets; beyond
-	// the cap, packets from new streams are accepted without sequence
-	// accounting rather than growing daemon memory without bound.
+	// maxEngineCursors caps each sequence-cursor map (one per shard). The
+	// v9/IPFIX exporter identity is a 32-bit field in attacker-influenced
+	// packets; beyond the cap, packets from new streams are accepted
+	// without sequence accounting rather than growing daemon memory
+	// without bound.
 	maxEngineCursors = 4096
 )
 
@@ -1019,19 +1389,21 @@ type engineKey struct {
 // reordering if it is within reorderTolerance (accepted, and the loss the
 // earlier gap charged for it is refunded); otherwise an exporter restart,
 // which resets the cursor. Batches without sequence information (SeqNone)
-// pass through untracked. Callers hold mu.
-func (s *Server) sequenceCheck(b flowwire.Batch) bool {
+// pass through untracked. The seq map is the caller's single-threaded
+// state (the synchronous path's map under ingestMu, or a shard worker's
+// own); the loss counters it touches are shared and atomic.
+func (s *Server) sequenceCheck(seq map[engineKey]*engineSeq, b flowwire.Batch) bool {
 	if b.SeqModel == flowwire.SeqNone {
 		return true
 	}
 	key := engineKey{b.Format, b.Engine}
-	e := s.seq[key]
+	e := seq[key]
 	if e == nil {
-		if len(s.seq) >= maxEngineCursors {
+		if len(seq) >= maxEngineCursors {
 			return true // accept, untracked: see maxEngineCursors
 		}
 		e = &engineSeq{}
-		s.seq[key] = e
+		seq[key] = e
 	}
 	pc := &s.proto[b.Format]
 	countsRecords := b.SeqModel.CountsRecords()
@@ -1051,9 +1423,9 @@ func (s *Server) sequenceCheck(b flowwire.Batch) bool {
 			// multi-billion-unit gap to the loss counters.
 			e.clear()
 		} else {
-			pc.lostUnits += uint64(delta)
+			pc.lostUnits.Add(uint64(delta))
 			if countsRecords {
-				s.stats.LostRecords += uint64(delta)
+				s.ctr.lostRecords.Add(uint64(delta))
 			}
 		}
 		e.next = b.Seq + b.SeqAdvance
@@ -1062,18 +1434,12 @@ func (s *Server) sequenceCheck(b flowwire.Batch) bool {
 	case delta >= -reorderTolerance:
 		// Reordered delivery: the gap this batch left was already counted
 		// lost when its successor arrived first, so refund it. The cursor
-		// stays where the stream's front is.
-		refund := uint64(b.SeqAdvance)
-		if refund > pc.lostUnits {
-			refund = pc.lostUnits
-		}
-		pc.lostUnits -= refund
+		// stays where the stream's front is. The refund saturates — with
+		// shards, another stream sharing the format counter may have
+		// refunded first.
+		satSub(&pc.lostUnits, uint64(b.SeqAdvance))
 		if countsRecords {
-			refund = uint64(b.SeqAdvance)
-			if refund > s.stats.LostRecords {
-				refund = s.stats.LostRecords
-			}
-			s.stats.LostRecords -= refund
+			satSub(&s.ctr.lostRecords, uint64(b.SeqAdvance))
 		}
 	default:
 		// Exporter restart (or a spoofed wild sequence): resynchronize.
@@ -1084,31 +1450,34 @@ func (s *Server) sequenceCheck(b flowwire.Batch) bool {
 	return true
 }
 
-// accumulate folds one packet's records into its bin's vectors, resolving
-// each record to an OD pair: origin from the engine ID, egress by
-// longest-prefix match on the anonymized destination — the same procedure,
-// and therefore the same (OD, bin) cell, as the offline generator. It
-// returns how many records were actually folded in; a packet that
-// contributes nothing must not advance the watermark. Callers hold mu.
-func (s *Server) accumulate(bin int, b flowwire.Batch, recs []flowwire.Record) (accepted int) {
+// accumulateInto folds one packet's records into its bin's vectors in the
+// given open-bin set, resolving each record to an OD pair: origin from the
+// engine ID, egress by longest-prefix match on the anonymized destination
+// — the same procedure, and therefore the same (OD, bin) cell, as the
+// offline generator. It returns how many records were folded in and how
+// many were unroutable or wild (cap overflow); the caller folds those into
+// the counters it owns. A packet that contributes nothing must not advance
+// the watermark. The bins map is the caller's single-threaded state; the
+// topology and resolver lookups are read-only and safe from every shard.
+func (s *Server) accumulateInto(bins map[int]*binAcc, bin int, b flowwire.Batch, recs []flowwire.Record) (accepted, unroutable, wild int) {
 	origin := topology.PoP(b.Engine)
 	originOK := s.top.ContainsPoP(origin)
-	acc := s.bins[bin]
+	acc := bins[bin]
 	for _, rec := range recs {
 		if !originOK {
-			s.stats.Unroutable++
+			unroutable++
 			continue
 		}
 		egress, ok := s.res.ResolveDst(rec.Dst)
 		if !ok {
-			s.stats.Unroutable++
+			unroutable++
 			continue
 		}
 		if acc == nil {
 			// Open the bin lazily, on the first routable record, and under
 			// a cap: unroutable or wild garbage must not grow the open set.
-			if len(s.bins) >= s.cfg.MaxOpenBins {
-				s.stats.WildRecords++
+			if len(bins) >= s.cfg.MaxOpenBins {
+				wild++
 				continue
 			}
 			p := s.top.NumODPairs()
@@ -1117,8 +1486,7 @@ func (s *Server) accumulate(bin int, b flowwire.Batch, recs []flowwire.Record) (
 				packets: make([]float64, p),
 				flows:   make([]float64, p),
 			}
-			s.bins[bin] = acc
-			s.stats.BinsOpen = len(s.bins)
+			bins[bin] = acc
 		}
 		col := s.top.Index(topology.ODPair{Origin: origin, Dest: egress})
 		acc.bytes[col] += float64(rec.Bytes)
@@ -1128,10 +1496,9 @@ func (s *Server) accumulate(bin int, b flowwire.Batch, recs []flowwire.Record) (
 		// estimate flow counts, and the estimate rides the same field.
 		acc.flows[col] += float64(rec.Flows)
 		acc.records++
-		s.stats.Records++
 		accepted++
 	}
-	return accepted
+	return accepted, unroutable, wild
 }
 
 // watermarkQuorum is how many consecutive routable packets must land more
@@ -1139,21 +1506,30 @@ func (s *Server) accumulate(bin int, b flowwire.Batch, recs []flowwire.Record) (
 // watermark is stranded and re-anchors it.
 const watermarkQuorum = 8
 
-// resetWatermark re-anchors a stranded watermark at the bin the live
+// resetWatermarkSync re-anchors a stranded watermark at the bin the live
 // stream actually flows in, discarding open bins stranded in the far
 // future (their contents were the lie that moved the watermark there).
-// Callers hold mu.
-func (s *Server) resetWatermark(bin int) {
-	for b, acc := range s.bins {
-		if b > bin+s.cfg.MaxAhead {
-			s.stats.WildRecords += acc.records
-			delete(s.bins, b)
+// Synchronous path; callers hold ingestMu.
+func (s *Server) resetWatermarkSync(bin int) {
+	if wild := discardWildBins(s.bins, bin+s.cfg.MaxAhead); wild > 0 {
+		s.ctr.wildRecords.Add(wild)
+	}
+	s.ctr.binsOpen.Store(int64(len(s.bins)))
+	s.ctr.watermark.Store(int64(bin))
+	s.ctr.watermarkResets.Add(1)
+	s.behindStreak = 0
+}
+
+// discardWildBins drops every open bin above keepThrough, returning the
+// record count they held.
+func discardWildBins(bins map[int]*binAcc, keepThrough int) (wild uint64) {
+	for b, acc := range bins {
+		if b > keepThrough {
+			wild += acc.records
+			delete(bins, b)
 		}
 	}
-	s.stats.BinsOpen = len(s.bins)
-	s.stats.Watermark = bin
-	s.stats.WatermarkResets++
-	s.behindStreak = 0
+	return wild
 }
 
 // engineSeq is one export stream's sequence cursor plus a small ring of
@@ -1191,12 +1567,12 @@ type submittedBin struct {
 	acc *binAcc
 }
 
-// detachThrough removes every open bin <= limit from the open set, in
-// ascending bin order, updating the close counters. Callers hold mu; the
-// actual detector submission happens outside the lock via submit.
-func (s *Server) detachThrough(limit int) []submittedBin {
+// detachBins removes every open bin <= limit from the open set and
+// returns them in ascending bin order (nil when none). Pure map surgery:
+// the caller owns the close counters.
+func detachBins(bins map[int]*binAcc, limit int) []submittedBin {
 	var out []submittedBin
-	for bin, acc := range s.bins {
+	for bin, acc := range bins {
 		if bin <= limit {
 			out = append(out, submittedBin{bin, acc})
 		}
@@ -1206,19 +1582,15 @@ func (s *Server) detachThrough(limit int) []submittedBin {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].bin < out[j].bin })
 	for _, sb := range out {
-		delete(s.bins, sb.bin)
-		if sb.bin > s.stats.LastClosed {
-			s.stats.LastClosed = sb.bin
-		}
+		delete(bins, sb.bin)
 	}
-	s.stats.BinsClosed += len(out)
-	s.stats.BinsOpen = len(s.bins)
 	return out
 }
 
 // submit feeds detached bins to the detector in ascending order, recording
 // the first failure. Bins are only ever detached in ascending order across
-// calls, so the detector's non-decreasing contract holds.
+// calls (by the one ingest goroutine or the one coordinator), so the
+// detector's non-decreasing contract holds.
 func (s *Server) submit(closed []submittedBin) {
 	for _, sb := range closed {
 		if err := s.det.Submit(sb.bin, sb.acc.bytes, sb.acc.packets, sb.acc.flows); err != nil {
@@ -1249,29 +1621,86 @@ func (s *Server) Err() error {
 	return s.det.Err()
 }
 
-// Stats returns a snapshot of the ingest counters.
+// Stats returns a snapshot of the ingest counters. Safe to call
+// concurrently with ingest from any goroutine: the hot counters are
+// atomics, so the snapshot is lock-free against the packet path (the
+// counters may be mid-packet inconsistent with each other by a record or
+// two, never torn).
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	st := s.stats
-	st.Draining = s.draining
-	st.BinsOpen = len(s.bins)
+	st := Stats{
+		Packets:         s.ctr.packets.Load(),
+		BadPackets:      s.ctr.badPackets.Load(),
+		Duplicates:      s.ctr.duplicates.Load(),
+		Records:         s.ctr.records.Load(),
+		LostRecords:     s.ctr.lostRecords.Load(),
+		LateRecords:     s.ctr.lateRecords.Load(),
+		Unroutable:      s.ctr.unroutable.Load(),
+		WildRecords:     s.ctr.wildRecords.Load(),
+		WatermarkResets: s.ctr.watermarkResets.Load(),
+		BinsClosed:      int(s.ctr.binsClosed.Load()),
+		BinsOpen:        int(s.ctr.binsOpen.Load()),
+		Watermark:       int(s.ctr.watermark.Load()),
+		LastClosed:      int(s.ctr.lastClosed.Load()),
+	}
 	for f := flowwire.Format(1); f < flowwire.NumFormats; f++ {
-		pc := s.proto[f]
-		if pc == (protoCounters{}) {
+		ps, seen := s.proto[f].state(f)
+		if !seen {
 			continue
 		}
 		if st.Protocols == nil {
 			st.Protocols = make(map[string]ProtoStats, 4)
 		}
 		st.Protocols[f.String()] = ProtoStats{
-			Packets:    pc.packets,
-			BadPackets: pc.badPackets,
-			Duplicates: pc.duplicates,
-			Records:    pc.records,
-			LostUnits:  pc.lostUnits,
+			Packets:    ps.Packets,
+			BadPackets: ps.BadPackets,
+			Duplicates: ps.Duplicates,
+			Records:    ps.Records,
+			LostUnits:  ps.LostUnits,
 			SeqUnit:    f.SequenceModel().Unit(),
 		}
 	}
+	if s.sharded() {
+		st.Receivers = make([]ReceiverStats, len(s.recvs))
+		for i, r := range s.recvs {
+			st.Receivers[i] = ReceiverStats{
+				Packets:    r.packets.Load(),
+				BadPackets: r.badPackets.Load(),
+				Bytes:      r.bytes.Load(),
+			}
+		}
+		st.Shards = make([]ShardStats, len(s.shards))
+		open := 0
+		for i, w := range s.shards {
+			o := int(w.binsOpen.Load())
+			open += o
+			st.Shards[i] = ShardStats{
+				Records:       w.records.Load(),
+				Duplicates:    w.duplicates.Load(),
+				LateRecords:   w.lateRecords.Load(),
+				WildRecords:   w.wildRecords.Load(),
+				Unroutable:    w.unroutable.Load(),
+				BinsOpen:      o,
+				SealedThrough: int(w.sealed.Load()),
+				QueueLen:      len(w.ch),
+				QueueCap:      cap(w.ch),
+			}
+		}
+		st.BinsOpen = open
+		st.MergeQueueLen = len(s.mergeCh)
+	}
+	s.mu.Lock()
+	st.AlarmBins = s.alarmBins
+	st.Anomalies = len(s.anoms)
+	st.Generations = s.gens
+	st.CheckpointsWritten = s.cpWritten
+	st.CheckpointErrors = s.cpErrors
+	st.LastCheckpointBin = s.lastCpBin
+	st.Restored = s.restored
+	st.RestoredBin = s.restoredBin
+	st.CheckpointFallbacks = s.cpFallbacks
+	st.RestoreErr = s.restoreErr
+	st.CheckpointErr = s.cpErr
+	st.Draining = s.draining
 	if s.firstError != nil {
 		st.Err = s.firstError.Error()
 	}
@@ -1318,33 +1747,56 @@ func (s *Server) Drain(ctx context.Context) error {
 		return errors.New("server: drain already in progress or completed")
 	}
 	s.draining = true
-	conn := s.conn
+	conns := s.conns
 	stop := s.cpTimerStop
 	s.cpTimerStop = nil
 	s.mu.Unlock()
 
 	if stop != nil {
-		close(stop) // no snapshot may race the final one below
+		close(stop) // no timer snapshot may race the final one below
 		s.timerWG.Wait()
 	}
-	if conn != nil {
-		conn.Close() // unblocks the read loop
-		<-s.readerDone
+	for _, c := range conns {
+		c.Close() // unblocks the reader goroutines
 	}
+	s.readersWG.Wait()
 
-	// The read loop has exited and the socket is closed: no new bins can
-	// appear. Flush the tail, then persist the final snapshot — it carries
-	// every closed bin, so a restart after a clean drain resumes zero bins
-	// stale. ingestMu excludes a straggling direct IngestPacket caller.
-	s.ingestMu.Lock()
-	s.mu.Lock()
-	closed := s.detachThrough(s.stats.Watermark)
-	s.mu.Unlock()
-	s.submit(closed)
-	if s.cfg.CheckpointPath != "" {
-		s.checkpointLocked()
+	if s.sharded() {
+		// An in-flight bin-cadence capture may still hold cpMu; stop the
+		// checkpointer, then take cpMu for the whole teardown so nothing
+		// interleaves with the flush and the final snapshot.
+		if s.cpStop != nil {
+			close(s.cpStop)
+			s.cpWG.Wait()
+		}
+		s.cpMu.Lock()
+		s.syncShards() // receiver-enqueued batches all binned
+		s.coordFlush() // every bin through the watermark sealed, merged, submitted
+		if s.cfg.CheckpointPath != "" {
+			s.captureSharded(true)
+		}
+		s.stopCoordinator()
+		s.stopShards()
+		s.cpMu.Unlock()
+	} else {
+		// The read loop has exited and the socket is closed: no new bins
+		// can appear. Flush the tail, then persist the final snapshot — it
+		// carries every closed bin, so a restart after a clean drain
+		// resumes zero bins stale. ingestMu excludes a straggling direct
+		// IngestPacket caller.
+		s.ingestMu.Lock()
+		closed := detachBins(s.bins, int(s.ctr.watermark.Load()))
+		if len(closed) > 0 {
+			s.ctr.lastClosed.Store(int64(closed[len(closed)-1].bin))
+			s.ctr.binsClosed.Add(int64(len(closed)))
+			s.ctr.binsOpen.Store(int64(len(s.bins)))
+		}
+		s.submit(closed)
+		if s.cfg.CheckpointPath != "" {
+			s.checkpointSync()
+		}
+		s.ingestMu.Unlock()
 	}
-	s.ingestMu.Unlock()
 
 	s.det.Close()
 	s.consumerWG.Wait() // verdict stream fully drained, tail folded in
@@ -1381,7 +1833,7 @@ func (s *Server) Kill() {
 		return
 	}
 	s.draining = true
-	conn := s.conn
+	conns := s.conns
 	stop := s.cpTimerStop
 	s.cpTimerStop = nil
 	srv, ln := s.httpSrv, s.httpLn
@@ -1392,14 +1844,27 @@ func (s *Server) Kill() {
 		close(stop)
 		s.timerWG.Wait()
 	}
-	if conn != nil {
-		conn.Close()
-		<-s.readerDone
+	for _, c := range conns {
+		c.Close()
 	}
+	s.readersWG.Wait()
 	if srv != nil {
 		srv.Close() // abrupt: no graceful connection drain
 	} else if ln != nil {
 		ln.Close()
+	}
+	if s.sharded() {
+		// Let an in-flight capture finish against a live pipeline, then
+		// tear the pipeline down with no flush — whatever the shards still
+		// held is lost, exactly like a crash.
+		if s.cpStop != nil {
+			close(s.cpStop)
+			s.cpWG.Wait()
+		}
+		s.cpMu.Lock()
+		s.stopCoordinator()
+		s.stopShards()
+		s.cpMu.Unlock()
 	}
 	// Reap the detector goroutines so a killed daemon leaks nothing into
 	// the test process; the verdicts it delivers on the way down land in a

@@ -47,13 +47,15 @@ func anomalyKey(a netwide.Anomaly) string {
 	return fmt.Sprintf("%s|%s|%d-%d|%v|%s|%s", a.Class, a.Measures, a.StartBin, a.EndBin, a.ODs, a.Truth, a.TruthType)
 }
 
-// TestLoopbackEndToEnd is the tentpole proof, now once per wire format: a
-// dataset replayed as live export traffic over UDP loopback — NetFlow v5,
-// NetFlow v9, IPFIX and sFlow v5 side by side — ingested by the daemon,
-// must drive the streaming detector to exactly the anomalies the batch
-// Detect + Characterize path finds on the same data, in every format: the
-// wire hop, the normalization, the bin aggregation and the drain must all
-// be lossless.
+// TestLoopbackEndToEnd is the tentpole proof, once per wire format over
+// the sharded pipeline plus a synchronous-path control leg: a dataset
+// replayed as live export traffic over UDP loopback — NetFlow v5, NetFlow
+// v9, IPFIX and sFlow v5 side by side, through 2 SO_REUSEPORT receivers
+// and 4 binning shards — ingested by the daemon, must drive the streaming
+// detector to exactly the anomalies the batch Detect + Characterize path
+// finds on the same data, in every format: the wire hop, the
+// normalization, the sharded bin aggregation, the merge barrier and the
+// drain must all be lossless.
 //
 // Under -short (the CI race step) only the first two days are replayed and
 // the assertions stop at ingest integrity — batch event windows span the
@@ -67,8 +69,8 @@ func TestLoopbackEndToEnd(t *testing.T) {
 		fullParity = false
 	}
 
-	// The batch reference is computed once, up front; every format's daemon
-	// is compared against the same anomaly set.
+	// The batch reference is computed once, up front; every leg's daemon is
+	// compared against the same anomaly set.
 	var batchKeys []string
 	if fullParity {
 		if err := run.Detect(netwide.DefaultDetectOptions()); err != nil {
@@ -85,123 +87,174 @@ func TestLoopbackEndToEnd(t *testing.T) {
 		sort.Strings(batchKeys)
 	}
 
+	// The four-format matrix runs the sharded pipeline; the plain leg pins
+	// the synchronous path against the same reference.
+	sharded := Config{
+		HTTPAddr:  "127.0.0.1:0",
+		Receivers: 2,
+		Shards:    4,
+		// Receivers drain their sockets independently and the replay sprays
+		// them from independent connections, so one receiver can run many
+		// bins ahead of the other whenever the scheduler stalls a sender.
+		// The replay compresses a week into ~17s (~116 bins/s of bin-time
+		// per wall-second), so even a sub-second one-sided stall is dozens
+		// of bins of skew: the reorder window and the wild-timestamp bound
+		// both need far more headroom here than a real deployment (where a
+		// bin is five wall-clock minutes) would ever configure.
+		Grace:    96,
+		MaxAhead: 576,
+		Detect:   netwide.DefaultDetectOptions(),
+	}
 	for _, format := range flowwire.AllFormats() {
+		format := format
 		t.Run(format.String(), func(t *testing.T) {
 			t.Parallel()
-			srv, err := New(run, Config{
-				HTTPAddr: "127.0.0.1:0",
-				Detect:   netwide.DefaultDetectOptions(),
-				Stream:   parityStream(run),
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := srv.Start(); err != nil {
-				t.Fatal(err)
-			}
-
-			sent, err := Replay(run.Dataset(), ReplayConfig{
-				Addr:             srv.UDPAddr().String(),
-				Format:           format,
-				From:             0,
-				To:               bins,
-				PacketsPerSecond: 15000,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if sent.Records == 0 || sent.Packets == 0 {
-				t.Fatalf("replay sent nothing: %+v", sent)
-			}
-
-			// UDP offers no delivery handshake: poll until every sent record
-			// has been counted (or the deadline proves loss).
-			deadline := time.Now().Add(60 * time.Second)
-			for {
-				st := srv.Stats()
-				if st.Records == uint64(sent.Records) {
-					break
-				}
-				if time.Now().After(deadline) {
-					t.Fatalf("ingested %d of %d sent records after 60s (lost=%d bad=%d): UDP loss breaks parity — lower the replay rate",
-						st.Records, sent.Records, st.LostRecords, st.BadPackets)
-				}
-				time.Sleep(20 * time.Millisecond)
-			}
-
-			// Exercise the HTTP surface while the daemon is still live.
-			base := "http://" + srv.HTTPAddr().String()
-			resp, err := http.Get(base + "/api/v1/healthz")
-			if err != nil {
-				t.Fatal(err)
-			}
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				t.Fatalf("healthz status %d", resp.StatusCode)
-			}
-			resp, err = http.Get(base + "/api/v1/stats")
-			if err != nil {
-				t.Fatal(err)
-			}
-			var httpStats Stats
-			if err := json.NewDecoder(resp.Body).Decode(&httpStats); err != nil {
-				t.Fatalf("stats endpoint: %v", err)
-			}
-			resp.Body.Close()
-			if httpStats.Records != uint64(sent.Records) {
-				t.Fatalf("stats endpoint reports %d records, want %d", httpStats.Records, sent.Records)
-			}
-
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			defer cancel()
-			if err := srv.Drain(ctx); err != nil {
-				t.Fatalf("drain: %v", err)
-			}
-
-			st := srv.Stats()
-			if st.LostRecords != 0 || st.BadPackets != 0 || st.Duplicates != 0 || st.LateRecords != 0 || st.Unroutable != 0 {
-				t.Fatalf("lossless loopback replay took losses: %+v", st)
-			}
-			if st.BinsClosed != bins || st.BinsOpen != 0 {
-				t.Fatalf("closed %d bins (open %d), want %d closed after drain", st.BinsClosed, st.BinsOpen, bins)
-			}
-			// The per-protocol breakdown must attribute every packet and
-			// record to this format, with no loss in its own sequence unit.
-			ps, ok := st.Protocols[format.String()]
-			if !ok {
-				t.Fatalf("stats carry no %q protocol entry: %+v", format, st.Protocols)
-			}
-			if ps.Records != uint64(sent.Records) || ps.Packets != uint64(sent.Packets) || ps.LostUnits != 0 {
-				t.Fatalf("protocol breakdown %+v, want %d packets / %d records lossless", ps, sent.Packets, sent.Records)
-			}
-			if want := format.SequenceModel().Unit(); ps.SeqUnit != want {
-				t.Errorf("protocol seq unit %q, want %q", ps.SeqUnit, want)
-			}
-
-			if !fullParity {
-				if srv.Err() != nil {
-					t.Fatalf("short replay left the daemon unhealthy: %v", srv.Err())
-				}
-				return
-			}
-
-			// Full week replayed: the daemon's characterized anomalies must
-			// match the batch path exactly, whatever the wire format was.
-			streamed := srv.Anomalies()
-			sk := make([]string, len(streamed))
-			for i, a := range streamed {
-				sk[i] = anomalyKey(a)
-			}
-			sort.Strings(sk)
-			if len(batchKeys) != len(sk) {
-				t.Fatalf("daemon characterized %d anomalies, batch %d:\n daemon %v\n batch  %v", len(sk), len(batchKeys), sk, batchKeys)
-			}
-			for i := range batchKeys {
-				if batchKeys[i] != sk[i] {
-					t.Errorf("anomaly %d differs:\n batch  %s\n daemon %s", i, batchKeys[i], sk[i])
-				}
-			}
+			loopbackLeg(t, run, bins, batchKeys, fullParity, format, sharded, 2)
 		})
+	}
+	t.Run("netflow5-plain", func(t *testing.T) {
+		t.Parallel()
+		plain := Config{HTTPAddr: "127.0.0.1:0", Detect: netwide.DefaultDetectOptions()}
+		loopbackLeg(t, run, bins, batchKeys, fullParity, flowwire.FormatNetFlowV5, plain, 1)
+	})
+}
+
+// loopbackLeg replays bins [0, bins) over loopback into a daemon built
+// from cfg and asserts the full lossless-parity contract.
+func loopbackLeg(t *testing.T, run *netwide.Run, bins int, batchKeys []string, fullParity bool, format flowwire.Format, cfg Config, conns int) {
+	t.Helper()
+	cfg.Stream = parityStream(run)
+	srv, err := New(run, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	sent, err := Replay(run.Dataset(), ReplayConfig{
+		Addr:             srv.UDPAddr().String(),
+		Format:           format,
+		From:             0,
+		To:               bins,
+		PacketsPerSecond: 10000,
+		Conns:            conns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent.Records == 0 || sent.Packets == 0 {
+		t.Fatalf("replay sent nothing: %+v", sent)
+	}
+
+	// UDP offers no delivery handshake: poll until every sent record
+	// has been counted (or the deadline proves loss).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.Records == uint64(sent.Records) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %d of %d sent records after 60s (lost=%d bad=%d late=%d): UDP loss breaks parity — lower the replay rate",
+				st.Records, sent.Records, st.LostRecords, st.BadPackets, st.LateRecords)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Exercise the HTTP surface while the daemon is still live.
+	base := "http://" + srv.HTTPAddr().String()
+	resp, err := http.Get(base + "/api/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var httpStats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&httpStats); err != nil {
+		t.Fatalf("stats endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if httpStats.Records != uint64(sent.Records) {
+		t.Fatalf("stats endpoint reports %d records, want %d", httpStats.Records, sent.Records)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	st := srv.Stats()
+	if st.LostRecords != 0 || st.BadPackets != 0 || st.Duplicates != 0 || st.LateRecords != 0 || st.Unroutable != 0 {
+		t.Fatalf("lossless loopback replay took losses: %+v", st)
+	}
+	if st.BinsClosed != bins || st.BinsOpen != 0 {
+		t.Fatalf("closed %d bins (open %d), want %d closed after drain", st.BinsClosed, st.BinsOpen, bins)
+	}
+	// The per-protocol breakdown must attribute every packet and
+	// record to this format, with no loss in its own sequence unit.
+	ps, ok := st.Protocols[format.String()]
+	if !ok {
+		t.Fatalf("stats carry no %q protocol entry: %+v", format, st.Protocols)
+	}
+	if ps.Records != uint64(sent.Records) || ps.Packets != uint64(sent.Packets) || ps.LostUnits != 0 {
+		t.Fatalf("protocol breakdown %+v, want %d packets / %d records lossless", ps, sent.Packets, sent.Records)
+	}
+	if want := format.SequenceModel().Unit(); ps.SeqUnit != want {
+		t.Errorf("protocol seq unit %q, want %q", ps.SeqUnit, want)
+	}
+	// On the sharded pipeline the per-receiver and per-shard breakdowns
+	// must jointly account for every packet and record; the synchronous
+	// path must not grow the new fields at all (the stats JSON is a
+	// compatibility surface).
+	if cfg.Receivers > 1 || cfg.Shards > 1 {
+		if len(st.Receivers) != cfg.Receivers || len(st.Shards) != cfg.Shards {
+			t.Fatalf("stats carry %d receivers / %d shards, want %d / %d", len(st.Receivers), len(st.Shards), cfg.Receivers, cfg.Shards)
+		}
+		var rp, sr uint64
+		for _, r := range st.Receivers {
+			rp += r.Packets
+		}
+		for _, sh := range st.Shards {
+			sr += sh.Records
+		}
+		if rp != st.Packets || sr != st.Records {
+			t.Fatalf("per-receiver packets %d (want %d) / per-shard records %d (want %d)", rp, st.Packets, sr, st.Records)
+		}
+	} else if st.Receivers != nil || st.Shards != nil {
+		t.Fatalf("synchronous daemon leaked sharded stats: %+v", st)
+	}
+
+	if !fullParity {
+		if srv.Err() != nil {
+			t.Fatalf("short replay left the daemon unhealthy: %v", srv.Err())
+		}
+		return
+	}
+
+	// Full week replayed: the daemon's characterized anomalies must
+	// match the batch path exactly, whatever the wire format and the
+	// pipeline shape were.
+	streamed := srv.Anomalies()
+	sk := make([]string, len(streamed))
+	for i, a := range streamed {
+		sk[i] = anomalyKey(a)
+	}
+	sort.Strings(sk)
+	if len(batchKeys) != len(sk) {
+		t.Fatalf("daemon characterized %d anomalies, batch %d:\n daemon %v\n batch  %v", len(sk), len(batchKeys), sk, batchKeys)
+	}
+	for i := range batchKeys {
+		if batchKeys[i] != sk[i] {
+			t.Errorf("anomaly %d differs:\n batch  %s\n daemon %s", i, batchKeys[i], sk[i])
+		}
 	}
 }
 

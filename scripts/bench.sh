@@ -3,8 +3,10 @@
 # optionally gate against a committed baseline.
 #
 # Record mode writes a JSON map of benchmark name -> {ns_op, bytes_op,
-# allocs_op} so successive PRs can diff machine-readable numbers instead of
-# eyeballing `go test -bench` output.
+# allocs_op, recs_sec} so successive PRs can diff machine-readable numbers
+# instead of eyeballing `go test -bench` output (recs_sec is the ingest
+# suite's custom records/sec metric; absent on benchmarks that don't report
+# it).
 #
 # Check mode (--check BASELINE.json [MORE.json ...]) re-runs the suite once
 # and gates the result against every baseline given, FAILING (exit 1) when
@@ -23,10 +25,18 @@
 # sensitivity (it still catches catastrophic slowdowns); refresh the
 # baseline (record mode) when the reference hardware changes.
 #
+# Both modes print the sharded-ingest scaling table (aggregate records/sec
+# vs receiver count, speedup relative to receivers=1) whenever the run
+# includes BenchmarkServerIngestParallel. The speedup column is only
+# meaningful on multi-core hosts: at GOMAXPROCS=1 every receiver
+# time-slices one core and the curve is flat by construction, which is why
+# the gate compares each sub-benchmark against its own baseline and never
+# gates across receiver counts.
+#
 # Usage:
-#   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR8.json)
-#   scripts/bench.sh --check BENCH_PR8.json      # gate against the committed baseline
-#   scripts/bench.sh --check BENCH_PR7.json BENCH_PR8.json  # gate against several
+#   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR9.json)
+#   scripts/bench.sh --check BENCH_PR9.json      # gate against the committed baseline
+#   scripts/bench.sh --check BENCH_PR8.json BENCH_PR9.json  # gate against several
 #   BENCH='SimulateWeek|Detect' scripts/bench.sh # restrict the suite
 #   BENCHTIME=3x scripts/bench.sh                # more iterations per benchmark
 #   MAX_REGRESSION=50 scripts/bench.sh --check BENCH_PR8.json  # looser gate
@@ -47,7 +57,7 @@ if [[ "${1:-}" == "--check" ]]; then
     done
     set --
 fi
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 bench="${BENCH:-.}"
 benchtime="${BENCHTIME:-1x}"
 max_regression="${MAX_REGRESSION:-20}"
@@ -68,17 +78,19 @@ awk '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; recs = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns     = $(i-1)
-        if ($i == "B/op")      bytes  = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "ns/op")       ns     = $(i-1)
+        if ($i == "B/op")        bytes  = $(i-1)
+        if ($i == "allocs/op")   allocs = $(i-1)
+        if ($i == "records/sec") recs   = $(i-1)
     }
     if (ns == "") next
     if (n++) printf ",\n"
     printf "  \"%s\": {\"ns_op\": %s", name, ns
     if (bytes  != "") printf ", \"bytes_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_op\": %s", allocs
+    if (recs   != "") printf ", \"recs_sec\": %s", recs
     printf "}"
 }
 BEGIN { printf "{\n" }
@@ -86,6 +98,27 @@ END   { printf "\n}\n" }
 ' "$tmp" > "$out"
 
 echo "wrote $out ($(grep -c ns_op "$out") benchmarks)"
+
+# The receiver-count scaling table, whenever this run exercised the sharded
+# ingest tier.
+python3 - "$out" <<'PY'
+import json, re, sys
+
+cur = json.load(open(sys.argv[1]))
+rows = sorted(
+    (int(m.group(1)), v["recs_sec"])
+    for name, v in cur.items()
+    if (m := re.search(r"ServerIngestParallel/receivers=(\d+)$", name)) and "recs_sec" in v
+)
+if rows:
+    base = dict(rows).get(1)
+    print("sharded ingest scaling (aggregate records/sec vs receiver count):")
+    print(f"  {'receivers':>9}  {'records/sec':>12}  {'speedup':>7}")
+    for r, rec in rows:
+        speedup = f"{rec / base:.2f}x" if base else "-"
+        print(f"  {r:>9}  {rec:>12.0f}  {speedup:>7}")
+    print("  (flat on single-core hosts: scaling needs GOMAXPROCS >= receivers)")
+PY
 
 if [[ ${#baselines[@]} -eq 0 ]]; then
     exit 0
