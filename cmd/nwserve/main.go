@@ -89,8 +89,9 @@ func main() {
 		k         = flag.Int("k", 4, "normal subspace dimension")
 		alpha     = flag.Float64("alpha", 0.001, "detection false-alarm rate")
 		batch     = flag.Int("batch", 16, "vectors scored per model application")
-		refit     = flag.Int("refit", 0, "bins between background model refits (0 = never)")
-		window    = flag.Int("window", 0, "rolling refit window in bins (required when -refit > 0)")
+		updater   = flag.String("updater", "refit", "model lifecycle: refit (generation swaps every -refit bins) or incremental (per-bin subspace tracking, at most one bin stale)")
+		refit     = flag.Int("refit", 0, "bins between background model refits (0 = never); under -updater incremental, the drift-correction cadence")
+		window    = flag.Int("window", 0, "rolling refit window in bins (required when -refit > 0); under -updater incremental, the tracker's forgetting horizon")
 		grace     = flag.Int("grace", 1, "reorder grace in bins before a bin closes")
 		epoch     = flag.Uint64("epoch", 0, "unix time of bin 0 in packet headers (nwreplay uses 0)")
 		workers   = flag.Int("workers", 0, "linear-algebra worker goroutines (0 = GOMAXPROCS)")
@@ -152,6 +153,7 @@ func main() {
 		Stream: netwide.StreamConfig{
 			TrainBins:  *trainBins,
 			BatchSize:  *batch,
+			Updater:    *updater,
 			RefitEvery: *refit,
 			Window:     *window,
 		},

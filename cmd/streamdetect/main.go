@@ -43,8 +43,9 @@ func main() {
 		alpha   = flag.Float64("alpha", 0.001, "detection false-alarm rate")
 		train   = flag.Int("train", 0, "training bins (0 = first half of the run)")
 		batch   = flag.Int("batch", 16, "vectors scored per model application")
-		refit   = flag.Int("refit", 288, "bins between background refits (0 = never)")
-		window  = flag.Int("window", 0, "rolling refit window in bins (0 = training length)")
+		updater = flag.String("updater", "refit", "model lifecycle: refit (generation swaps every -refit bins) or incremental (per-bin subspace tracking, at most one bin stale)")
+		refit   = flag.Int("refit", 288, "bins between background refits (0 = never); under -updater incremental, the drift-correction cadence")
+		window  = flag.Int("window", 0, "rolling refit window in bins (0 = training length); under -updater incremental, the tracker's forgetting horizon")
 		workers = flag.Int("workers", 0, "linear-algebra worker goroutines (0 = GOMAXPROCS)")
 		topo    = flag.String("topology", "abilene", "backbone topology when simulating: abilene, geant, or synthetic:N[:seed]")
 		verbose = flag.Bool("v", false, "print every alarmed bin, not just the summary")
@@ -94,6 +95,7 @@ func main() {
 		netwide.StreamConfig{
 			TrainBins:  trainBins,
 			BatchSize:  *batch,
+			Updater:    *updater,
 			RefitEvery: *refit,
 			Window:     winBins,
 		})
@@ -132,6 +134,10 @@ func main() {
 	rate5 := float64(len(verdicts)) / elapsed.Seconds()
 	fmt.Printf("streamed %d bins in %v (%.0f bins/s, 3 measures each)\n", len(verdicts), elapsed.Round(time.Millisecond), rate5)
 	fmt.Printf("alarmed bins: %d   model generations (B P F): %d %d %d\n", alarms, gens[0], gens[1], gens[2])
+	if fr := det.Freshness(); fr[0].Kind == "incremental" {
+		fmt.Printf("per-bin model updates (B P F): %d %d %d   staleness: %d bin(s)\n",
+			fr[0].Updates, fr[1].Updates, fr[2].Updates, fr[0].Staleness)
+	}
 
 	matched := 0
 	fmt.Printf("\ncharacterized anomalies (%d, closed at streaming time):\n", len(anomalies))

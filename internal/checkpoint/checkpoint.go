@@ -53,7 +53,15 @@ const Magic = "NWCPv1\r\n"
 // OD pairs by export engine, so a snapshot only restores into a daemon
 // with the same shard layout — a mismatch cold-starts). Version 2
 // snapshots cold-start.
-const Version = 3
+//
+// Version 4 made the model lifecycle pluggable: each lane's recovery state
+// became a full engine.UpdaterState (scoring model plus rolling window
+// plus, under the incremental lifecycle, the subspace tracker's mean, axis
+// and trace vectors), and the updater kind joined the fingerprint — a
+// snapshot captured under one lifecycle cannot silently resume under
+// another. Version 3 snapshots carried a bare model/window/since triple
+// with no tracker state, so they cold-start.
+const Version = 4
 
 // Fault injection points consulted by WriteFile.
 const (
@@ -177,6 +185,11 @@ type State struct {
 	// daemon with a different shard layout cannot adopt them in place: a
 	// mismatch cold-starts.
 	Shards int
+	// Updater is the model-lifecycle kind ("refit", "incremental") the
+	// lane states were captured under. The lane states embed the matching
+	// tracker/window payloads, so a daemon configured for a different
+	// lifecycle cold-starts rather than misreading them.
+	Updater string
 
 	Server ServerState
 	// Stream is the detector's own recovery state (models, refit windows,

@@ -98,6 +98,10 @@ type Model struct {
 	// products instead of per-element Components.At lookups.
 	vk, vkT *mat.Matrix
 	gen     uint64
+	// updates counts the per-bin incremental updates folded into this
+	// model since generation gen was fitted — 0 for every batch fit or
+	// refit, incremented by IncrementalUpdater per published bin.
+	updates uint64
 	// train is the training window the model was fitted on, retained (as a
 	// reference, not a copy — fits clone internally) so callers can reuse
 	// it: the streaming pipeline seeds its rolling refit windows from it.
@@ -195,6 +199,9 @@ func fit(train *mat.Matrix, opts Options, warm *mat.PCA, gen uint64) (*Model, er
 type ModelState struct {
 	Opts Options
 	Gen  uint64
+	// Updates is the number of per-bin incremental updates folded into
+	// this generation (0 under the refit lifecycle).
+	Updates uint64
 	// QLimit and T2Limit are stored rather than recomputed: the T²
 	// threshold depends on the training row count and the Q threshold on
 	// the residual spectrum model, and a restored model must alarm exactly
@@ -220,6 +227,7 @@ func (m *Model) State() ModelState {
 	st := ModelState{
 		Opts:        m.opts,
 		Gen:         m.gen,
+		Updates:     m.updates,
 		QLimit:      m.qLimit,
 		T2Limit:     m.t2Limit,
 		N:           m.pca.N(),
@@ -292,7 +300,7 @@ func Restore(st ModelState) (*Model, error) {
 		opts: st.Opts, pca: pca,
 		qLimit: st.QLimit, t2Limit: st.T2Limit,
 		vk: vk, vkT: vk.T(),
-		gen: st.Gen,
+		gen: st.Gen, updates: st.Updates,
 	}, nil
 }
 
@@ -304,6 +312,10 @@ func (m *Model) Opts() Options { return m.opts }
 
 // Gen returns the model generation: 0 for Fit, incremented by each Refit.
 func (m *Model) Gen() uint64 { return m.gen }
+
+// Updates returns the number of per-bin incremental updates folded into
+// this generation (0 for batch fits and refits).
+func (m *Model) Updates() uint64 { return m.updates }
 
 // Limits returns the (Q, T²) thresholds of this generation.
 func (m *Model) Limits() (qLimit, t2Limit float64) { return m.qLimit, m.t2Limit }

@@ -541,6 +541,10 @@ func TestChaosCorruptCheckpointColdStarts(t *testing.T) {
 			st.Shards = 4
 			st.Server.Shards = make([]checkpoint.ShardState, 4)
 		})},
+		// A snapshot from a daemon running the other model lifecycle: the
+		// lane states would carry tracker vectors this refit daemon cannot
+		// adopt, so the fingerprint rejects it up front.
+		{"wrong model lifecycle", mutate(func(st *checkpoint.State) { st.Updater = "incremental" })},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

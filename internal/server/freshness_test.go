@@ -1,0 +1,128 @@
+package server
+
+// freshness_test.go covers the daemon's model-lifecycle surface: the
+// /stats freshness gauges under an active lifecycle, their absence on a
+// static-model daemon (whose JSON must stay byte-identical to the
+// pre-lifecycle format), and a checkpointed restart under the incremental
+// lifecycle carrying the tracker across the kill.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netwide"
+	"netwide/internal/dataset"
+)
+
+// incrementalStream is parityStream under the incremental lifecycle:
+// models trained on the full run, per-bin subspace tracking, no periodic
+// drift corrections.
+func incrementalStream(run *netwide.Run) netwide.StreamConfig {
+	cfg := parityStream(run)
+	cfg.Updater = "incremental"
+	return cfg
+}
+
+// TestStatsModelFreshness: with a model lifecycle active, Stats carries
+// one freshness gauge per measure — updater kind, generation, per-bin
+// updates absorbed, staleness — and the incremental lifecycle keeps
+// staleness at one bin. On the static-model setup the field is absent
+// from the JSON entirely.
+func TestStatsModelFreshness(t *testing.T) {
+	run := testRun(t)
+	srv, err := New(run, Config{Grace: 2, Stream: incrementalStream(run)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collectRecords(t, run, 10)
+	const bins = 6
+	for bin := 0; bin < bins; bin++ {
+		srv.IngestPacket(pkt(t, uint32(bin*10), bin, recs))
+	}
+	drainOK(t, srv)
+
+	st := srv.Stats()
+	if len(st.ModelFreshness) != int(dataset.NumMeasures) {
+		t.Fatalf("%d freshness gauges, want one per measure (%d)", len(st.ModelFreshness), dataset.NumMeasures)
+	}
+	for i, fr := range st.ModelFreshness {
+		if fr.Measure != dataset.Measure(i).String() {
+			t.Errorf("gauge %d labeled %q, want %q", i, fr.Measure, dataset.Measure(i))
+		}
+		if fr.Updater != "incremental" {
+			t.Errorf("measure %s: updater %q", fr.Measure, fr.Updater)
+		}
+		if fr.Generation != 0 {
+			t.Errorf("measure %s: generation %d without drift corrections", fr.Measure, fr.Generation)
+		}
+		if fr.Updates != bins {
+			t.Errorf("measure %s: %d per-bin updates, want %d (one per closed bin)", fr.Measure, fr.Updates, bins)
+		}
+		if fr.StalenessBins > 1 {
+			t.Errorf("measure %s: staleness %d bins under the incremental lifecycle", fr.Measure, fr.StalenessBins)
+		}
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"model_freshness"`) {
+		t.Error("stats JSON does not carry the freshness gauges")
+	}
+
+	// The static-model daemon (no refits, no tracking) must not grow the
+	// field: operators diffing /stats across the upgrade see no change.
+	plain, err := New(run, Config{Stream: parityStream(run)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body, err := json.Marshal(plain.Stats()); err != nil {
+		t.Fatal(err)
+	} else if strings.Contains(string(body), "model_freshness") {
+		t.Errorf("static-model daemon leaks freshness gauges: %s", body)
+	}
+	drainOK(t, plain)
+}
+
+// TestIncrementalRestartCarriesTracker: a daemon running the incremental
+// lifecycle is killed and restarted from its snapshot; the restored
+// tracker must pick up exactly where it left off — the per-bin update
+// count survives the crash and keeps advancing as new bins close.
+func TestIncrementalRestartCarriesTracker(t *testing.T) {
+	run := testRun(t)
+	cfg := Config{
+		Grace:          2,
+		CheckpointPath: filepath.Join(t.TempDir(), "daemon.nwcp"),
+		Stream:         incrementalStream(run),
+	}
+	srv, err := New(run, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedBins(t, srv, run.Dataset(), 0, 5, 0)
+	drainOK(t, srv)
+	closed := srv.Stats().BinsClosed
+
+	srv, err = New(run, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if !st.Restored {
+		t.Fatalf("restart did not restore: %+v", st)
+	}
+	for _, fr := range st.ModelFreshness {
+		if fr.Updater != "incremental" || int(fr.Updates) != closed {
+			t.Fatalf("restored gauge %+v, want incremental with %d updates", fr, closed)
+		}
+	}
+	feedBins(t, srv, run.Dataset(), 5, 8, 0)
+	drainOK(t, srv)
+	for _, fr := range srv.Stats().ModelFreshness {
+		if int(fr.Updates) != 8 {
+			t.Fatalf("tracker did not advance past the crash: %+v", fr)
+		}
+	}
+}

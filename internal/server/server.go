@@ -67,6 +67,7 @@ import (
 	"netwide"
 	"netwide/internal/checkpoint"
 	"netwide/internal/dataset"
+	"netwide/internal/engine"
 	"netwide/internal/fault"
 	"netwide/internal/flowwire"
 	"netwide/internal/routing"
@@ -248,6 +249,13 @@ type Stats struct {
 	// Generations is the per-measure model generation (B, P, F): the number
 	// of completed background refits.
 	Generations [dataset.NumMeasures]uint64 `json:"generations"`
+	// ModelFreshness reports the per-measure model-lifecycle gauges (B, P,
+	// F order): updater kind, generation, per-bin updates folded into the
+	// current generation, bins since the last full (re)fit, and staleness
+	// in bins. Present only when a model lifecycle is active (incremental
+	// updater, or a refit cadence) — absent on a static-model daemon, so
+	// that configuration's JSON surface stays byte-identical.
+	ModelFreshness []FreshnessStat `json:"model_freshness,omitempty"`
 	// Receivers and Shards break the ingest down across the sharded
 	// pipeline (absent on the synchronous path): per-receiver datagram
 	// counters and per-shard record counters with queue-depth gauges.
@@ -282,6 +290,25 @@ type Stats struct {
 	Draining    bool   `json:"draining"`
 	Err         string `json:"err,omitempty"`
 	DegradedErr string `json:"degraded_err,omitempty"`
+}
+
+// FreshnessStat is one measure lane's model-freshness gauges.
+type FreshnessStat struct {
+	// Measure is the lane's single-letter code ("B", "P", "F").
+	Measure string `json:"measure"`
+	// Updater is the lifecycle kind keeping the lane's model current
+	// ("refit", "incremental").
+	Updater string `json:"updater"`
+	// Generation counts adopted full (re)fits; Updates counts per-bin
+	// incremental folds into the current generation (0 under refit).
+	Generation uint64 `json:"generation"`
+	Updates    uint64 `json:"updates"`
+	// BinsSinceCorrection is how many bins ago the last full (re)fit was
+	// adopted; StalenessBins is how many observed bins the scoring model
+	// has not absorbed — up to RefitEvery under the refit lifecycle, at
+	// most 1 under the incremental one.
+	BinsSinceCorrection int `json:"bins_since_correction"`
+	StalenessBins       int `json:"staleness_bins"`
 }
 
 // ProtoStats is one wire format's slice of the ingest counters, keyed in
@@ -619,12 +646,28 @@ func (s *Server) detectOpts() netwide.DetectOptions {
 	return opts
 }
 
+// streamKind returns the effective model-lifecycle kind and drift-
+// correction cadence: Config.Stream after the same zero-value defaulting
+// netwide applies, because the raw config may be all-zero while the
+// detector actually runs the defaults.
+func (s *Server) streamKind() (engine.UpdaterKind, int) {
+	eff := s.cfg.Stream.WithDefaults()
+	kind, err := engine.ParseUpdaterKind(eff.Updater)
+	if err != nil {
+		// Unreachable once the detector constructor accepted the config;
+		// fall back to the default kind to keep this accessor total.
+		kind = engine.UpdaterRefit
+	}
+	return kind, eff.RefitEvery
+}
+
 // fingerprint checks that a snapshot was written by a daemon built around
 // the same network model, detector configuration and shard layout as this
 // one.
 func (s *Server) fingerprint(st *checkpoint.State) error {
 	ds := s.run.Dataset()
 	opts := s.detectOpts()
+	kind, _ := s.streamKind()
 	switch {
 	case st.Topology != ds.Top.Name:
 		return fmt.Errorf("snapshot topology %q, daemon runs %q", st.Topology, ds.Top.Name)
@@ -642,6 +685,11 @@ func (s *Server) fingerprint(st *checkpoint.State) error {
 		// Open bins and cursors are partitioned by engine hash under the
 		// snapshot's shard count; a different layout cannot adopt them.
 		return fmt.Errorf("snapshot captured with %d shards, daemon runs %d", st.Shards, s.numShards())
+	case st.Updater != string(kind):
+		// Lane states embed lifecycle-specific payloads (refit windows vs
+		// tracker vectors); a daemon running the other lifecycle cannot
+		// adopt them.
+		return fmt.Errorf("snapshot captured under the %q model lifecycle, daemon runs %q", st.Updater, kind)
 	}
 	return nil
 }
@@ -880,6 +928,7 @@ func (s *Server) persist(assemble func(netwide.StreamCheckpoint) *checkpoint.Sta
 func (s *Server) baseState(cp netwide.StreamCheckpoint) *checkpoint.State {
 	ds := s.run.Dataset()
 	opts := s.detectOpts()
+	kind, _ := s.streamKind()
 	st := &checkpoint.State{
 		Topology:  ds.Top.Name,
 		ODPairs:   ds.NumODPairs(),
@@ -889,6 +938,7 @@ func (s *Server) baseState(cp netwide.StreamCheckpoint) *checkpoint.State {
 		Epoch:     s.cfg.Epoch,
 		Formats:   s.enabledFormats(),
 		Shards:    s.numShards(),
+		Updater:   string(kind),
 		Stream:    cp,
 		Anomalies: append([]netwide.Anomaly(nil), s.anoms[:cp.Emitted]...),
 	}
@@ -1705,6 +1755,23 @@ func (s *Server) Stats() Stats {
 		st.Err = s.firstError.Error()
 	}
 	s.mu.Unlock()
+	// Freshness gauges appear only when a model lifecycle is active, so a
+	// static-model daemon's JSON surface stays exactly as it was. The
+	// detector's freshness reads are atomics — no lock needed.
+	if kind, refitEvery := s.streamKind(); kind == engine.UpdaterIncremental || refitEvery > 0 {
+		fr := s.det.Freshness()
+		st.ModelFreshness = make([]FreshnessStat, len(fr))
+		for i, f := range fr {
+			st.ModelFreshness[i] = FreshnessStat{
+				Measure:             dataset.Measure(i).String(),
+				Updater:             string(f.Kind),
+				Generation:          f.Gen,
+				Updates:             f.Updates,
+				BinsSinceCorrection: f.SinceCorrection,
+				StalenessBins:       f.Staleness,
+			}
+		}
+	}
 	if st.Err == "" {
 		if err := s.det.Err(); err != nil {
 			st.Err = err.Error()

@@ -46,6 +46,10 @@ func roster() []shootout.Detector {
 		// the cadence refits twice a day, the regime the contamination
 		// scenario poisons.
 		&shootout.Subspace{RefitEvery: 144, Window: 288},
+		// The per-bin lifecycle on the same 288-bin horizon, no periodic
+		// corrections: the tracker forgets exponentially instead of
+		// swallowing whole windows at refit boundaries.
+		&shootout.SubspaceIncremental{Window: 288},
 		&shootout.Empirical{},
 		&shootout.EWMA{},
 	}
@@ -201,6 +205,47 @@ func TestStealthDDOSDegradesSubspace(t *testing.T) {
 	if sub.EpisodesDetected == sub.EpisodesTotal {
 		t.Errorf("subspace natively detected all %d stealth episodes; the scenario no longer demonstrates evasion",
 			sub.EpisodesTotal)
+	}
+}
+
+// TestIncrementalTracksOvertClasses: the per-bin lifecycle must not trade
+// detection quality for freshness on overt anomalies — on the six-class
+// scenario it catches and attributes every episode, and its bin-level
+// separability stays close to the static model's (golden: AUC 0.9891 vs
+// 1.0000 static, well above the refit variant's 0.9156).
+func TestIncrementalTracksOvertClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	m := metricsOf(t, reportFor(t, "six-classes-eval"), "subspace-incremental")
+	if m.EpisodesDetected < m.EpisodesTotal {
+		t.Errorf("incremental lifecycle detected %d/%d overt episodes, want all", m.EpisodesDetected, m.EpisodesTotal)
+	}
+	if m.AUC < 0.95 {
+		t.Errorf("incremental lifecycle AUC %v on overt classes, want >= 0.95", m.AUC)
+	}
+}
+
+// TestIncrementalNoWorseThanRefitUnderPoison is the contamination-parity
+// bound: the per-bin lifecycle absorbs the poisoned bins gradually (an
+// exponential forgetting scheme) where the refit variant swallows whole
+// contaminated windows, so under the poisoning attack its bin-level
+// separability must degrade no worse than the refit variant pinned by
+// TestPoisonDegradesRefit (golden: incremental AUC 0.7202 vs refit
+// 0.7137), and it must still catch the post-poisoning DDoS.
+func TestIncrementalNoWorseThanRefitUnderPoison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	r := reportFor(t, "poison")
+	refit := metricsOf(t, r, "subspace-refit")
+	incr := metricsOf(t, r, "subspace-incremental")
+	if incr.AUC < refit.AUC-0.01 {
+		t.Errorf("poisoned incremental AUC %v vs refit %v; per-bin updates degrade worse than generation swaps", incr.AUC, refit.AUC)
+	}
+	if incr.EpisodesDetected < incr.EpisodesTotal {
+		t.Errorf("poisoned incremental detected %d/%d episodes, want all (the overt DDoS must survive the contamination)",
+			incr.EpisodesDetected, incr.EpisodesTotal)
 	}
 }
 

@@ -34,7 +34,7 @@ func (r Report) WriteJSON(w io.Writer) error {
 func (r Report) WriteText(w io.Writer) error {
 	bw := &errWriter{w: w}
 	bw.printf("shootout: %s (train %d bins)\n\n", r.Scenario, r.TrainBins)
-	bw.printf("%-16s %7s %7s %7s  %9s %8s %6s", "DETECTOR", "AUC", "TPR", "FPR", "EPISODES", "LATENCY", "ATTR")
+	bw.printf("%-20s %7s %7s %7s  %9s %8s %6s", "DETECTOR", "AUC", "TPR", "FPR", "EPISODES", "LATENCY", "ATTR")
 	for _, p := range rocFPRCaps {
 		bw.printf(" %8s", fmt.Sprintf("T@%g", p))
 	}
@@ -47,7 +47,7 @@ func (r Report) WriteText(w io.Writer) error {
 		if m.AttributionAccuracy >= 0 {
 			attr = fmt.Sprintf("%.0f%%", 100*m.AttributionAccuracy)
 		}
-		bw.printf("%-16s %7.4f %7.4f %7.4f  %5d/%-3d %8s %6s",
+		bw.printf("%-20s %7.4f %7.4f %7.4f  %5d/%-3d %8s %6s",
 			m.Detector, m.AUC, m.TPR, m.FPR, m.EpisodesDetected, m.EpisodesTotal, lat, attr)
 		for _, pt := range m.ROC {
 			bw.printf(" %8.4f", pt.TPR)
@@ -60,7 +60,7 @@ func (r Report) WriteText(w io.Writer) error {
 	bw.printf("\nepisodes (d = detected, a = detected + attributed, . = missed):\n")
 	bw.printf("%-4s %-13s %-11s %4s", "ID", "TYPE", "BINS", "ODS")
 	for _, m := range r.Detectors {
-		bw.printf(" %-16s", m.Detector)
+		bw.printf(" %-20s", m.Detector)
 	}
 	bw.printf("\n")
 	for i, ep := range r.Detectors[0].Episodes {
@@ -74,7 +74,7 @@ func (r Report) WriteText(w io.Writer) error {
 				}
 				cell = fmt.Sprintf("%s+%d", cell, m.Episodes[i].LatencyBins)
 			}
-			bw.printf(" %-16s", cell)
+			bw.printf(" %-20s", cell)
 		}
 		bw.printf("\n")
 	}

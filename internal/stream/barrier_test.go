@@ -88,10 +88,13 @@ func TestBarrierOrderedAmongSubmits(t *testing.T) {
 				t.Fatalf("verdict %d: barrier has %d lane states", i, len(v.Barrier.Lanes))
 			}
 			for l, st := range v.Barrier.Lanes {
-				if st.Model == nil {
+				if len(st.Updater.Model.Mean) == 0 {
 					t.Fatalf("verdict %d lane %d: no model captured", i, l)
 				}
-				if st.Window != nil {
+				if st.Updater.Kind != engine.UpdaterRefit {
+					t.Fatalf("verdict %d lane %d: lifecycle kind %q, want %q", i, l, st.Updater.Kind, engine.UpdaterRefit)
+				}
+				if st.Updater.Window != nil {
 					t.Fatalf("verdict %d lane %d: window captured with refits disabled", i, l)
 				}
 			}
@@ -223,11 +226,11 @@ func TestBarrierCapturesRefitState(t *testing.T) {
 		t.Fatal("no barrier verdict")
 	}
 	for l, st := range bar.Lanes {
-		if len(st.Window) != cfg.Window {
-			t.Fatalf("lane %d window %d rows, want %d", l, len(st.Window), cfg.Window)
+		if len(st.Updater.Window) != cfg.Window {
+			t.Fatalf("lane %d window %d rows, want %d", l, len(st.Updater.Window), cfg.Window)
 		}
 		wantLast := laneVecs(live, lanes, n-1)[l]
-		last := st.Window[len(st.Window)-1]
+		last := st.Updater.Window[len(st.Updater.Window)-1]
 		for j := range wantLast {
 			if last[j] != wantLast[j] {
 				t.Fatalf("lane %d: newest window row is not the last pre-barrier vector", l)
@@ -235,8 +238,8 @@ func TestBarrierCapturesRefitState(t *testing.T) {
 		}
 		// Since can exceed RefitEvery when a hand-off found the refitter
 		// busy, but never goes negative.
-		if st.Since < 0 {
-			t.Fatalf("lane %d: negative refit phase %d", l, st.Since)
+		if st.Updater.Since < 0 {
+			t.Fatalf("lane %d: negative refit phase %d", l, st.Updater.Since)
 		}
 	}
 
@@ -255,7 +258,7 @@ func TestBarrierCapturesRefitState(t *testing.T) {
 		t.Fatal(err)
 	}
 	rvs := <-rDone
-	startGen := bar.Lanes[0].Model.Gen()
+	startGen := bar.Lanes[0].Updater.Model.Gen
 	advanced := false
 	for _, v := range rvs {
 		if v.Gens[0] > startGen {
@@ -325,6 +328,7 @@ func feedExpectErr(t *testing.T, pipe *Pipeline, live *mat.Matrix, lanes, n int,
 func TestNewRestoredValidation(t *testing.T) {
 	rng := rand.New(rand.NewPCG(131, 132))
 	m := fitLane(t, rng, 200, 6)
+	ms := m.State()
 	win := func(rows, p int) [][]float64 {
 		out := make([][]float64, rows)
 		for i := range out {
@@ -332,17 +336,23 @@ func TestNewRestoredValidation(t *testing.T) {
 		}
 		return out
 	}
+	refitState := func(window [][]float64, since int) LaneState {
+		return LaneState{Updater: engine.UpdaterState{
+			Kind: engine.UpdaterRefit, Model: ms, Window: window, Since: since,
+		}}
+	}
 	cases := []struct {
 		name   string
 		states []LaneState
 		cfg    Config
 	}{
 		{"no states", nil, Config{}},
-		{"nil model", []LaneState{{}}, Config{}},
-		{"window too small for refit", []LaneState{{Model: m}}, Config{RefitEvery: 5, Window: 6}},
-		{"restored window too long", []LaneState{{Model: m, Window: win(50, 6)}}, Config{RefitEvery: 5, Window: 40}},
-		{"negative refit phase", []LaneState{{Model: m, Since: -1}}, Config{RefitEvery: 5, Window: 40}},
-		{"ragged window row", []LaneState{{Model: m, Window: win(10, 5)}}, Config{RefitEvery: 5, Window: 40}},
+		{"empty state", []LaneState{{}}, Config{}},
+		{"window too small for refit", []LaneState{refitState(nil, 0)}, Config{RefitEvery: 5, Window: 6}},
+		{"restored window too long", []LaneState{refitState(win(50, 6), 0)}, Config{RefitEvery: 5, Window: 40}},
+		{"negative refit phase", []LaneState{refitState(nil, -1)}, Config{RefitEvery: 5, Window: 40}},
+		{"ragged window row", []LaneState{refitState(win(10, 5), 0)}, Config{RefitEvery: 5, Window: 40}},
+		{"lifecycle kind mismatch", []LaneState{refitState(nil, 0)}, Config{Updater: engine.UpdaterIncremental}},
 	}
 	for _, tc := range cases {
 		if _, err := NewRestored(tc.states, tc.cfg); err == nil {

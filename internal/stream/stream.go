@@ -14,24 +14,28 @@
 // per-bin Verdicts, emitted strictly in submission order regardless of how
 // lane scheduling interleaves.
 //
-// Each lane also maintains a rolling window of the vectors it has accepted
-// — seeded from the engine's retained training window, so the first refit
-// does not have to wait for a full window of live traffic — and
-// periodically refits its model on that window in the background: the fit
-// runs on a separate refitter goroutine against a snapshot of the window
-// while the worker keeps scoring with the current model, and the finished
-// model is swapped in with a single atomic pointer store. Refits are
-// warm-started from the previous generation's basis (engine.Model.Refit),
-// so on wide OD matrices the subspace iteration converges in a few sweeps.
-// Scoring never stalls, and no verdict is dropped or reordered across a
-// swap; each Verdict records the model generation that scored it.
+// Each lane keeps its model current through a pluggable engine.Updater —
+// the model lifecycle. Under the default refit lifecycle the updater
+// maintains a rolling window of accepted vectors (seeded from the engine's
+// retained training window, so the first refit does not have to wait for a
+// full window of live traffic) and periodically hands out a snapshot; the
+// fit runs on a separate refitter goroutine while the worker keeps scoring
+// with the current model, and the finished generation is swapped in with a
+// single atomic pointer store. Under the incremental lifecycle the lane
+// worker folds every closed bin into the model in-band — a rank-1 subspace
+// update per bin, so the scoring model is never more than one bin stale —
+// and the refitter goroutine only serves the periodic drift-correction
+// refits (RefitEvery becomes the fallback cadence). Refits are warm-started
+// from the previous generation's basis (engine.Model.Refit), so on wide OD
+// matrices the subspace iteration converges in a few sweeps. Scoring never
+// stalls, and no verdict is dropped or reordered across a swap; each
+// Verdict records the model generation that scored it.
 package stream
 
 import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"netwide/internal/engine"
 	"netwide/internal/fault"
@@ -43,17 +47,24 @@ import (
 type Config struct {
 	// BatchSize is the number of vectors a lane worker scores per model
 	// application (default 16). Larger batches amortize the projection
-	// products but add up to BatchSize bins of verdict latency.
+	// products but add up to BatchSize bins of verdict latency. Lanes
+	// running an in-band updater score bin-by-bin regardless — a bin must
+	// be scored before the model absorbs it.
 	BatchSize int
 	// Buffer is the per-channel depth between pipeline stages (default
 	// 4*BatchSize): how far the dispatcher may run ahead of a slow lane.
 	Buffer int
-	// RefitEvery is the number of accepted bins between background refits
-	// of a lane's model (0 disables refitting).
+	// Updater selects the model lifecycle (engine.UpdaterRefit,
+	// engine.UpdaterIncremental); "" means the default refit lifecycle.
+	Updater engine.UpdaterKind
+	// RefitEvery is the number of accepted bins between background full
+	// refits of a lane's model (0 disables them). Under the incremental
+	// updater this is the drift-correction fallback cadence.
 	RefitEvery int
 	// Window is the rolling training window length in bins. Required when
 	// RefitEvery > 0; must exceed the vector length p for the PCA fit to
-	// be well-posed (the fit itself demands n > p).
+	// be well-posed (the fit itself demands n > p). Under the incremental
+	// updater it doubles as the tracker's forgetting horizon.
 	Window int
 	// Attribute enables live OD attribution of every alarm inside the lane
 	// workers — the identification step of streaming characterization.
@@ -77,6 +88,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// updaterConfig is the engine-level lifecycle tuning this pipeline config
+// implies.
+func (c Config) updaterConfig() engine.UpdaterConfig {
+	return engine.UpdaterConfig{RefitEvery: c.RefitEvery, Window: c.Window}
+}
+
 // Sample is one timebin of traffic: one vector per lane, in lane order.
 type Sample struct {
 	Bin  int
@@ -88,16 +105,12 @@ type Sample struct {
 	barrier bool
 }
 
-// LaneState is one lane's recovery state, captured at a Barrier: the model
-// generation that was scoring when the barrier passed, the rolling refit
-// window as of every bin before the barrier, and the bins accrued toward
-// the next refit. Window rows are shallow references — submitted vectors
-// are immutable once inside the pipeline — oldest first; Window is nil
-// when refitting is disabled.
+// LaneState is one lane's recovery state, captured at a Barrier: the full
+// lifecycle state (scoring model, rolling window, refit phase, tracker
+// vectors) as of every bin before the barrier, deep-copied and
+// serializable.
 type LaneState struct {
-	Model  *engine.Model
-	Window [][]float64
-	Since  int
+	Updater engine.UpdaterState
 }
 
 // Barrier is a consistent pipeline snapshot: every lane's state captured
@@ -117,7 +130,8 @@ type Verdict struct {
 	// Points holds each lane's statistics for the bin, indexed by lane.
 	Points []engine.Point
 	// Gens[i] is the model generation of lane i that scored this bin
-	// (0 = the initial fit, incremented per completed background refit).
+	// (0 = the initial fit, incremented per adopted full refit; per-bin
+	// incremental updates advance the model without bumping it).
 	Gens []uint64
 	// Attribs[i] lists lane i's attributed alarms for the bin (one entry
 	// per alarmed statistic; nil when the lane is clean or attribution is
@@ -170,22 +184,16 @@ type laneResult struct {
 	state *LaneState
 }
 
-// lane is one detector worker: a current engine model behind an atomic
-// pointer (the model carries its own generation), a task channel, and the
-// rolling refit machinery.
+// lane is one detector worker: a model lifecycle (the updater owns the
+// scoring model, the rolling window and any tracker state), a task
+// channel, and the hand-off channel to the lane's refitter goroutine.
 type lane struct {
-	id    int
-	model atomic.Pointer[engine.Model]
-	in    chan laneTask
-	p     int // vector length the lane's model scores
+	id int
+	up engine.Updater
+	in chan laneTask
+	p  int // vector length the lane's model scores
 
-	// Rolling window ring; owned by the lane worker goroutine.
-	window [][]float64
-	wNext  int
-	wFill  int
-	since  int // accepted bins since the last refit hand-off
-
-	refitIn chan *mat.Matrix // capacity 1; nil when refitting disabled
+	refitIn chan *mat.Matrix // capacity 1; nil when full refits are disabled
 }
 
 // Pipeline is the running detection pipeline. Construct with New, feed with
@@ -211,11 +219,12 @@ type Pipeline struct {
 
 	errMu sync.Mutex
 	err   error // first fatal failure (scoring or attribution)
-	// refitErr is the first background refit failure. It is tracked apart
-	// from err because the two mean different things operationally: a
-	// refit failure leaves the pipeline DEGRADED (scoring continues,
-	// correctly, on the previous model generation), while a scoring
-	// failure means the verdicts themselves are bad.
+	// refitErr is the first background model-update failure — a failed
+	// full refit or a failed incremental fold. It is tracked apart from
+	// err because the two mean different things operationally: an update
+	// failure leaves the pipeline DEGRADED (scoring continues, correctly,
+	// on the previous model), while a scoring failure means the verdicts
+	// themselves are bad.
 	refitErr error
 }
 
@@ -230,8 +239,8 @@ func (p *Pipeline) fail(err error) {
 	p.errMu.Unlock()
 }
 
-// failRefit records the first background refit failure — the degraded
-// (not fatal) condition.
+// failRefit records the first background model-update failure — the
+// degraded (not fatal) condition.
 func (p *Pipeline) failRefit(err error) {
 	p.errMu.Lock()
 	if p.refitErr == nil {
@@ -241,25 +250,26 @@ func (p *Pipeline) failRefit(err error) {
 }
 
 // Err returns the first fatal background error (scoring or attribution)
-// recorded so far, without waiting for the pipeline to finish. Refit
-// failures do not surface here — scoring continues on the previous model
-// generation — see RefitErr.
+// recorded so far, without waiting for the pipeline to finish. Model
+// update failures do not surface here — scoring continues on the previous
+// model — see RefitErr.
 func (p *Pipeline) Err() error {
 	p.errMu.Lock()
 	defer p.errMu.Unlock()
 	return p.err
 }
 
-// RefitErr returns the first background refit failure, the signal that
-// the pipeline is running degraded on an aging model generation.
+// RefitErr returns the first background model-update failure, the signal
+// that the pipeline is running degraded on an aging model.
 func (p *Pipeline) RefitErr() error {
 	p.errMu.Lock()
 	defer p.errMu.Unlock()
 	return p.refitErr
 }
 
-// New builds a pipeline with one lane per fitted engine model. The models
-// are immutable generations, so sharing them with the caller is safe; when
+// New builds a pipeline with one lane per fitted engine model, each
+// wrapped in the lifecycle cfg.Updater selects. The models are immutable
+// generations, so sharing them with the caller is safe; when
 // cfg.RefitEvery > 0 each lane's rolling window is pre-seeded from its
 // model's retained training window (the engine keeps a reference, not a
 // copy), so the first background refit is due after RefitEvery bins rather
@@ -268,72 +278,62 @@ func New(models []*engine.Model, cfg Config) (*Pipeline, error) {
 	if len(models) == 0 {
 		return nil, errors.New("stream: no models")
 	}
-	states := make([]LaneState, len(models))
+	ups := make([]engine.Updater, len(models))
 	for i, m := range models {
-		states[i] = LaneState{Model: m}
-		if t := m.Train(); t != nil {
-			// Seed the rolling window with the trailing training rows so the
-			// first refit does not wait for a full window of live traffic.
-			n := t.Rows()
-			if cfg.RefitEvery > 0 && cfg.Window > 0 && n > cfg.Window {
-				n = cfg.Window
-			}
-			win := make([][]float64, n)
-			for j := 0; j < n; j++ {
-				win[j] = t.RowView(t.Rows() - n + j)
-			}
-			states[i].Window = win
+		if m == nil {
+			return nil, fmt.Errorf("stream: lane %d has no model", i)
 		}
+		up, err := engine.NewUpdater(cfg.Updater, m, cfg.updaterConfig())
+		if err != nil {
+			return nil, fmt.Errorf("stream: lane %d: %w", i, err)
+		}
+		ups[i] = up
 	}
-	return NewRestored(states, cfg)
+	return newPipeline(ups, cfg)
 }
 
 // NewRestored builds a pipeline from per-lane recovery states — the
 // restart half of checkpointing: the states come from a Barrier captured
-// in a previous process (models rebuilt via engine.Restore), and the new
-// pipeline resumes with the same model generations, refit windows and
-// refit phase the old one had. New is the special case where every state
-// is a freshly fitted model with its training window.
+// in a previous process, and the new pipeline resumes with the same model
+// generations, windows, tracker vectors and refit phase the old one had.
+// Each state's lifecycle kind must match cfg.Updater — a checkpoint from
+// one lifecycle cannot silently resume under another.
 func NewRestored(states []LaneState, cfg Config) (*Pipeline, error) {
 	if len(states) == 0 {
 		return nil, errors.New("stream: no lane states")
 	}
-	cfg = cfg.withDefaults()
-	for i, st := range states {
-		if st.Model == nil {
-			return nil, fmt.Errorf("stream: lane %d state has no model", i)
-		}
-		if cfg.RefitEvery > 0 {
-			if cfg.Window <= st.Model.P() {
-				return nil, fmt.Errorf("stream: window %d must exceed lane %d vector length %d for refitting", cfg.Window, i, st.Model.P())
-			}
-			if len(st.Window) > cfg.Window {
-				return nil, fmt.Errorf("stream: lane %d restored window %d exceeds configured window %d", i, len(st.Window), cfg.Window)
-			}
-			if st.Since < 0 {
-				return nil, fmt.Errorf("stream: lane %d negative refit phase %d", i, st.Since)
-			}
-			for j, row := range st.Window {
-				if len(row) != st.Model.P() {
-					return nil, fmt.Errorf("stream: lane %d window row %d length %d, want %d", i, j, len(row), st.Model.P())
-				}
-			}
-		}
+	want, err := engine.ParseUpdaterKind(string(cfg.Updater))
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
 	}
+	ups := make([]engine.Updater, len(states))
+	for i, st := range states {
+		if st.Updater.Kind != want {
+			return nil, fmt.Errorf("stream: lane %d state was captured under the %q updater but the pipeline is configured for %q", i, st.Updater.Kind, want)
+		}
+		up, err := engine.RestoreUpdater(st.Updater, cfg.updaterConfig())
+		if err != nil {
+			return nil, fmt.Errorf("stream: lane %d: %w", i, err)
+		}
+		ups[i] = up
+	}
+	return newPipeline(ups, cfg)
+}
+
+// newPipeline wires lanes around ready lifecycles — the shared tail of New
+// and NewRestored.
+func newPipeline(ups []engine.Updater, cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
 	p := &Pipeline{
 		cfg:  cfg,
 		in:   make(chan Sample, cfg.Buffer),
 		out:  make(chan Verdict, cfg.Buffer),
-		agg:  make(chan laneResult, cfg.Buffer*len(states)),
+		agg:  make(chan laneResult, cfg.Buffer*len(ups)),
 		done: make(chan struct{}),
 	}
-	for i, st := range states {
-		l := &lane{id: i, in: make(chan laneTask, cfg.Buffer), p: st.Model.P()}
-		l.model.Store(st.Model)
+	for i, up := range ups {
+		l := &lane{id: i, up: up, in: make(chan laneTask, cfg.Buffer), p: up.Model().P()}
 		if cfg.RefitEvery > 0 {
-			l.window = make([][]float64, cfg.Window)
-			l.seedWindow(st.Window)
-			l.since = st.Since
 			l.refitIn = make(chan *mat.Matrix, 1)
 			p.refitWG.Add(1)
 			go p.refitter(l)
@@ -348,45 +348,24 @@ func NewRestored(states []LaneState, cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
-// seedWindow pre-fills the rolling window ring with rows (oldest first —
-// trailing training rows on a fresh start, the captured barrier window on
-// a restore). The ring stores row references; the refit snapshot copies
-// rows, the ring never does.
-func (l *lane) seedWindow(rows [][]float64) {
-	n := len(rows)
-	if n > len(l.window) {
-		rows = rows[n-len(l.window):]
-		n = len(l.window)
-	}
-	copy(l.window, rows)
-	l.wNext = n % len(l.window)
-	l.wFill = n
-}
-
-// capture snapshots the lane's recovery state: called by the lane worker
-// at a barrier, after flushing, so the state reflects exactly the bins
-// before the barrier. Window rows are shared, not copied — they are
-// immutable inside the pipeline.
-func (l *lane) capture() *LaneState {
-	st := &LaneState{Model: l.model.Load(), Since: l.since}
-	if l.refitIn != nil {
-		st.Window = make([][]float64, 0, l.wFill)
-		for i := 0; i < l.wFill; i++ {
-			st.Window = append(st.Window, l.window[(l.wNext-l.wFill+i+len(l.window))%len(l.window)])
-		}
-	}
-	return st
-}
-
 // Lanes returns the number of detector lanes.
 func (p *Pipeline) Lanes() int { return len(p.lanes) }
 
 // Generations returns each lane's current model generation: the number of
-// completed background refits.
+// adopted full refits.
 func (p *Pipeline) Generations() []uint64 {
 	out := make([]uint64, len(p.lanes))
 	for i, l := range p.lanes {
-		out[i] = l.model.Load().Gen()
+		out[i] = l.up.Model().Gen()
+	}
+	return out
+}
+
+// Freshness returns each lane's model-freshness gauges.
+func (p *Pipeline) Freshness() []engine.Freshness {
+	out := make([]engine.Freshness, len(p.lanes))
+	for i, l := range p.lanes {
+		out[i] = l.up.Freshness()
 	}
 	return out
 }
@@ -449,9 +428,10 @@ func (p *Pipeline) Verdicts() <-chan Verdict { return p.out }
 // Wait blocks until the pipeline has emitted every verdict (the consumer
 // must be draining Verdicts) and all background refits have settled, then
 // returns the first background error — a lane scoring or attribution
-// failure, or a refit failure. A failed run still delivers a complete,
-// ordered verdict stream (failed bins carry zero-valued placeholder
-// points), so Wait is the only place a background failure surfaces.
+// failure, or a model update failure. A failed run still delivers a
+// complete, ordered verdict stream (failed bins carry zero-valued
+// placeholder points), so Wait is the only place a background failure
+// surfaces.
 func (p *Pipeline) Wait() error {
 	<-p.done
 	p.refitWG.Wait()
@@ -486,8 +466,13 @@ func (p *Pipeline) dispatch() {
 }
 
 // laneWorker scores its lane's vectors in batches against whatever model is
-// current, attributes alarms to OD flows against the same model, maintains
-// the rolling window, and hands window snapshots to the refitter when due.
+// current, attributes alarms to OD flows against the same model, and feeds
+// every scored bin to the lane's updater. An in-band updater (the
+// incremental tracker) advances the scoring model inside Observe, so the
+// worker flushes — scores — each bin before observing it: a bin must never
+// be scored by a model that has already absorbed it. An out-of-band
+// updater leaves the model alone between refit swaps, so the worker keeps
+// the full scoring batch.
 //
 // Scoring and attribution failures do not panic: a panic on a background
 // goroutine would kill the whole process on the first malformed batch. The
@@ -500,6 +485,7 @@ func (p *Pipeline) laneWorker(l *lane) {
 	if l.refitIn != nil {
 		defer close(l.refitIn)
 	}
+	inBand := l.up.InBand()
 	batch := make([]laneTask, 0, p.cfg.BatchSize)
 	vecs := make([][]float64, 0, p.cfg.BatchSize)
 	pts := make([]engine.Point, 0, p.cfg.BatchSize)
@@ -507,7 +493,7 @@ func (p *Pipeline) laneWorker(l *lane) {
 		if len(batch) == 0 {
 			return
 		}
-		m := l.model.Load()
+		m := l.up.Model()
 		var err error
 		pts, err = m.ScoreBatch(vecs, pts[:0])
 		if err != nil {
@@ -533,71 +519,61 @@ func (p *Pipeline) laneWorker(l *lane) {
 	for t := range l.in {
 		if t.barrier {
 			// Score everything before the barrier first, so the captured
-			// state (model generation, window, refit phase) is exactly the
+			// state (model, window, tracker, refit phase) is exactly the
 			// state as of the last pre-barrier bin.
 			flush()
-			p.agg <- laneResult{lane: l.id, seq: t.seq, bin: -1, state: l.capture()}
+			p.agg <- laneResult{lane: l.id, seq: t.seq, bin: -1, state: &LaneState{Updater: l.up.State()}}
 			continue
 		}
 		batch = append(batch, t)
 		vecs = append(vecs, t.x)
-		if len(batch) >= p.cfg.BatchSize {
+		if inBand || len(batch) >= p.cfg.BatchSize {
 			flush()
 		}
-		l.observe(t.x, p.cfg.RefitEvery)
+		p.observe(l, t.x)
 	}
 	flush()
 }
 
-// observe appends a scored vector to the rolling window and, when a refit
-// is due and the refitter is idle, hands off a snapshot. A busy refitter
-// just delays the next refit; scoring is never blocked.
-func (l *lane) observe(x []float64, refitEvery int) {
-	if l.refitIn == nil {
-		return
+// observe feeds one scored bin to the lane's lifecycle. A returned
+// snapshot is handed to the refitter; the updater guarantees at most one
+// outstanding hand-off, so the capacity-1 send never blocks. An update
+// failure degrades the pipeline — the previous model keeps scoring.
+func (p *Pipeline) observe(l *lane, x []float64) {
+	snap, err := l.up.Observe(x)
+	if err != nil {
+		p.failRefit(fmt.Errorf("stream: lane %d update: %w", l.id, err))
 	}
-	l.window[l.wNext] = x
-	l.wNext = (l.wNext + 1) % len(l.window)
-	if l.wFill < len(l.window) {
-		l.wFill++
-	}
-	l.since++
-	if l.since < refitEvery || l.wFill < len(l.window) {
-		return
-	}
-	snap := mat.New(l.wFill, l.p)
-	for i := 0; i < l.wFill; i++ {
-		copy(snap.RowView(i), l.window[i])
-	}
-	select {
-	case l.refitIn <- snap:
-		l.since = 0
-	default: // previous refit still running; try again next bin
+	if snap != nil && l.refitIn != nil {
+		l.refitIn <- snap
 	}
 }
 
-// refitter fits replacement models on window snapshots and swaps them in.
-// The fit is warm-started from the current generation's basis; the swap is
-// a single atomic store: in-flight batches finish on the old model, the
-// next batch loads the new one.
+// refitter fits replacement models on window snapshots and hands them back
+// to the lifecycle. The fit is warm-started from the current generation's
+// basis; adoption is a single atomic store (refit lifecycle) or deferred
+// to the next Observe (incremental drift correction): in-flight batches
+// finish on the old model, the next batch loads the new one.
 func (p *Pipeline) refitter(l *lane) {
 	defer p.refitWG.Done()
 	for snap := range l.refitIn {
 		// FaultRefit: an armed Delay makes this refit slow (it holds the
-		// refitIn slot, delaying subsequent hand-offs — never scoring); an
+		// hand-off slot, delaying subsequent refits — never scoring); an
 		// armed Err fails it, leaving the pipeline degraded on the current
 		// generation.
 		if err := p.cfg.Faults.Fire(FaultRefit); err != nil {
 			p.failRefit(fmt.Errorf("stream: lane %d refit: %w", l.id, err))
+			l.up.Install(nil)
 			continue
 		}
-		cur := l.model.Load()
+		cur := l.up.Model()
 		next, err := cur.Refit(snap)
 		if err != nil {
 			p.failRefit(fmt.Errorf("stream: lane %d refit: %w", l.id, err))
-			continue // keep scoring on the current model
+			l.up.Install(nil) // keep scoring on the current model
+			continue
 		}
-		l.model.Store(next)
+		l.up.Install(next)
 	}
 }
 

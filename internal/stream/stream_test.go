@@ -305,7 +305,7 @@ func TestLaneErrorPropagates(t *testing.T) {
 	// subsequent batch fails ScoreBatch exactly like a corrupted refit or a
 	// model/vector drift bug would, without tripping the edge checks.
 	bad := fitLane(t, rng, 64, p-2)
-	pipe.lanes[0].model.Store(bad)
+	pipe.lanes[0].up.Install(bad)
 
 	live := synth(rng, 6, p, 2)
 	done := make(chan []Verdict)

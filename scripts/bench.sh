@@ -34,9 +34,9 @@
 # gates across receiver counts.
 #
 # Usage:
-#   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR9.json)
-#   scripts/bench.sh --check BENCH_PR9.json      # gate against the committed baseline
-#   scripts/bench.sh --check BENCH_PR8.json BENCH_PR9.json  # gate against several
+#   scripts/bench.sh [out.json]                  # record (default out: BENCH_PR10.json)
+#   scripts/bench.sh --check BENCH_PR10.json      # gate against the committed baseline
+#   scripts/bench.sh --check BENCH_PR8.json BENCH_PR10.json  # gate against several
 #   BENCH='SimulateWeek|Detect' scripts/bench.sh # restrict the suite
 #   BENCHTIME=3x scripts/bench.sh                # more iterations per benchmark
 #   MAX_REGRESSION=50 scripts/bench.sh --check BENCH_PR8.json  # looser gate
@@ -57,7 +57,7 @@ if [[ "${1:-}" == "--check" ]]; then
     done
     set --
 fi
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 bench="${BENCH:-.}"
 benchtime="${BENCHTIME:-1x}"
 max_regression="${MAX_REGRESSION:-20}"

@@ -22,12 +22,19 @@ type StreamConfig struct {
 	TrainBins int
 	// BatchSize is the number of vectors scored per model application.
 	BatchSize int
-	// RefitEvery is the number of streamed bins between background model
-	// refits (0 disables refitting). Refit windows start pre-seeded from
+	// Updater selects the model lifecycle: "refit" (or "") for the
+	// generation-swap default, "incremental" for per-bin subspace tracking
+	// (the scoring model is never more than one bin stale).
+	Updater string
+	// RefitEvery is the number of streamed bins between background full
+	// model refits (0 disables them). Refit windows start pre-seeded from
 	// the training bins, and each refit is warm-started from the previous
-	// model generation's subspace basis.
+	// model generation's subspace basis. Under the incremental updater
+	// this is the drift-correction fallback cadence.
 	RefitEvery int
-	// Window is the rolling training window for refits, in bins.
+	// Window is the rolling training window for refits, in bins. Under
+	// the incremental updater it doubles as the tracker's forgetting
+	// horizon.
 	Window int
 	// Faults, when non-nil, threads error injection through the pipeline's
 	// background paths (see stream.FaultRefit). Nil in production.
@@ -50,6 +57,20 @@ func DefaultStreamConfig() StreamConfig {
 		RefitEvery: 288, // daily
 		Window:     7 * 288,
 	}
+}
+
+// WithDefaults applies DefaultStreamConfig when every tuning knob is zero.
+// Updater and Faults ride along either way — they select behavior rather
+// than tune it, so setting only them still gets the default cadences (an
+// incremental detector then runs daily drift corrections on a one-week
+// horizon).
+func (c StreamConfig) WithDefaults() StreamConfig {
+	if c.BatchSize == 0 && c.RefitEvery == 0 && c.Window == 0 && c.TrainBins == 0 {
+		def := DefaultStreamConfig()
+		def.Updater, def.Faults = c.Updater, c.Faults
+		return def
+	}
+	return c
 }
 
 // StreamVerdict is the merged verdict for one streamed 5-minute bin across
@@ -121,13 +142,12 @@ type StreamDetector struct {
 }
 
 // LaneCheckpoint is one measure lane's recovery state in serializable
-// form: the scoring model's full parameters, the rolling refit window
-// (deep-copied rows, oldest first; nil when refitting is disabled) and the
-// bins accrued toward the next refit.
+// form: the full model-lifecycle state — the scoring model's parameters,
+// the rolling refit window (deep-copied rows, oldest first; nil when full
+// refits are disabled), the bins accrued toward the next refit, and the
+// incremental tracker's vectors when that lifecycle is running.
 type LaneCheckpoint struct {
-	Model  engine.ModelState
-	Window [][]float64
-	Since  int
+	Updater engine.UpdaterState
 }
 
 // StreamCheckpoint is the StreamDetector's full recovery state, captured
@@ -158,9 +178,7 @@ func (r *Run) NewStreamDetector(opts DetectOptions, cfg StreamConfig) (*StreamDe
 	if opts.K == 0 {
 		opts = DefaultDetectOptions()
 	}
-	if cfg.BatchSize == 0 && cfg.RefitEvery == 0 && cfg.Window == 0 && cfg.TrainBins == 0 {
-		cfg = DefaultStreamConfig()
-	}
+	cfg = cfg.WithDefaults()
 	train := cfg.TrainBins
 	if train <= 0 || train > r.ds.Bins {
 		train = r.ds.Bins
@@ -175,6 +193,7 @@ func (r *Run) NewStreamDetector(opts DetectOptions, cfg StreamConfig) (*StreamDe
 	}
 	pipe, err := stream.New(models, stream.Config{
 		BatchSize:  cfg.BatchSize,
+		Updater:    engine.UpdaterKind(cfg.Updater),
 		RefitEvery: cfg.RefitEvery,
 		Window:     cfg.Window,
 		Attribute:  true,
@@ -205,26 +224,16 @@ func (r *Run) NewStreamDetector(opts DetectOptions, cfg StreamConfig) (*StreamDe
 // the pipeline tuning, which must match the original run's for refit
 // windows to restore (Window may not shrink below a captured window).
 func (r *Run) RestoreStreamDetector(cp StreamCheckpoint, cfg StreamConfig) (*StreamDetector, error) {
-	if cfg.BatchSize == 0 && cfg.RefitEvery == 0 && cfg.Window == 0 && cfg.TrainBins == 0 {
-		cfg = DefaultStreamConfig()
-	}
+	cfg = cfg.WithDefaults()
 	if len(cp.Lanes) != int(dataset.NumMeasures) {
 		return nil, fmt.Errorf("netwide: checkpoint has %d lanes, want %d", len(cp.Lanes), dataset.NumMeasures)
 	}
 	states := make([]stream.LaneState, len(cp.Lanes))
 	for i, lc := range cp.Lanes {
-		model, err := engine.Restore(lc.Model)
-		if err != nil {
-			return nil, fmt.Errorf("netwide: restore %v model: %w", dataset.Measure(i), err)
+		if p := len(lc.Updater.Model.Mean); p != r.ds.NumODPairs() {
+			return nil, fmt.Errorf("netwide: restored %v model scores %d OD pairs, run has %d", dataset.Measure(i), p, r.ds.NumODPairs())
 		}
-		if model.P() != r.ds.NumODPairs() {
-			return nil, fmt.Errorf("netwide: restored %v model scores %d OD pairs, run has %d", dataset.Measure(i), model.P(), r.ds.NumODPairs())
-		}
-		win := make([][]float64, len(lc.Window))
-		for j, row := range lc.Window {
-			win[j] = append([]float64(nil), row...)
-		}
-		states[i] = stream.LaneState{Model: model, Window: win, Since: lc.Since}
+		states[i] = stream.LaneState{Updater: lc.Updater}
 	}
 	agg, err := events.RestoreAggregator(cp.Agg)
 	if err != nil {
@@ -232,6 +241,7 @@ func (r *Run) RestoreStreamDetector(cp StreamCheckpoint, cfg StreamConfig) (*Str
 	}
 	pipe, err := stream.NewRestored(states, stream.Config{
 		BatchSize:  cfg.BatchSize,
+		Updater:    engine.UpdaterKind(cfg.Updater),
 		RefitEvery: cfg.RefitEvery,
 		Window:     cfg.Window,
 		Attribute:  true,
@@ -329,14 +339,9 @@ func (d *StreamDetector) snapshot(bar *stream.Barrier) StreamCheckpoint {
 		Emitted: d.emitted,
 	}
 	for i, ls := range bar.Lanes {
-		lc := LaneCheckpoint{Model: ls.Model.State(), Since: ls.Since}
-		if ls.Window != nil {
-			lc.Window = make([][]float64, len(ls.Window))
-			for j, row := range ls.Window {
-				lc.Window[j] = append([]float64(nil), row...)
-			}
-		}
-		cp.Lanes[i] = lc
+		// The lane captured deep copies at the barrier (engine.Updater.State),
+		// so the checkpoint can outlive the pipeline.
+		cp.Lanes[i] = LaneCheckpoint{Updater: ls.Updater}
 	}
 	return cp
 }
@@ -419,11 +424,23 @@ func (d *StreamDetector) Err() error { return d.pipe.Err() }
 // also returns it, after any fatal error.
 func (d *StreamDetector) RefitErr() error { return d.pipe.RefitErr() }
 
-// Generations returns the per-measure model generation: how many background
-// refits have completed and been swapped in.
+// Generations returns the per-measure model generation: how many full
+// refits have completed and been adopted. Per-bin incremental updates
+// advance the model without bumping the generation — see Freshness.
 func (d *StreamDetector) Generations() [dataset.NumMeasures]uint64 {
 	var out [dataset.NumMeasures]uint64
 	copy(out[:], d.pipe.Generations())
+	return out
+}
+
+// Freshness returns the per-measure model-freshness gauges: lifecycle
+// kind, generation, per-bin updates folded into the current generation,
+// bins since the last full (re)fit, and staleness — how many observed bins
+// the scoring model has not absorbed (up to RefitEvery under the refit
+// lifecycle, at most 1 under the incremental one).
+func (d *StreamDetector) Freshness() [dataset.NumMeasures]engine.Freshness {
+	var out [dataset.NumMeasures]engine.Freshness
+	copy(out[:], d.pipe.Freshness())
 	return out
 }
 
